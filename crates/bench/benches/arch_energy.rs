@@ -1,0 +1,54 @@
+//! Criterion benches for full trace evaluation — the computation behind
+//! Fig. 5 and Table VI, per architecture — plus the movement-overhead
+//! ablation (the cost the Data Allocator model charges per transition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhpim::{Architecture, Processor};
+use hhpim_nn::TinyMlModel;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+
+fn bench_trace_per_arch(c: &mut Criterion) {
+    let trace = LoadTrace::generate(
+        Scenario::PeriodicSpike,
+        ScenarioParams { slices: 50, ..ScenarioParams::default() },
+    );
+    let mut group = c.benchmark_group("run_trace_50_slices");
+    for arch in Architecture::ALL {
+        let proc = Processor::new(arch, TinyMlModel::EfficientNetB0).expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, _| {
+            b.iter(|| proc.run_trace(std::hint::black_box(&trace)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_movement_cost(c: &mut Criterion) {
+    let proc = Processor::new(Architecture::HhPim, TinyMlModel::ResNet18).expect("fits");
+    let low = proc.placement_for_tasks(1);
+    let high = proc.placement_for_tasks(10);
+    c.bench_function("movement_cost_full_swing", |b| {
+        b.iter(|| proc.movement_cost(std::hint::black_box(&low), std::hint::black_box(&high)))
+    });
+}
+
+fn bench_processor_init(c: &mut Criterion) {
+    // Includes LUT construction — the paper's "application
+    // initialization phase".
+    c.bench_function("processor_init_hhpim", |b| {
+        b.iter(|| Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2).expect("fits"))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_trace_per_arch, bench_movement_cost, bench_processor_init
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the placement optimizer (Algorithms 1+2):
+//! single-point optimization at tight/mid/relaxed deadlines, LUT
+//! construction, and scaling with DP resolution. These back Fig. 6 and
+//! quantify the paper's "≤1 % of a time slice" initialization claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhpim::{
+    AllocationLut, Architecture, CostModel, CostParams, OptimizerConfig, PlacementOptimizer,
+    WorkloadProfile,
+};
+use hhpim_nn::TinyMlModel;
+
+fn cost_model() -> CostModel {
+    CostModel::new(
+        Architecture::HhPim.spec(),
+        WorkloadProfile::from_spec(&TinyMlModel::EfficientNetB0.spec()),
+        CostParams::default(),
+    )
+    .expect("fits")
+}
+
+fn bench_optimize_points(c: &mut Criterion) {
+    let cost = cost_model();
+    let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
+    let peak = cost.peak_task_time();
+    let mut group = c.benchmark_group("dp_optimize");
+    for (label, factor) in [("tight", 1.0), ("mid", 3.0), ("relaxed", 10.0)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &factor, |b, &f| {
+            let t = peak.mul_f64(f);
+            b.iter(|| opt.optimize(std::hint::black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let cost = cost_model();
+    let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
+    let slice = cost.peak_task_time() * 10;
+    c.bench_function("lut_build_10_entries", |b| {
+        b.iter(|| AllocationLut::build(&opt, std::hint::black_box(slice), 10))
+    });
+}
+
+fn bench_resolution_scaling(c: &mut Criterion) {
+    let cost = cost_model();
+    let peak = cost.peak_task_time();
+    let mut group = c.benchmark_group("dp_resolution");
+    for buckets in [250usize, 1000, 4000] {
+        let cfg = OptimizerConfig { time_buckets: buckets, ..OptimizerConfig::default() };
+        let opt = PlacementOptimizer::new(&cost, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, _| {
+            b.iter(|| opt.optimize(std::hint::black_box(peak.mul_f64(2.0))))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_optimize_points, bench_lut_build, bench_resolution_scaling
+}
+criterion_main!(benches);

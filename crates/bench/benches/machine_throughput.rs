@@ -1,0 +1,77 @@
+//! Criterion benches for the cycle-level substrate: PIM machine MAC
+//! throughput, ISA encode/decode, and NN task generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hhpim_isa::{assemble, decode, encode, MemSelect, ModuleMask, PimInstruction};
+use hhpim_nn::{QuantizedModel, Tensor, TinyMlModel};
+use hhpim_pim::{MachineConfig, PimMachine};
+
+fn bench_machine_macs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim_machine");
+    group.throughput(Throughput::Elements(8 * 128));
+    group.bench_function("mac_burst_8_modules_x128", |b| {
+        b.iter_batched(
+            || {
+                let mut m = PimMachine::new(MachineConfig::default());
+                for g in 0..8 {
+                    m.preload(g, MemSelect::Mram, 0, &[1u8; 128]).expect("preload");
+                    m.preload_activations(g, &[1u8; 128]).expect("preload");
+                }
+                m
+            },
+            |mut m| {
+                m.execute(PimInstruction::Mac {
+                    modules: ModuleMask::all(),
+                    mem: MemSelect::Mram,
+                    addr: 0,
+                    count: 128,
+                })
+                .expect("mac");
+                m.execute(PimInstruction::Barrier).expect("barrier");
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let inst = PimInstruction::Mac {
+        modules: ModuleMask::range(0, 3),
+        mem: MemSelect::Sram,
+        addr: 0x100,
+        count: 64,
+    };
+    c.bench_function("isa_encode_decode", |b| {
+        b.iter(|| decode(encode(std::hint::black_box(inst))))
+    });
+    let source = "clr all\nmac m0-3 sram @0x100 x64\nwb all sram @0x0\nbarrier\nhalt";
+    c.bench_function("isa_assemble_5_lines", |b| {
+        b.iter(|| assemble(std::hint::black_box(source)))
+    });
+}
+
+fn bench_nn_inference(c: &mut Criterion) {
+    let model = TinyMlModel::MobileNetV2.build();
+    let (ch, h, w) = model.input_shape();
+    let qm = QuantizedModel::random(model, 11);
+    let input = Tensor::zeros(ch, h, w);
+    c.bench_function("nn_mobilenet_tiny_int8_inference", |b| {
+        b.iter(|| qm.infer(std::hint::black_box(&input)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_machine_macs, bench_isa, bench_nn_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Prints the Fig. 4 workload scenarios.
+use hhpim_workload::ScenarioParams;
+fn main() {
+    println!("{}", hhpim_bench::fig4_text(ScenarioParams::default()));
+}

@@ -1,0 +1,22 @@
+//! Runs the full Fig. 5 experiment: 6 scenarios x 3 models x 4
+//! architectures over 50 time slices each.
+//!
+//! Flags: --no-gating disables HH-PIM's static amortization in the
+//! optimizer (ablation); --quick runs 12 slices.
+use hhpim::{ExperimentConfig, OptimizerConfig};
+use hhpim_workload::ScenarioParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ExperimentConfig::default();
+    if args.iter().any(|a| a == "--quick") {
+        config.scenario_params = ScenarioParams { slices: 12, ..ScenarioParams::default() };
+        config.optimizer = OptimizerConfig { time_buckets: 500, ..OptimizerConfig::default() };
+    }
+    if args.iter().any(|a| a == "--dp-off") {
+        config.optimizer = OptimizerConfig { amortize_static: false, ..config.optimizer };
+        println!("(ablation: optimizer ignores leakage — placements stay SRAM-greedy)\n");
+    }
+    let matrix = hhpim_bench::savings(&config).expect("all models fit all architectures");
+    println!("{}", hhpim_bench::fig5_text(&matrix));
+}

@@ -1,0 +1,13 @@
+//! Runs the Fig. 6 sweep for one model (default EfficientNet-B0).
+use hhpim_nn::TinyMlModel;
+
+fn main() {
+    let model = match std::env::args().nth(1).as_deref() {
+        Some("mbv2") => TinyMlModel::MobileNetV2,
+        Some("resnet") => TinyMlModel::ResNet18,
+        _ => TinyMlModel::EfficientNetB0,
+    };
+    let samples = if std::env::args().any(|a| a == "--quick") { 16 } else { 40 };
+    println!("{}", hhpim_bench::fig6_text(model, samples));
+    println!("{}", hhpim_bench::inference_time_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's Table1 reproduction.
+fn main() {
+    println!("{}", hhpim_bench::table1_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's Table2 reproduction.
+fn main() {
+    println!("{}", hhpim_bench::table2_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's Table3 reproduction.
+fn main() {
+    println!("{}", hhpim_bench::table3_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the paper's Table4 reproduction.
+fn main() {
+    println!("{}", hhpim_bench::table4_text());
+}

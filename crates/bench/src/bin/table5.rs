@@ -1,0 +1,4 @@
+//! Prints the paper's Table5 reproduction.
+fn main() {
+    println!("{}", hhpim_bench::table5_text());
+}

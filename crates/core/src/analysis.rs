@@ -1,0 +1,311 @@
+//! Fig. 6 analysis: placement and energy across `t_constraint`.
+//!
+//! Sweeps the per-task deadline over a time slice, recording the
+//! optimizer's placement, normalized task energy and memory-utilization
+//! split — the data behind Fig. 6 — plus the paper's two marked points:
+//! the **peak-performance point** (green; SRAM 16:9 split) and the
+//! **MRAM-only peak** (purple; how fast the machine runs when weights
+//! may only live in MRAM, as in prior H-PIMs).
+
+use crate::cost::CostModel;
+use crate::dp::{OptimizerConfig, PlacementOptimizer};
+use crate::space::{Placement, StorageSpace};
+use hhpim_mem::Energy;
+use hhpim_sim::SimDuration;
+
+/// One sweep sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The deadline swept.
+    pub t_constraint: SimDuration,
+    /// The optimal placement, or `None` in the infeasible gray region.
+    pub placement: Option<Placement>,
+    /// Per-task energy (objective), normalized to the peak point.
+    pub e_task_norm: f64,
+    /// Memory utilization split in percent `[HpMram, HpSram, LpMram, LpSram]`.
+    pub utilization: [f64; 4],
+}
+
+/// The full Fig. 6 dataset.
+#[derive(Debug, Clone)]
+pub struct PlacementSweep {
+    /// Sweep samples in increasing `t_constraint` order.
+    pub points: Vec<SweepPoint>,
+    /// Peak-performance deadline (green dot).
+    pub peak_time: SimDuration,
+    /// Peak-point placement (the 16:9 SRAM split).
+    pub peak_placement: Placement,
+    /// Per-task energy at the peak (the normalization reference).
+    pub peak_energy: Energy,
+    /// MRAM-only peak deadline (purple dot).
+    pub mram_only_peak_time: SimDuration,
+}
+
+/// The MRAM-only fastest placement (prior H-PIM behaviour): weights
+/// balanced across HP-MRAM and LP-MRAM only.
+pub fn mram_only_fastest(cost: &CostModel) -> Option<Placement> {
+    let k = cost.k_groups();
+    let hp_cap = cost.capacity_groups(StorageSpace::HpMram);
+    let lp_cap = cost.capacity_groups(StorageSpace::LpMram);
+    if hp_cap + lp_cap < k {
+        return None;
+    }
+    let t_hp = cost.time_per_group(StorageSpace::HpMram).as_ns_f64();
+    let t_lp = cost.time_per_group(StorageSpace::LpMram).as_ns_f64();
+    let mut placement = Placement::empty();
+    if lp_cap == 0 || t_lp <= 0.0 {
+        placement.set(StorageSpace::HpMram, k);
+        return Some(placement);
+    }
+    let k_hp = ((k as f64) * (1.0 / t_hp) / (1.0 / t_hp + 1.0 / t_lp)).round() as usize;
+    let k_hp = k_hp.min(k).min(hp_cap);
+    placement.set(StorageSpace::HpMram, k_hp);
+    placement.set(StorageSpace::LpMram, (k - k_hp).min(lp_cap));
+    if placement.total() < k {
+        // Spill the remainder into whichever MRAM still has room.
+        let spill = k - placement.total();
+        let hp_room = hp_cap - placement.get(StorageSpace::HpMram);
+        let to_hp = spill.min(hp_room);
+        placement.set(StorageSpace::HpMram, placement.get(StorageSpace::HpMram) + to_hp);
+        placement.set(
+            StorageSpace::LpMram,
+            placement.get(StorageSpace::LpMram) + spill - to_hp,
+        );
+    }
+    Some(placement)
+}
+
+/// Sweeps `t_constraint` from below the feasibility edge to `max_t`,
+/// producing the Fig. 6 dataset.
+///
+/// # Panics
+///
+/// Panics if `samples < 2`.
+pub fn placement_sweep(
+    cost: &CostModel,
+    opt_config: OptimizerConfig,
+    max_t: SimDuration,
+    samples: usize,
+) -> PlacementSweep {
+    assert!(samples >= 2, "sweep needs at least two samples");
+    let optimizer = PlacementOptimizer::new(cost, opt_config);
+    let peak_placement = cost.fastest_placement();
+    let peak_time = cost.task_time(&peak_placement);
+    let peak_energy = optimizer.objective(&peak_placement, peak_time);
+    let mram_only_peak_time = mram_only_fastest(cost)
+        .map(|p| cost.task_time(&p))
+        .unwrap_or(peak_time);
+
+    // Start the sweep below the peak so the gray region is visible.
+    let start = peak_time.mul_f64(0.7);
+    let span = max_t.saturating_sub(start);
+    let points = (0..samples)
+        .map(|i| {
+            let t = start + span.mul_f64(i as f64 / (samples - 1) as f64);
+            match optimizer.optimize(t) {
+                Some(opt) => SweepPoint {
+                    t_constraint: t,
+                    utilization: opt.placement.utilization_pct(),
+                    e_task_norm: opt.energy_per_task.as_pj() / peak_energy.as_pj(),
+                    placement: Some(opt.placement),
+                },
+                None => SweepPoint {
+                    t_constraint: t,
+                    placement: None,
+                    e_task_norm: f64::NAN,
+                    utilization: [0.0; 4],
+                },
+            }
+        })
+        .collect();
+    PlacementSweep { points, peak_time, peak_placement, peak_energy, mram_only_peak_time }
+}
+
+impl PlacementSweep {
+    /// Feasible points only.
+    pub fn feasible(&self) -> impl Iterator<Item = &SweepPoint> {
+        self.points.iter().filter(|p| p.placement.is_some())
+    }
+
+    /// The energy reduction (in percent) of the optimizer's placement
+    /// versus *unoptimized* allocation (holding the peak placement) at
+    /// the most relaxed deadline — the paper's 43.17 % claim.
+    pub fn relaxed_reduction_vs_unoptimized(&self, cost: &CostModel, opt_config: OptimizerConfig) -> f64 {
+        let optimizer = PlacementOptimizer::new(cost, opt_config);
+        let Some(last) = self.feasible().last() else { return 0.0 };
+        let t = last.t_constraint;
+        let optimized = optimizer
+            .optimize(t)
+            .map(|o| o.energy_per_task.as_pj())
+            .unwrap_or(f64::NAN);
+        let unoptimized = optimizer.objective(&self.peak_placement, t).as_pj();
+        (1.0 - optimized / unoptimized) * 100.0
+    }
+}
+
+/// Inference-time summary for one model (§IV-B's measured latencies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceTimes {
+    /// Peak-performance inference time (green dot; SRAM-mixed weights).
+    pub peak: SimDuration,
+    /// MRAM-only inference time (purple dot; H-PIM-style weights).
+    pub mram_only: SimDuration,
+}
+
+/// Computes both marked inference times for a cost model.
+pub fn inference_times(cost: &CostModel) -> InferenceTimes {
+    let peak = cost.peak_task_time();
+    let mram_only = mram_only_fastest(cost)
+        .map(|p| cost.task_time(&p))
+        .unwrap_or(peak);
+    InferenceTimes { peak, mram_only }
+}
+
+/// Utilization of each cluster at the peak: the paper highlights the
+/// 16:9 HP-SRAM : LP-SRAM split.
+pub fn peak_sram_split(cost: &CostModel) -> (usize, usize) {
+    let p = cost.fastest_placement();
+    (p.get(StorageSpace::HpSram), p.get(StorageSpace::LpSram))
+}
+
+/// Checks whether the placement progression over the sweep follows the
+/// paper's narrative: SRAM-heavy at tight deadlines, ending in LP-MRAM
+/// (with the HP cluster idle) at relaxed deadlines.
+pub fn progression_summary(sweep: &PlacementSweep) -> Vec<(SimDuration, Placement)> {
+    let mut out: Vec<(SimDuration, Placement)> = Vec::new();
+    for p in sweep.feasible() {
+        let placement = p.placement.expect("feasible point has placement");
+        if out.last().map(|(_, prev)| *prev != placement).unwrap_or(true) {
+            out.push((p.t_constraint, placement));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::cost::{CostParams, WorkloadProfile};
+    use hhpim_nn::TinyMlModel;
+
+    fn cost() -> CostModel {
+        CostModel::new(
+            Architecture::HhPim.spec(),
+            WorkloadProfile::from_spec(&TinyMlModel::EfficientNetB0.spec()),
+            CostParams::default(),
+        )
+        .unwrap()
+    }
+
+    fn sweep() -> (CostModel, PlacementSweep) {
+        let c = cost();
+        let cfg = OptimizerConfig { time_buckets: 600, ..OptimizerConfig::default() };
+        let s = placement_sweep(&c, cfg, SimDuration::from_ms(340), 40);
+        (c, s)
+    }
+
+    #[test]
+    fn gray_region_exists_below_peak() {
+        let (_, s) = sweep();
+        assert!(s.points.first().unwrap().placement.is_none(), "sweep starts infeasible");
+        assert!(s.feasible().count() > 20, "most of the sweep is feasible");
+    }
+
+    #[test]
+    fn energy_normalized_to_peak_and_decreasing() {
+        let (_, s) = sweep();
+        let feasible: Vec<&SweepPoint> = s.feasible().collect();
+        let first = feasible.first().unwrap();
+        assert!((first.e_task_norm - 1.0).abs() < 0.1, "first feasible ≈ peak: {}", first.e_task_norm);
+        let last = feasible.last().unwrap();
+        assert!(last.e_task_norm < 0.85, "relaxed deadline must be cheaper: {}", last.e_task_norm);
+        // Macro-shape: overall decline with plateaus. Between placement
+        // switches the per-window SRAM retention term may rise locally
+        // (see EXPERIMENTS.md), but never dramatically.
+        for w in feasible.windows(2) {
+            assert!(
+                w[1].e_task_norm <= w[0].e_task_norm * 1.25,
+                "energy must not jump along the sweep: {} -> {}",
+                w[0].e_task_norm,
+                w[1].e_task_norm
+            );
+        }
+        // The relaxed LP-MRAM plateau undercuts the peak by a wide
+        // margin (the paper's most-efficient region), even though the
+        // envelope passes through an LP-SRAM valley at mid deadlines
+        // (documented model deviation — see EXPERIMENTS.md).
+        let max_last = feasible[3 * feasible.len() / 4..]
+            .iter()
+            .map(|p| p.e_task_norm)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_last < 0.85, "relaxed plateau must stay below peak: {max_last}");
+    }
+
+    #[test]
+    fn endpoints_match_paper_narrative() {
+        let (c, s) = sweep();
+        // Peak: SRAM split ≈ 16:9.
+        let (hp, lp) = peak_sram_split(&c);
+        assert!(hp > lp);
+        // Most relaxed: everything in LP-MRAM.
+        let last = s.feasible().last().unwrap().placement.unwrap();
+        assert_eq!(last.get(StorageSpace::LpMram), c.k_groups(), "last point {last}");
+    }
+
+    #[test]
+    fn mram_only_peak_slower_than_sram_peak() {
+        let (c, s) = sweep();
+        assert!(s.mram_only_peak_time > s.peak_time);
+        let times = inference_times(&c);
+        // Paper: 31.06 ms vs 44.5 ms for EfficientNet-B0 — we match the
+        // green dot by calibration and the purple must be >10 % slower.
+        assert!((times.peak.as_ms_f64() - 31.06).abs() < 2.0);
+        assert!(times.mram_only.as_ms_f64() / times.peak.as_ms_f64() > 1.1);
+    }
+
+    #[test]
+    fn relaxed_reduction_is_substantial() {
+        let (c, s) = sweep();
+        let cfg = OptimizerConfig { time_buckets: 600, ..OptimizerConfig::default() };
+        let red = s.relaxed_reduction_vs_unoptimized(&c, cfg);
+        // Paper reports up to 43.17 %; the shape requirement is a large
+        // double-digit reduction.
+        assert!(red > 20.0, "reduction {red:.2}% too small");
+        assert!(red < 90.0, "reduction {red:.2}% implausibly large");
+    }
+
+    #[test]
+    fn progression_moves_toward_lp_mram() {
+        let (c, s) = sweep();
+        let prog = progression_summary(&s);
+        assert!(prog.len() >= 3, "expect several distinct placements, got {}", prog.len());
+        let first = prog.first().unwrap().1;
+        let last = prog.last().unwrap().1;
+        let sram = |p: &Placement| p.get(StorageSpace::HpSram) + p.get(StorageSpace::LpSram);
+        assert!(sram(&first) > sram(&last));
+        assert_eq!(last.get(StorageSpace::LpMram), c.k_groups());
+    }
+
+    #[test]
+    fn mram_only_respects_capacity() {
+        let c = CostModel::new(
+            Architecture::HhPim.spec(),
+            WorkloadProfile::from_spec(&TinyMlModel::ResNet18.spec()),
+            CostParams::default(),
+        )
+        .unwrap();
+        let p = mram_only_fastest(&c).expect("resnet fits in MRAM");
+        assert_eq!(p.total(), c.k_groups());
+        assert!(p.get(StorageSpace::HpSram) == 0 && p.get(StorageSpace::LpSram) == 0);
+        assert!(c.is_valid(&p));
+        // Baseline has no MRAM at all.
+        let b = CostModel::new(
+            Architecture::Baseline.spec(),
+            WorkloadProfile::from_spec(&TinyMlModel::ResNet18.spec()),
+            CostParams::default(),
+        )
+        .unwrap();
+        assert!(mram_only_fastest(&b).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Architecture presets: the four PIM processors of Table I.
+//!
+//! | Architecture      | Modules          | Memory per module        |
+//! |-------------------|------------------|--------------------------|
+//! | Baseline-PIM      | 8 HP             | 128 kB SRAM              |
+//! | Heterogeneous-PIM | 4 HP + 4 LP      | 128 kB SRAM              |
+//! | Hybrid-PIM        | 8 HP             | 64 kB MRAM + 64 kB SRAM  |
+//! | HH-PIM            | 4 HP + 4 LP      | 64 kB MRAM + 64 kB SRAM  |
+//!
+//! Each preset also fixes the *power-gating* and *placement* policies
+//! that distinguish the designs: the conventional Baseline never gates,
+//! the others gate idle/empty banks; only HH-PIM re-places weights
+//! dynamically.
+
+use crate::space::StorageSpace;
+use core::fmt;
+use hhpim_mem::ClusterClass;
+
+/// Power-gating capability of an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GatingPolicy {
+    /// Conventional PIM: every memory and PE stays powered for the whole
+    /// run (the "continuous power demands" the paper's intro attributes
+    /// to traditional designs).
+    AlwaysOn,
+    /// Banks with no live data may be gated at any time; non-volatile
+    /// (MRAM) banks are additionally gated whenever idle; PEs gate when
+    /// their cluster has no work. SRAM holding weights must stay on.
+    BankLevel,
+}
+
+/// How weights are placed across storage spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlacementPolicy {
+    /// A placement fixed at initialization (conventional designs).
+    Static,
+    /// The paper's dynamic programming LUT, consulted every time slice.
+    DynamicDp,
+}
+
+/// One of the four evaluated architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Architecture {
+    /// Baseline-PIM: 8 HP modules, SRAM only, no gating.
+    Baseline,
+    /// Heterogeneous-PIM: 4 HP + 4 LP modules, SRAM only.
+    Heterogeneous,
+    /// Hybrid-PIM (H-PIM): 8 HP modules, MRAM weights + SRAM buffer.
+    Hybrid,
+    /// The paper's HH-PIM: 4 HP + 4 LP, hybrid memory, DP placement.
+    HhPim,
+}
+
+impl Architecture {
+    /// All four architectures in Table I order.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Baseline,
+        Architecture::Heterogeneous,
+        Architecture::Hybrid,
+        Architecture::HhPim,
+    ];
+
+    /// The specification of this architecture (Table I row).
+    pub fn spec(self) -> ArchSpec {
+        match self {
+            Architecture::Baseline => ArchSpec {
+                arch: self,
+                name: "Baseline-PIM",
+                hp_modules: 8,
+                lp_modules: 0,
+                mram_per_module: 0,
+                sram_per_module: 128 * 1024,
+                gating: GatingPolicy::AlwaysOn,
+                placement: PlacementPolicy::Static,
+            },
+            Architecture::Heterogeneous => ArchSpec {
+                arch: self,
+                name: "Heterogeneous-PIM",
+                hp_modules: 4,
+                lp_modules: 4,
+                mram_per_module: 0,
+                sram_per_module: 128 * 1024,
+                gating: GatingPolicy::BankLevel,
+                placement: PlacementPolicy::Static,
+            },
+            Architecture::Hybrid => ArchSpec {
+                arch: self,
+                name: "Hybrid-PIM",
+                hp_modules: 8,
+                lp_modules: 0,
+                mram_per_module: 64 * 1024,
+                sram_per_module: 64 * 1024,
+                gating: GatingPolicy::BankLevel,
+                placement: PlacementPolicy::Static,
+            },
+            Architecture::HhPim => ArchSpec {
+                arch: self,
+                name: "HH-PIM",
+                hp_modules: 4,
+                lp_modules: 4,
+                mram_per_module: 64 * 1024,
+                sram_per_module: 64 * 1024,
+                gating: GatingPolicy::BankLevel,
+                placement: PlacementPolicy::DynamicDp,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+/// A fully resolved architecture description (Table I row + policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Which architecture this describes.
+    pub arch: Architecture,
+    /// Paper name.
+    pub name: &'static str,
+    /// HP-PIM module count.
+    pub hp_modules: usize,
+    /// LP-PIM module count.
+    pub lp_modules: usize,
+    /// MRAM bytes per module (0 = no MRAM).
+    pub mram_per_module: usize,
+    /// SRAM bytes per module.
+    pub sram_per_module: usize,
+    /// Gating capability.
+    pub gating: GatingPolicy,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+}
+
+impl ArchSpec {
+    /// Modules in `cluster`.
+    pub fn modules_in(&self, cluster: ClusterClass) -> usize {
+        match cluster {
+            ClusterClass::HighPerformance => self.hp_modules,
+            ClusterClass::LowPower => self.lp_modules,
+        }
+    }
+
+    /// Total capacity of a storage space in bytes, across all modules of
+    /// its cluster (0 when the space does not exist in this design).
+    pub fn capacity_bytes(&self, space: StorageSpace) -> usize {
+        let modules = self.modules_in(space.cluster());
+        let per_module = match space.kind() {
+            hhpim_mem::MemKind::Mram => self.mram_per_module,
+            hhpim_mem::MemKind::Sram => self.sram_per_module,
+        };
+        modules * per_module
+    }
+
+    /// Whether the space exists (non-zero capacity).
+    pub fn has_space(&self, space: StorageSpace) -> bool {
+        self.capacity_bytes(space) > 0
+    }
+
+    /// Total weight-capable memory in bytes.
+    pub fn total_capacity(&self) -> usize {
+        StorageSpace::ALL.iter().map(|&s| self.capacity_bytes(s)).sum()
+    }
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} HP + {} LP, {} kB MRAM + {} kB SRAM per module",
+            self.name,
+            self.hp_modules,
+            self.lp_modules,
+            self.mram_per_module / 1024,
+            self.sram_per_module / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shapes() {
+        let b = Architecture::Baseline.spec();
+        assert_eq!((b.hp_modules, b.lp_modules), (8, 0));
+        assert_eq!(b.sram_per_module, 128 * 1024);
+        assert_eq!(b.mram_per_module, 0);
+
+        let het = Architecture::Heterogeneous.spec();
+        assert_eq!((het.hp_modules, het.lp_modules), (4, 4));
+        assert_eq!(het.sram_per_module, 128 * 1024);
+
+        let hy = Architecture::Hybrid.spec();
+        assert_eq!((hy.hp_modules, hy.lp_modules), (8, 0));
+        assert_eq!(hy.mram_per_module, 64 * 1024);
+        assert_eq!(hy.sram_per_module, 64 * 1024);
+
+        let hh = Architecture::HhPim.spec();
+        assert_eq!((hh.hp_modules, hh.lp_modules), (4, 4));
+        assert_eq!(hh.mram_per_module, 64 * 1024);
+    }
+
+    #[test]
+    fn every_arch_has_one_megabyte_total() {
+        // All four designs carry the same 1 MB of total memory — the
+        // comparison is iso-capacity (Table I).
+        for a in Architecture::ALL {
+            assert_eq!(a.spec().total_capacity(), 1024 * 1024, "{a}");
+        }
+    }
+
+    #[test]
+    fn capacity_by_space() {
+        let hh = Architecture::HhPim.spec();
+        assert_eq!(hh.capacity_bytes(StorageSpace::HpMram), 4 * 64 * 1024);
+        assert_eq!(hh.capacity_bytes(StorageSpace::LpSram), 4 * 64 * 1024);
+        let b = Architecture::Baseline.spec();
+        assert_eq!(b.capacity_bytes(StorageSpace::HpSram), 8 * 128 * 1024);
+        assert!(!b.has_space(StorageSpace::HpMram));
+        assert!(!b.has_space(StorageSpace::LpSram));
+    }
+
+    #[test]
+    fn policies_distinguish_designs() {
+        assert_eq!(Architecture::Baseline.spec().gating, GatingPolicy::AlwaysOn);
+        assert_eq!(Architecture::Hybrid.spec().gating, GatingPolicy::BankLevel);
+        assert_eq!(Architecture::HhPim.spec().placement, PlacementPolicy::DynamicDp);
+        assert_eq!(Architecture::Hybrid.spec().placement, PlacementPolicy::Static);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Architecture::HhPim.to_string(), "HH-PIM");
+        assert!(Architecture::Baseline.spec().to_string().contains("8 HP + 0 LP"));
+    }
+}

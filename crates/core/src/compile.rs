@@ -1,0 +1,333 @@
+//! Layer-to-PIM compilation: maps a quantized fully-connected layer
+//! onto the cycle-level machine, distributing output neurons across PIM
+//! modules exactly as the paper distributes "each layer of a neural
+//! network across HP-PIM and LP-PIM modules for parallel computation,
+//! with the final output obtained by aggregating results from each
+//! module" (§III).
+//!
+//! This is the bridge between the analytical evaluation (fast sweeps)
+//! and the bit-accurate machine: compiled layers execute real INT8 MACs
+//! in module PEs and are checked against the software reference — the
+//! functional-verification role of the paper's FPGA prototype.
+
+use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
+use hhpim_nn::{Layer, QuantizedModel};
+use hhpim_pim::{MachineError, PimMachine};
+use std::fmt;
+
+/// Where compiled weights are placed inside each module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightHome {
+    /// Non-volatile MRAM (the H-PIM default).
+    Mram,
+    /// SRAM (the peak-performance choice).
+    Sram,
+}
+
+impl WeightHome {
+    fn mem(self) -> MemSelect {
+        match self {
+            WeightHome::Mram => MemSelect::Mram,
+            WeightHome::Sram => MemSelect::Sram,
+        }
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The layer at the given index is not a Linear layer.
+    NotLinear {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// The layer has no materialized weights.
+    NoWeights {
+        /// Offending layer index.
+        layer: usize,
+    },
+    /// A row is too long for a single module pass (> activation region).
+    RowTooLong {
+        /// Input features required.
+        in_features: usize,
+    },
+    /// The underlying machine rejected a preload or instruction.
+    Machine(MachineError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotLinear { layer } => write!(f, "layer {layer} is not linear"),
+            CompileError::NoWeights { layer } => write!(f, "layer {layer} has no weights"),
+            CompileError::RowTooLong { in_features } => {
+                write!(f, "{in_features} input features exceed one module pass")
+            }
+            CompileError::Machine(e) => write!(f, "machine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<MachineError> for CompileError {
+    fn from(e: MachineError) -> Self {
+        CompileError::Machine(e)
+    }
+}
+
+/// A linear layer lowered onto a PIM machine.
+#[derive(Debug, Clone)]
+pub struct CompiledLinear {
+    /// Which module computes each output neuron (round-robin).
+    assignment: Vec<usize>,
+    /// Per-neuron i32 bias, applied host-side at aggregation.
+    bias: Vec<i32>,
+    /// Input feature count (MACs per neuron).
+    in_features: usize,
+    home: WeightHome,
+}
+
+impl CompiledLinear {
+    /// Number of output neurons.
+    pub fn out_features(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The module computing neuron `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn module_of(&self, o: usize) -> usize {
+        self.assignment[o]
+    }
+}
+
+/// Lowers linear layer `layer_idx` of `qm` onto `machine`: weight rows
+/// stripe round-robin over all modules in `home`, one row per
+/// "wave" per module.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile_linear(
+    qm: &QuantizedModel,
+    layer_idx: usize,
+    machine: &mut PimMachine,
+    home: WeightHome,
+) -> Result<CompiledLinear, CompileError> {
+    let info = qm
+        .model()
+        .layers()
+        .get(layer_idx)
+        .ok_or(CompileError::NotLinear { layer: layer_idx });
+    let info = info?;
+    let Layer::Linear { out_features } = info.layer else {
+        return Err(CompileError::NotLinear { layer: layer_idx });
+    };
+    let lw = qm.layer_weights(layer_idx).ok_or(CompileError::NoWeights { layer: layer_idx })?;
+    let (c, h, w) = info.input;
+    let in_features = c * h * w;
+    if in_features > 255 {
+        // A MAC burst carries at most 255 operations; multi-burst rows
+        // are possible but the activation region must also fit.
+        return Err(CompileError::RowTooLong { in_features });
+    }
+    let modules = machine.module_count();
+    let mut assignment = Vec::with_capacity(out_features);
+    for o in 0..out_features {
+        let module = o % modules;
+        assignment.push(module);
+        // Each wave stores its row behind the previous one.
+        let wave = o / modules;
+        let addr = wave * in_features;
+        let row: Vec<u8> = lw.weights[o * in_features..(o + 1) * in_features]
+            .iter()
+            .map(|&v| v as u8)
+            .collect();
+        machine.preload(module, home.mem(), addr, &row)?;
+    }
+    Ok(CompiledLinear { assignment, bias: lw.bias.clone(), in_features, home })
+}
+
+/// Executes a compiled layer on `machine` for one input vector and
+/// returns the raw i32 accumulators (bias applied, no requantization).
+///
+/// # Errors
+///
+/// Propagates machine errors.
+///
+/// # Panics
+///
+/// Panics if `input` length differs from the compiled `in_features`.
+pub fn run_linear(
+    machine: &mut PimMachine,
+    compiled: &CompiledLinear,
+    input: &[i8],
+) -> Result<Vec<i32>, CompileError> {
+    assert_eq!(input.len(), compiled.in_features, "input length mismatch");
+    let modules = machine.module_count();
+    let acts: Vec<u8> = input.iter().map(|&v| v as u8).collect();
+    for m in 0..modules {
+        machine.preload_activations(m, &acts)?;
+    }
+    let mut outputs = vec![0i32; compiled.out_features()];
+    let waves = compiled.out_features().div_ceil(modules);
+    for wave in 0..waves {
+        let lo = wave * modules;
+        let hi = (lo + modules).min(compiled.out_features());
+        let mut mask = ModuleMask::empty();
+        for o in lo..hi {
+            mask = mask.union(ModuleMask::single(compiled.assignment[o] as u8));
+        }
+        let addr = (wave * compiled.in_features) as u16;
+        machine.execute(PimInstruction::ClearAcc { modules: mask })?;
+        machine.execute(PimInstruction::Mac {
+            modules: mask,
+            mem: compiled.home.mem(),
+            addr,
+            count: compiled.in_features as u8,
+        })?;
+        machine.execute(PimInstruction::Barrier)?;
+        // Aggregate: the host reads each module's accumulator (the
+        // paper's "final output obtained by aggregating results").
+        for o in lo..hi {
+            let acc = machine.module(compiled.assignment[o]).pe().accumulator();
+            outputs[o] = acc + compiled.bias[o];
+        }
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhpim_nn::{Model, Tensor};
+    use hhpim_pim::MachineConfig;
+
+    fn fc_model(inf: usize, outf: usize) -> QuantizedModel {
+        let model =
+            Model::new("fc", (inf, 1, 1), vec![Layer::Linear { out_features: outf }]).unwrap();
+        QuantizedModel::random(model, 77)
+    }
+
+    fn reference(qm: &QuantizedModel, input: &[i8]) -> Vec<i32> {
+        let lw = qm.layer_weights(0).unwrap();
+        let n = input.len();
+        (0..lw.bias.len())
+            .map(|o| {
+                lw.bias[o]
+                    + input
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &a)| lw.weights[o * n + j] as i32 * a as i32)
+                        .sum::<i32>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_layer_matches_reference_across_all_modules() {
+        let qm = fc_model(32, 20); // 20 neurons over 8 modules: 3 waves
+        let mut machine = PimMachine::new(MachineConfig::default());
+        let compiled = compile_linear(&qm, 0, &mut machine, WeightHome::Mram).unwrap();
+        let input: Vec<i8> = (0..32).map(|i| ((i * 11) % 63) as i8 - 31).collect();
+        let got = run_linear(&mut machine, &compiled, &input).unwrap();
+        assert_eq!(got, reference(&qm, &input));
+    }
+
+    #[test]
+    fn sram_home_gives_same_results_faster() {
+        let qm = fc_model(24, 8);
+        let input: Vec<i8> = (0..24).map(|i| i as i8 - 12).collect();
+
+        let mut m1 = PimMachine::new(MachineConfig::default());
+        let c1 = compile_linear(&qm, 0, &mut m1, WeightHome::Mram).unwrap();
+        let r1 = run_linear(&mut m1, &c1, &input).unwrap();
+        let t_mram = m1.report().finished_at;
+
+        let mut m2 = PimMachine::new(MachineConfig::default());
+        let c2 = compile_linear(&qm, 0, &mut m2, WeightHome::Sram).unwrap();
+        let r2 = run_linear(&mut m2, &c2, &input).unwrap();
+        let t_sram = m2.report().finished_at;
+
+        assert_eq!(r1, r2, "placement must not change results");
+        assert!(t_sram < t_mram, "SRAM weights must be faster: {t_sram} vs {t_mram}");
+    }
+
+    #[test]
+    fn round_robin_spreads_neurons() {
+        let qm = fc_model(8, 10);
+        let mut machine = PimMachine::new(MachineConfig::default());
+        let compiled = compile_linear(&qm, 0, &mut machine, WeightHome::Sram).unwrap();
+        assert_eq!(compiled.module_of(0), 0);
+        assert_eq!(compiled.module_of(7), 7);
+        assert_eq!(compiled.module_of(8), 0, "wraps to module 0");
+        assert_eq!(compiled.out_features(), 10);
+    }
+
+    #[test]
+    fn rejects_non_linear_and_long_rows() {
+        let model = Model::new("r", (4, 1, 1), vec![Layer::Relu]).unwrap();
+        let qm = QuantizedModel::random(model, 1);
+        let mut machine = PimMachine::new(MachineConfig::default());
+        assert!(matches!(
+            compile_linear(&qm, 0, &mut machine, WeightHome::Mram),
+            Err(CompileError::NotLinear { layer: 0 })
+        ));
+        let wide = fc_model(300, 2);
+        assert!(matches!(
+            compile_linear(&wide, 0, &mut machine, WeightHome::Mram),
+            Err(CompileError::RowTooLong { in_features: 300 })
+        ));
+    }
+
+    #[test]
+    fn multiple_inputs_reuse_compiled_weights() {
+        let qm = fc_model(16, 6);
+        let mut machine = PimMachine::new(MachineConfig::default());
+        let compiled = compile_linear(&qm, 0, &mut machine, WeightHome::Mram).unwrap();
+        for seed in 0..4i8 {
+            let input: Vec<i8> = (0..16).map(|i| (i as i8).wrapping_mul(seed + 1)).collect();
+            let got = run_linear(&mut machine, &compiled, &input).unwrap();
+            assert_eq!(got, reference(&qm, &input), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zoo_classifier_head_runs_on_machine() {
+        // The real MobileNetV2-tiny classifier head (88 -> 10) executed
+        // on the cycle-level machine, cross-checked with the reference.
+        let model = hhpim_nn::zoo::mobilenet_v2_tiny();
+        let head_idx = model.layers().len() - 1;
+        let qm = QuantizedModel::random(model, 3);
+        let (c, h, w) = qm.model().layers()[head_idx].input;
+        let in_features = c * h * w;
+        let mut machine = PimMachine::new(MachineConfig::default());
+        let compiled = compile_linear(&qm, head_idx, &mut machine, WeightHome::Mram).unwrap();
+        let input: Vec<i8> = (0..in_features).map(|i| ((i * 29) % 100) as i8 - 50).collect();
+        let got = run_linear(&mut machine, &compiled, &input).unwrap();
+        let lw = qm.layer_weights(head_idx).unwrap();
+        let expect: Vec<i32> = (0..10)
+            .map(|o| {
+                lw.bias[o]
+                    + input
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &a)| lw.weights[o * in_features + j] as i32 * a as i32)
+                        .sum::<i32>()
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CompileError::RowTooLong { in_features: 300 }.to_string(),
+            "300 input features exceed one module pass"
+        );
+        assert!(CompileError::NotLinear { layer: 2 }.to_string().contains("layer 2"));
+    }
+}

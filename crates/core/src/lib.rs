@@ -1,0 +1,50 @@
+//! # hhpim — the HH-PIM architecture model and placement optimizer
+//!
+//! Reproduction of *HH-PIM: Dynamic Optimization of Power and
+//! Performance with Heterogeneous-Hybrid PIM for Edge AI Devices*
+//! (DAC 2025). This crate is the paper's primary contribution:
+//!
+//! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
+//!   (Baseline-, Heterogeneous-, Hybrid- and HH-PIM) with their gating
+//!   and placement policies,
+//! * [`CostModel`] — per-space time/energy costs `t_i`, `e_i` derived
+//!   from Tables III/V,
+//! * [`PlacementOptimizer`] — Algorithms 1 & 2: per-cluster bottom-up
+//!   DP plus cross-cluster combination, building an [`AllocationLut`],
+//! * [`Processor`] — the time-slice runtime with task buffering,
+//!   movement-aware re-placement and per-category energy accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim::{Architecture, Processor};
+//! use hhpim_nn::TinyMlModel;
+//! use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+//!
+//! let hh = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
+//! let trace = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
+//! let report = hh.run_trace(&trace);
+//! assert_eq!(report.records.len(), 50);
+//! assert_eq!(report.deadline_misses, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod arch;
+pub mod compile;
+pub mod cost;
+pub mod dp;
+pub mod experiment;
+pub mod runtime;
+pub mod space;
+
+pub use analysis::{inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary, InferenceTimes, PlacementSweep, SweepPoint};
+pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
+pub use compile::{compile_linear, run_linear, CompileError, CompiledLinear, WeightHome};
+pub use experiment::{run_case, savings_matrix, ExperimentConfig, SavingsCell, SavingsMatrix};
+pub use cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
+pub use dp::{AllocationLut, OptimalPlacement, OptimizerConfig, PlacementOptimizer};
+pub use runtime::{CoreEnergyCat, Processor, RuntimeConfig, SliceRecord, TraceReport};
+pub use space::{Placement, StorageSpace};

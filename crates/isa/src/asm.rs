@@ -1,0 +1,347 @@
+//! Text assembler for PIM instruction streams.
+//!
+//! The FPGA prototype in the paper is driven by benchmark programs that
+//! enqueue PIM instructions; this assembler lets tests and host-core
+//! programs express those streams legibly. The syntax is exactly what
+//! [`PimInstruction`]'s `Display` prints, so
+//! `assemble(inst.to_string()) == inst` round-trips.
+//!
+//! ```text
+//! # comments run to end of line
+//! clr all
+//! mac m0-3 sram @0x100 x32
+//! wb m0,m2 mram @0x40
+//! barrier
+//! halt
+//! ```
+
+use crate::inst::{MemSelect, ModuleMask, PimInstruction};
+use core::fmt;
+
+/// Why a source line failed to assemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// The mnemonic is not part of the ISA.
+    UnknownMnemonic(String),
+    /// Malformed module mask operand.
+    BadMask(String),
+    /// Memory operand was not `mram`/`sram`.
+    BadMem(String),
+    /// Malformed `@addr` operand.
+    BadAddr(String),
+    /// Malformed `xCOUNT` operand (must be 1..=255).
+    BadCount(String),
+    /// Wrong number of operands for the mnemonic.
+    WrongArity {
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+}
+
+/// An assembly error with its 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Failure detail.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadMask(m) => write!(f, "bad module mask `{m}`"),
+            AsmErrorKind::BadMem(m) => write!(f, "bad memory selector `{m}`"),
+            AsmErrorKind::BadAddr(a) => write!(f, "bad address `{a}`"),
+            AsmErrorKind::BadCount(c) => write!(f, "bad count `{c}`"),
+            AsmErrorKind::WrongArity { expected, found } => {
+                write!(f, "expected {expected} operands, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_mask(s: &str) -> Result<ModuleMask, AsmErrorKind> {
+    if s == "all" {
+        return Ok(ModuleMask::all());
+    }
+    let mut mask = ModuleMask::empty();
+    for part in s.split(',') {
+        let part = part.strip_prefix('m').ok_or_else(|| AsmErrorKind::BadMask(s.into()))?;
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: u8 = lo.parse().map_err(|_| AsmErrorKind::BadMask(s.into()))?;
+            let hi: u8 = hi.parse().map_err(|_| AsmErrorKind::BadMask(s.into()))?;
+            if hi >= ModuleMask::MAX_MODULES || lo > hi {
+                return Err(AsmErrorKind::BadMask(s.into()));
+            }
+            mask = mask.union(ModuleMask::range(lo, hi));
+        } else {
+            let idx: u8 = part.parse().map_err(|_| AsmErrorKind::BadMask(s.into()))?;
+            if idx >= ModuleMask::MAX_MODULES {
+                return Err(AsmErrorKind::BadMask(s.into()));
+            }
+            mask = mask.union(ModuleMask::single(idx));
+        }
+    }
+    if mask.is_empty() {
+        return Err(AsmErrorKind::BadMask(s.into()));
+    }
+    Ok(mask)
+}
+
+fn parse_mem(s: &str) -> Result<MemSelect, AsmErrorKind> {
+    match s {
+        "mram" => Ok(MemSelect::Mram),
+        "sram" => Ok(MemSelect::Sram),
+        other => Err(AsmErrorKind::BadMem(other.into())),
+    }
+}
+
+fn parse_addr(s: &str) -> Result<u16, AsmErrorKind> {
+    let body = s.strip_prefix('@').ok_or_else(|| AsmErrorKind::BadAddr(s.into()))?;
+    let parsed = if let Some(hex) = body.strip_prefix("0x") {
+        u16::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    };
+    parsed.map_err(|_| AsmErrorKind::BadAddr(s.into()))
+}
+
+fn parse_count(s: &str) -> Result<u8, AsmErrorKind> {
+    let body = s.strip_prefix('x').ok_or_else(|| AsmErrorKind::BadCount(s.into()))?;
+    let n: u16 = body.parse().map_err(|_| AsmErrorKind::BadCount(s.into()))?;
+    if n == 0 || n > 255 {
+        return Err(AsmErrorKind::BadCount(s.into()));
+    }
+    Ok(n as u8)
+}
+
+fn arity(expected: usize, found: usize) -> Result<(), AsmErrorKind> {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(AsmErrorKind::WrongArity { expected, found })
+    }
+}
+
+fn assemble_line(line: &str) -> Result<Option<PimInstruction>, AsmErrorKind> {
+    let code = line.split('#').next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = code.split_whitespace();
+    let mnemonic = tokens.next().expect("non-empty line has a first token");
+    let ops: Vec<&str> = tokens.collect();
+    use PimInstruction::*;
+    let inst = match mnemonic {
+        "mac" | "movi" | "movx" | "ldext" | "stext" => {
+            arity(4, ops.len())?;
+            let modules = parse_mask(ops[0])?;
+            let mem = parse_mem(ops[1])?;
+            let addr = parse_addr(ops[2])?;
+            let count = parse_count(ops[3])?;
+            match mnemonic {
+                "mac" => Mac { modules, mem, addr, count },
+                "movi" => MoveIntra { modules, mem, addr, count },
+                "movx" => MoveInter { modules, mem, addr, count },
+                "ldext" => LoadExt { modules, mem, addr, count },
+                _ => StoreExt { modules, mem, addr, count },
+            }
+        }
+        "wb" => {
+            arity(3, ops.len())?;
+            WriteBack {
+                modules: parse_mask(ops[0])?,
+                mem: parse_mem(ops[1])?,
+                addr: parse_addr(ops[2])?,
+            }
+        }
+        "clr" => {
+            arity(1, ops.len())?;
+            ClearAcc { modules: parse_mask(ops[0])? }
+        }
+        "gateoff" | "gateon" => {
+            arity(2, ops.len())?;
+            let modules = parse_mask(ops[0])?;
+            let mem = parse_mem(ops[1])?;
+            if mnemonic == "gateoff" {
+                GateOff { modules, mem }
+            } else {
+                GateOn { modules, mem }
+            }
+        }
+        "barrier" => {
+            arity(0, ops.len())?;
+            Barrier
+        }
+        "halt" => {
+            arity(0, ops.len())?;
+            Halt
+        }
+        "nop" => {
+            arity(0, ops.len())?;
+            Nop
+        }
+        other => return Err(AsmErrorKind::UnknownMnemonic(other.into())),
+    };
+    Ok(Some(inst))
+}
+
+/// Assembles a multi-line program into instructions.
+///
+/// Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its line.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_isa::assemble;
+/// let prog = assemble("
+///     clr all
+///     mac m0-3 sram @0x0 x16  # one tile of MACs
+///     barrier
+/// ").unwrap();
+/// assert_eq!(prog.len(), 3);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<PimInstruction>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        match assemble_line(line) {
+            Ok(Some(inst)) => out.push(inst),
+            Ok(None) => {}
+            Err(kind) => return Err(AsmError { line: idx + 1, kind }),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders instructions back to assembly text (inverse of [`assemble`]).
+pub fn disassemble(program: &[PimInstruction]) -> String {
+    let mut s = String::new();
+    for inst in program {
+        s.push_str(&inst.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_program() {
+        let prog = assemble(
+            "# warm up
+             clr all
+             mac m0-3 sram @0x100 x32
+             wb m0,m2 mram @0x40
+
+             movx m4-7 mram @64 x8
+             gateoff all sram
+             barrier
+             halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 7);
+        assert_eq!(
+            prog[1],
+            PimInstruction::Mac {
+                modules: ModuleMask::range(0, 3),
+                mem: MemSelect::Sram,
+                addr: 0x100,
+                count: 32
+            }
+        );
+        assert_eq!(
+            prog[3],
+            PimInstruction::MoveInter {
+                modules: ModuleMask::range(4, 7),
+                mem: MemSelect::Mram,
+                addr: 64,
+                count: 8
+            }
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let prog = assemble(
+            "mac all mram @0xff x255
+             ldext m5 sram @0 x1
+             gateon m0-7 mram
+             nop",
+        )
+        .unwrap();
+        let text = disassemble(&prog);
+        assert_eq!(assemble(&text).unwrap(), prog);
+    }
+
+    #[test]
+    fn unknown_mnemonic() {
+        let err = assemble("frobnicate all").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn error_line_number() {
+        let err = assemble("nop\nnop\nmac bogus sram @0 x1").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, AsmErrorKind::BadMask(_)));
+    }
+
+    #[test]
+    fn bad_operands() {
+        assert!(matches!(
+            assemble("mac m0 flash @0 x1").unwrap_err().kind,
+            AsmErrorKind::BadMem(_)
+        ));
+        assert!(matches!(
+            assemble("mac m0 sram 0 x1").unwrap_err().kind,
+            AsmErrorKind::BadAddr(_)
+        ));
+        assert!(matches!(
+            assemble("mac m0 sram @0 x0").unwrap_err().kind,
+            AsmErrorKind::BadCount(_)
+        ));
+        assert!(matches!(
+            assemble("mac m0 sram @0 x999").unwrap_err().kind,
+            AsmErrorKind::BadCount(_)
+        ));
+        assert!(matches!(
+            assemble("mac m9 sram @0 x1").unwrap_err().kind,
+            AsmErrorKind::BadMask(_)
+        ));
+        assert!(matches!(
+            assemble("wb m0 sram").unwrap_err().kind,
+            AsmErrorKind::WrongArity { expected: 3, found: 2 }
+        ));
+        assert!(matches!(
+            assemble("barrier m0").unwrap_err().kind,
+            AsmErrorKind::WrongArity { expected: 0, found: 1 }
+        ));
+    }
+
+    #[test]
+    fn mask_combinations() {
+        let prog = assemble("clr m0,m2-4,m7").unwrap();
+        assert_eq!(prog[0].modules().bits(), 0b1001_1101);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = assemble("mac m0 sram @zz x1").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(err.to_string().contains("bad address"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Wire format: 64-bit PIM instruction words.
+//!
+//! Instructions travel from the host core to the PIM Instruction Queue
+//! over the 64-bit AXI data path, so the wire format is a single 64-bit
+//! word:
+//!
+//! ```text
+//!  63 62 | 61..56 | 55..48 | 47 | 46..40 | 39..24 | 23..16 | 15..0
+//!  cat   | opcode | mask   | mem| rsvd=0 | addr   | count  | rsvd=0
+//! ```
+//!
+//! Reserved fields must be zero; decoders reject anything else so that
+//! corrupted queue entries are caught instead of silently executed.
+
+use crate::inst::{Category, MemSelect, ModuleMask, PimInstruction};
+use core::fmt;
+
+const CAT_SHIFT: u32 = 62;
+const OP_SHIFT: u32 = 56;
+const MASK_SHIFT: u32 = 48;
+const MEM_SHIFT: u32 = 47;
+const RSVD_HI_SHIFT: u32 = 40;
+const ADDR_SHIFT: u32 = 24;
+const COUNT_SHIFT: u32 = 16;
+
+const CAT_COMPUTE: u64 = 0;
+const CAT_DATAMOVE: u64 = 1;
+const CAT_CONFIG: u64 = 2;
+const CAT_SYNC: u64 = 3;
+
+// Compute opcodes.
+const OP_MAC: u64 = 0;
+const OP_WRITEBACK: u64 = 1;
+const OP_CLEARACC: u64 = 2;
+// DataMove opcodes.
+const OP_MOVE_INTRA: u64 = 0;
+const OP_MOVE_INTER: u64 = 1;
+const OP_LOAD_EXT: u64 = 2;
+const OP_STORE_EXT: u64 = 3;
+// Config opcodes.
+const OP_GATE_OFF: u64 = 0;
+const OP_GATE_ON: u64 = 1;
+// Sync opcodes.
+const OP_NOP: u64 = 0;
+const OP_BARRIER: u64 = 1;
+const OP_HALT: u64 = 2;
+
+/// Errors produced when decoding an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode is reserved/unassigned in its category.
+    ReservedOpcode {
+        /// Raw category bits.
+        category: u8,
+        /// Raw opcode bits.
+        opcode: u8,
+    },
+    /// A reserved field held a non-zero value.
+    NonZeroReserved,
+    /// A module-targeting instruction had an empty module mask.
+    EmptyModuleMask,
+    /// A burst instruction had a zero count.
+    ZeroCount,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::ReservedOpcode { category, opcode } => {
+                write!(f, "reserved opcode {opcode} in category {category}")
+            }
+            DecodeError::NonZeroReserved => write!(f, "non-zero reserved field"),
+            DecodeError::EmptyModuleMask => write!(f, "empty module mask"),
+            DecodeError::ZeroCount => write!(f, "zero burst count"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn mem_bit(mem: MemSelect) -> u64 {
+    match mem {
+        MemSelect::Mram => 0,
+        MemSelect::Sram => 1,
+    }
+}
+
+fn pack(
+    cat: u64,
+    op: u64,
+    mask: ModuleMask,
+    mem: u64,
+    addr: u16,
+    count: u8,
+) -> u64 {
+    (cat << CAT_SHIFT)
+        | (op << OP_SHIFT)
+        | ((mask.bits() as u64) << MASK_SHIFT)
+        | (mem << MEM_SHIFT)
+        | ((addr as u64) << ADDR_SHIFT)
+        | ((count as u64) << COUNT_SHIFT)
+}
+
+/// Encodes an instruction into its 64-bit wire word.
+///
+/// # Panics
+///
+/// Panics if a burst instruction has `count == 0` or a module-targeting
+/// instruction has an empty mask — such instructions cannot be
+/// represented meaningfully and indicate a programming error upstream.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_isa::{encode, decode, PimInstruction, ModuleMask, MemSelect};
+/// let inst = PimInstruction::Mac {
+///     modules: ModuleMask::range(0, 3),
+///     mem: MemSelect::Sram,
+///     addr: 0x100,
+///     count: 32,
+/// };
+/// assert_eq!(decode(encode(inst)).unwrap(), inst);
+/// ```
+pub fn encode(inst: PimInstruction) -> u64 {
+    use PimInstruction::*;
+    let check_mask = |m: ModuleMask| {
+        assert!(!m.is_empty(), "module-targeting instruction needs a non-empty mask");
+        m
+    };
+    let check_count = |c: u8| {
+        assert!(c > 0, "burst instruction needs a non-zero count");
+        c
+    };
+    match inst {
+        Mac { modules, mem, addr, count } => pack(
+            CAT_COMPUTE,
+            OP_MAC,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            check_count(count),
+        ),
+        WriteBack { modules, mem, addr } => {
+            pack(CAT_COMPUTE, OP_WRITEBACK, check_mask(modules), mem_bit(mem), addr, 0)
+        }
+        ClearAcc { modules } => {
+            pack(CAT_COMPUTE, OP_CLEARACC, check_mask(modules), 0, 0, 0)
+        }
+        MoveIntra { modules, mem, addr, count } => pack(
+            CAT_DATAMOVE,
+            OP_MOVE_INTRA,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            check_count(count),
+        ),
+        MoveInter { modules, mem, addr, count } => pack(
+            CAT_DATAMOVE,
+            OP_MOVE_INTER,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            check_count(count),
+        ),
+        LoadExt { modules, mem, addr, count } => pack(
+            CAT_DATAMOVE,
+            OP_LOAD_EXT,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            check_count(count),
+        ),
+        StoreExt { modules, mem, addr, count } => pack(
+            CAT_DATAMOVE,
+            OP_STORE_EXT,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            check_count(count),
+        ),
+        GateOff { modules, mem } => {
+            pack(CAT_CONFIG, OP_GATE_OFF, check_mask(modules), mem_bit(mem), 0, 0)
+        }
+        GateOn { modules, mem } => {
+            pack(CAT_CONFIG, OP_GATE_ON, check_mask(modules), mem_bit(mem), 0, 0)
+        }
+        Nop => pack(CAT_SYNC, OP_NOP, ModuleMask::empty(), 0, 0, 0),
+        Barrier => pack(CAT_SYNC, OP_BARRIER, ModuleMask::empty(), 0, 0, 0),
+        Halt => pack(CAT_SYNC, OP_HALT, ModuleMask::empty(), 0, 0, 0),
+    }
+}
+
+/// Decodes a 64-bit wire word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for reserved opcodes, non-zero reserved
+/// fields, empty module masks on module-targeting instructions, or zero
+/// counts on burst instructions.
+pub fn decode(word: u64) -> Result<PimInstruction, DecodeError> {
+    let cat = (word >> CAT_SHIFT) & 0b11;
+    let op = (word >> OP_SHIFT) & 0b11_1111;
+    let mask = ModuleMask::from_bits(((word >> MASK_SHIFT) & 0xFF) as u8);
+    let mem = if (word >> MEM_SHIFT) & 1 == 1 { MemSelect::Sram } else { MemSelect::Mram };
+    let rsvd_hi = (word >> RSVD_HI_SHIFT) & 0x7F;
+    let addr = ((word >> ADDR_SHIFT) & 0xFFFF) as u16;
+    let count = ((word >> COUNT_SHIFT) & 0xFF) as u8;
+    let rsvd_lo = word & 0xFFFF;
+
+    if rsvd_hi != 0 || rsvd_lo != 0 {
+        return Err(DecodeError::NonZeroReserved);
+    }
+    let need_mask = || {
+        if mask.is_empty() {
+            Err(DecodeError::EmptyModuleMask)
+        } else {
+            Ok(mask)
+        }
+    };
+    let need_count = || {
+        if count == 0 {
+            Err(DecodeError::ZeroCount)
+        } else {
+            Ok(count)
+        }
+    };
+
+    use PimInstruction::*;
+    let inst = match (cat, op) {
+        (CAT_COMPUTE, OP_MAC) => {
+            Mac { modules: need_mask()?, mem, addr, count: need_count()? }
+        }
+        (CAT_COMPUTE, OP_WRITEBACK) => WriteBack { modules: need_mask()?, mem, addr },
+        (CAT_COMPUTE, OP_CLEARACC) => ClearAcc { modules: need_mask()? },
+        (CAT_DATAMOVE, OP_MOVE_INTRA) => {
+            MoveIntra { modules: need_mask()?, mem, addr, count: need_count()? }
+        }
+        (CAT_DATAMOVE, OP_MOVE_INTER) => {
+            MoveInter { modules: need_mask()?, mem, addr, count: need_count()? }
+        }
+        (CAT_DATAMOVE, OP_LOAD_EXT) => {
+            LoadExt { modules: need_mask()?, mem, addr, count: need_count()? }
+        }
+        (CAT_DATAMOVE, OP_STORE_EXT) => {
+            StoreExt { modules: need_mask()?, mem, addr, count: need_count()? }
+        }
+        (CAT_CONFIG, OP_GATE_OFF) => GateOff { modules: need_mask()?, mem },
+        (CAT_CONFIG, OP_GATE_ON) => GateOn { modules: need_mask()?, mem },
+        (CAT_SYNC, OP_NOP) => Nop,
+        (CAT_SYNC, OP_BARRIER) => Barrier,
+        (CAT_SYNC, OP_HALT) => Halt,
+        (cat, op) => {
+            return Err(DecodeError::ReservedOpcode { category: cat as u8, opcode: op as u8 })
+        }
+    };
+    // Category cross-check: the enum's own classification must agree
+    // with the wire category (guards against table skew).
+    let expected = match inst.category() {
+        Category::Compute => CAT_COMPUTE,
+        Category::DataMove => CAT_DATAMOVE,
+        Category::Config => CAT_CONFIG,
+        Category::Sync => CAT_SYNC,
+    };
+    debug_assert_eq!(expected, cat);
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<PimInstruction> {
+        use PimInstruction::*;
+        let m = ModuleMask::range(0, 3);
+        vec![
+            Mac { modules: m, mem: MemSelect::Mram, addr: 0xBEEF, count: 255 },
+            Mac { modules: ModuleMask::single(7), mem: MemSelect::Sram, addr: 0, count: 1 },
+            WriteBack { modules: m, mem: MemSelect::Sram, addr: 0x1234 },
+            ClearAcc { modules: ModuleMask::all() },
+            MoveIntra { modules: m, mem: MemSelect::Mram, addr: 0x10, count: 64 },
+            MoveInter { modules: m, mem: MemSelect::Sram, addr: 0x20, count: 128 },
+            LoadExt { modules: m, mem: MemSelect::Mram, addr: 0xFFFF, count: 8 },
+            StoreExt { modules: m, mem: MemSelect::Sram, addr: 0xAAAA, count: 16 },
+            GateOff { modules: m, mem: MemSelect::Sram },
+            GateOn { modules: ModuleMask::all(), mem: MemSelect::Mram },
+            Nop,
+            Barrier,
+            Halt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for inst in sample_instructions() {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "roundtrip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn reserved_opcode_rejected() {
+        // Category Compute, opcode 63.
+        let word = 63u64 << OP_SHIFT | 1 << MASK_SHIFT;
+        assert_eq!(
+            decode(word),
+            Err(DecodeError::ReservedOpcode { category: 0, opcode: 63 })
+        );
+    }
+
+    #[test]
+    fn nonzero_reserved_rejected() {
+        let good = encode(PimInstruction::Nop);
+        assert_eq!(decode(good | 1), Err(DecodeError::NonZeroReserved));
+        assert_eq!(decode(good | (1 << RSVD_HI_SHIFT)), Err(DecodeError::NonZeroReserved));
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        // MAC with empty mask, non-zero count.
+        let word = pack(CAT_COMPUTE, OP_MAC, ModuleMask::empty(), 0, 0, 1);
+        assert_eq!(decode(word), Err(DecodeError::EmptyModuleMask));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let word = pack(CAT_COMPUTE, OP_MAC, ModuleMask::all(), 0, 0, 0);
+        assert_eq!(decode(word), Err(DecodeError::ZeroCount));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero count")]
+    fn encode_rejects_zero_count() {
+        encode(PimInstruction::Mac {
+            modules: ModuleMask::all(),
+            mem: MemSelect::Sram,
+            addr: 0,
+            count: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty mask")]
+    fn encode_rejects_empty_mask() {
+        encode(PimInstruction::ClearAcc { modules: ModuleMask::empty() });
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(DecodeError::ZeroCount.to_string(), "zero burst count");
+        assert!(DecodeError::ReservedOpcode { category: 1, opcode: 9 }
+            .to_string()
+            .contains("category 1"));
+    }
+}

@@ -1,0 +1,376 @@
+//! High-level PIM instruction representation.
+//!
+//! The paper's controllers decode dedicated PIM instructions into a
+//! *Category*, an *Instruction Field* (opcode, operands, address) and a
+//! *Module Select Signal*. This module defines that vocabulary; the wire
+//! format lives in [`crate::encode`].
+
+use core::fmt;
+
+/// Which of the (up to 8) PIM modules in a cluster an instruction targets.
+///
+/// Bit `i` selects module `i`. The paper's Command Encoder fans one
+/// decoded instruction out to every selected module.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_isa::ModuleMask;
+/// let mask = ModuleMask::from_bits(0b0000_0101);
+/// assert!(mask.contains(0));
+/// assert!(!mask.contains(1));
+/// assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 2]);
+/// assert_eq!(ModuleMask::all().count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleMask(u8);
+
+impl ModuleMask {
+    /// Maximum number of modules addressable per cluster.
+    pub const MAX_MODULES: u8 = 8;
+
+    /// An empty mask (targets nothing; only valid for Sync category).
+    pub const fn empty() -> Self {
+        ModuleMask(0)
+    }
+
+    /// Selects all 8 modules.
+    pub const fn all() -> Self {
+        ModuleMask(0xFF)
+    }
+
+    /// Creates a mask from raw bits.
+    pub const fn from_bits(bits: u8) -> Self {
+        ModuleMask(bits)
+    }
+
+    /// Selects a single module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn single(index: u8) -> Self {
+        assert!(index < Self::MAX_MODULES, "module index {index} out of range");
+        ModuleMask(1 << index)
+    }
+
+    /// Selects the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi >= 8` or `lo > hi`.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        assert!(hi < Self::MAX_MODULES && lo <= hi, "invalid module range {lo}-{hi}");
+        let width = hi - lo + 1;
+        let bits = if width == 8 { 0xFF } else { ((1u16 << width) - 1) as u8 } << lo;
+        ModuleMask(bits)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether module `index` is selected.
+    pub const fn contains(self, index: u8) -> bool {
+        index < Self::MAX_MODULES && (self.0 >> index) & 1 == 1
+    }
+
+    /// Number of selected modules.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no module is selected.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates selected module indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..Self::MAX_MODULES).filter(move |&i| self.contains(i))
+    }
+
+    /// Union of two masks.
+    pub const fn union(self, other: ModuleMask) -> ModuleMask {
+        ModuleMask(self.0 | other.0)
+    }
+}
+
+impl fmt::Display for ModuleMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0xFF {
+            return write!(f, "all");
+        }
+        if self.0 == 0 {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "m{i}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Which memory inside a PIM module an instruction addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSelect {
+    /// The module's non-volatile MRAM bank.
+    Mram,
+    /// The module's SRAM bank.
+    Sram,
+}
+
+impl fmt::Display for MemSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSelect::Mram => write!(f, "mram"),
+            MemSelect::Sram => write!(f, "sram"),
+        }
+    }
+}
+
+/// Instruction category (2-bit field in the wire format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// MAC/accumulator operations executed by module PEs.
+    Compute,
+    /// Data movement within and between modules.
+    DataMove,
+    /// Power gating and module configuration.
+    Config,
+    /// Barriers and control.
+    Sync,
+}
+
+/// A decoded PIM instruction.
+///
+/// Word addresses (`addr`) index 8-bit weight words inside the selected
+/// bank; `count` is a burst length in words or MAC operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimInstruction {
+    /// Perform `count` multiply-accumulate operations, reading operands
+    /// from `mem` starting at `addr`, on every selected module.
+    Mac {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Operand source bank.
+        mem: MemSelect,
+        /// Starting word address.
+        addr: u16,
+        /// Number of MACs (1..=128).
+        count: u8,
+    },
+    /// Write each selected module's accumulator to `mem` at `addr`.
+    WriteBack {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Destination bank.
+        mem: MemSelect,
+        /// Destination word address.
+        addr: u16,
+    },
+    /// Clear each selected module's accumulator.
+    ClearAcc {
+        /// Target modules.
+        modules: ModuleMask,
+    },
+    /// Copy `count` words from one bank to the other inside each selected
+    /// module (MRAM→SRAM if `mem` is `Mram`, else SRAM→MRAM).
+    MoveIntra {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Source bank.
+        mem: MemSelect,
+        /// Source word address (destination uses the same address).
+        addr: u16,
+        /// Words to move.
+        count: u8,
+    },
+    /// Export `count` words from the selected modules of *this* cluster
+    /// into the Data Rearrange Buffer, destined for the opposite cluster.
+    MoveInter {
+        /// Source modules in this cluster.
+        modules: ModuleMask,
+        /// Source bank.
+        mem: MemSelect,
+        /// Source word address.
+        addr: u16,
+        /// Words to move per module.
+        count: u8,
+    },
+    /// Load `count` words from system memory into `mem` at `addr`.
+    LoadExt {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Destination bank.
+        mem: MemSelect,
+        /// Destination word address.
+        addr: u16,
+        /// Words to load.
+        count: u8,
+    },
+    /// Store `count` words from `mem` at `addr` to system memory.
+    StoreExt {
+        /// Source modules.
+        modules: ModuleMask,
+        /// Source bank.
+        mem: MemSelect,
+        /// Source word address.
+        addr: u16,
+        /// Words to store.
+        count: u8,
+    },
+    /// Power-gate the selected bank of the selected modules.
+    GateOff {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Bank to gate.
+        mem: MemSelect,
+    },
+    /// Wake the selected bank of the selected modules.
+    GateOn {
+        /// Target modules.
+        modules: ModuleMask,
+        /// Bank to wake.
+        mem: MemSelect,
+    },
+    /// Wait until every in-flight operation in the cluster retires.
+    Barrier,
+    /// Stop fetching; the controller idles until new work arrives.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl PimInstruction {
+    /// The instruction's category.
+    pub fn category(&self) -> Category {
+        use PimInstruction::*;
+        match self {
+            Mac { .. } | WriteBack { .. } | ClearAcc { .. } => Category::Compute,
+            MoveIntra { .. } | MoveInter { .. } | LoadExt { .. } | StoreExt { .. } => {
+                Category::DataMove
+            }
+            GateOff { .. } | GateOn { .. } => Category::Config,
+            Barrier | Halt | Nop => Category::Sync,
+        }
+    }
+
+    /// The module-select signal (empty for Sync instructions).
+    pub fn modules(&self) -> ModuleMask {
+        use PimInstruction::*;
+        match *self {
+            Mac { modules, .. }
+            | WriteBack { modules, .. }
+            | ClearAcc { modules }
+            | MoveIntra { modules, .. }
+            | MoveInter { modules, .. }
+            | LoadExt { modules, .. }
+            | StoreExt { modules, .. }
+            | GateOff { modules, .. }
+            | GateOn { modules, .. } => modules,
+            Barrier | Halt | Nop => ModuleMask::empty(),
+        }
+    }
+}
+
+impl fmt::Display for PimInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PimInstruction::*;
+        match *self {
+            Mac { modules, mem, addr, count } => {
+                write!(f, "mac {modules} {mem} @{addr:#x} x{count}")
+            }
+            WriteBack { modules, mem, addr } => write!(f, "wb {modules} {mem} @{addr:#x}"),
+            ClearAcc { modules } => write!(f, "clr {modules}"),
+            MoveIntra { modules, mem, addr, count } => {
+                write!(f, "movi {modules} {mem} @{addr:#x} x{count}")
+            }
+            MoveInter { modules, mem, addr, count } => {
+                write!(f, "movx {modules} {mem} @{addr:#x} x{count}")
+            }
+            LoadExt { modules, mem, addr, count } => {
+                write!(f, "ldext {modules} {mem} @{addr:#x} x{count}")
+            }
+            StoreExt { modules, mem, addr, count } => {
+                write!(f, "stext {modules} {mem} @{addr:#x} x{count}")
+            }
+            GateOff { modules, mem } => write!(f, "gateoff {modules} {mem}"),
+            GateOn { modules, mem } => write!(f, "gateon {modules} {mem}"),
+            Barrier => write!(f, "barrier"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_constructors() {
+        assert_eq!(ModuleMask::single(3).bits(), 0b0000_1000);
+        assert_eq!(ModuleMask::range(0, 3).bits(), 0b0000_1111);
+        assert_eq!(ModuleMask::range(4, 7).bits(), 0b1111_0000);
+        assert_eq!(ModuleMask::range(0, 7), ModuleMask::all());
+        assert_eq!(ModuleMask::single(1).union(ModuleMask::single(4)).bits(), 0b0001_0010);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_single_out_of_range() {
+        ModuleMask::single(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid module range")]
+    fn mask_bad_range() {
+        ModuleMask::range(5, 2);
+    }
+
+    #[test]
+    fn mask_display() {
+        assert_eq!(ModuleMask::all().to_string(), "all");
+        assert_eq!(ModuleMask::empty().to_string(), "none");
+        assert_eq!(ModuleMask::from_bits(0b101).to_string(), "m0,m2");
+    }
+
+    #[test]
+    fn categories() {
+        let m = ModuleMask::all();
+        assert_eq!(
+            PimInstruction::Mac { modules: m, mem: MemSelect::Sram, addr: 0, count: 1 }
+                .category(),
+            Category::Compute
+        );
+        assert_eq!(
+            PimInstruction::LoadExt { modules: m, mem: MemSelect::Mram, addr: 0, count: 1 }
+                .category(),
+            Category::DataMove
+        );
+        assert_eq!(
+            PimInstruction::GateOff { modules: m, mem: MemSelect::Sram }.category(),
+            Category::Config
+        );
+        assert_eq!(PimInstruction::Barrier.category(), Category::Sync);
+        assert_eq!(PimInstruction::Barrier.modules(), ModuleMask::empty());
+    }
+
+    #[test]
+    fn display_round() {
+        let i = PimInstruction::Mac {
+            modules: ModuleMask::range(0, 3),
+            mem: MemSelect::Sram,
+            addr: 0x20,
+            count: 16,
+        };
+        assert_eq!(i.to_string(), "mac m0,m1,m2,m3 sram @0x20 x16");
+    }
+}

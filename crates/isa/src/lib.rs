@@ -1,0 +1,42 @@
+//! # hhpim-isa — the dedicated PIM instruction set
+//!
+//! HH-PIM "operat[es] based on dedicated PIM instructions" queued from
+//! the processor core (paper, §II). This crate defines that instruction
+//! set, independent of any timing or technology model:
+//!
+//! * [`PimInstruction`] — the decoded form, with [`Category`],
+//!   [`ModuleMask`] (the Module Select Signal) and [`MemSelect`],
+//! * [`encode`] / [`decode`] — the 64-bit wire format with strict
+//!   validation of reserved fields,
+//! * [`assemble`] / [`disassemble`] — a text assembler whose syntax
+//!   round-trips through `Display`,
+//! * [`InstructionQueue`] — the bounded PIM Instruction Queue sitting
+//!   between the host interface and the controllers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim_isa::{assemble, encode, decode};
+//!
+//! let program = assemble("
+//!     clr all
+//!     mac m0-3 mram @0x0 x64
+//!     barrier
+//! ").unwrap();
+//! for inst in &program {
+//!     assert_eq!(decode(encode(*inst)).unwrap(), *inst);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod queue;
+
+pub use asm::{assemble, disassemble, AsmError, AsmErrorKind};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{Category, MemSelect, ModuleMask, PimInstruction};
+pub use queue::{InstructionQueue, QueueFullError};

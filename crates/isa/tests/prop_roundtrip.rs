@@ -1,0 +1,95 @@
+//! Property tests: every representable instruction survives both the
+//! wire-format round trip and the assembler round trip, and the decoder
+//! never panics on arbitrary 64-bit garbage.
+
+use hhpim_isa::{assemble, decode, encode, MemSelect, ModuleMask, PimInstruction};
+use proptest::prelude::*;
+
+fn mask_strategy() -> impl Strategy<Value = ModuleMask> {
+    (1u8..=u8::MAX).prop_map(ModuleMask::from_bits)
+}
+
+fn mem_strategy() -> impl Strategy<Value = MemSelect> {
+    prop_oneof![Just(MemSelect::Mram), Just(MemSelect::Sram)]
+}
+
+fn burst() -> impl Strategy<Value = (ModuleMask, MemSelect, u16, u8)> {
+    (mask_strategy(), mem_strategy(), any::<u16>(), 1u8..=u8::MAX)
+}
+
+fn inst_strategy() -> impl Strategy<Value = PimInstruction> {
+    prop_oneof![
+        burst().prop_map(|(modules, mem, addr, count)| PimInstruction::Mac {
+            modules,
+            mem,
+            addr,
+            count
+        }),
+        (mask_strategy(), mem_strategy(), any::<u16>()).prop_map(|(modules, mem, addr)| {
+            PimInstruction::WriteBack { modules, mem, addr }
+        }),
+        mask_strategy().prop_map(|modules| PimInstruction::ClearAcc { modules }),
+        burst().prop_map(|(modules, mem, addr, count)| PimInstruction::MoveIntra {
+            modules,
+            mem,
+            addr,
+            count
+        }),
+        burst().prop_map(|(modules, mem, addr, count)| PimInstruction::MoveInter {
+            modules,
+            mem,
+            addr,
+            count
+        }),
+        burst().prop_map(|(modules, mem, addr, count)| PimInstruction::LoadExt {
+            modules,
+            mem,
+            addr,
+            count
+        }),
+        burst().prop_map(|(modules, mem, addr, count)| PimInstruction::StoreExt {
+            modules,
+            mem,
+            addr,
+            count
+        }),
+        (mask_strategy(), mem_strategy())
+            .prop_map(|(modules, mem)| PimInstruction::GateOff { modules, mem }),
+        (mask_strategy(), mem_strategy())
+            .prop_map(|(modules, mem)| PimInstruction::GateOn { modules, mem }),
+        Just(PimInstruction::Barrier),
+        Just(PimInstruction::Halt),
+        Just(PimInstruction::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip(inst in inst_strategy()) {
+        let word = encode(inst);
+        prop_assert_eq!(decode(word), Ok(inst));
+    }
+
+    #[test]
+    fn assembler_roundtrip(inst in inst_strategy()) {
+        let text = inst.to_string();
+        let parsed = assemble(&text).unwrap();
+        prop_assert_eq!(parsed, vec![inst]);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        // Arbitrary garbage must yield Ok or Err, never a panic; and
+        // anything that decodes must re-encode to the same word.
+        if let Ok(inst) = decode(word) {
+            prop_assert_eq!(encode(inst), word);
+        }
+    }
+
+    #[test]
+    fn category_is_stable_under_roundtrip(inst in inst_strategy()) {
+        let decoded = decode(encode(inst)).unwrap();
+        prop_assert_eq!(decoded.category(), inst.category());
+        prop_assert_eq!(decoded.modules().bits(), inst.modules().bits());
+    }
+}

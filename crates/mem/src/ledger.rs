@@ -1,0 +1,184 @@
+//! Energy bookkeeping by category.
+//!
+//! Every experiment in the paper reports *energy breakdowns* (dynamic vs
+//! static, per memory type, per cluster). [`EnergyLedger`] is a generic
+//! accumulator keyed by a caller-chosen category type so each layer of
+//! the stack can account in its own vocabulary.
+
+use crate::energy::Energy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An energy accumulator keyed by category `K`.
+///
+/// Backed by a `BTreeMap` so iteration order (and therefore report
+/// output) is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_mem::{Energy, EnergyLedger};
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// enum Cat { DynRead, Static }
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.add(Cat::DynRead, Energy::from_pj(570.0));
+/// ledger.add(Cat::DynRead, Energy::from_pj(570.0));
+/// ledger.add(Cat::Static, Energy::from_nj(1.0));
+/// assert_eq!(ledger.get(Cat::DynRead).as_pj(), 1140.0);
+/// assert_eq!(ledger.total().as_pj(), 2140.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyLedger<K: Ord> {
+    entries: BTreeMap<K, Energy>,
+}
+
+impl<K: Ord> EnergyLedger<K> {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger { entries: BTreeMap::new() }
+    }
+
+    /// Adds energy under a category.
+    pub fn add(&mut self, category: K, energy: Energy) {
+        *self.entries.entry(category).or_insert(Energy::ZERO) += energy;
+    }
+
+    /// Energy recorded under `category` (zero if absent).
+    pub fn get(&self, category: K) -> Energy {
+        self.entries.get(&category).copied().unwrap_or(Energy::ZERO)
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> Energy {
+        self.entries.values().copied().sum()
+    }
+
+    /// Number of distinct categories recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(category, energy)` pairs in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, Energy)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger<K>)
+    where
+        K: Clone,
+    {
+        for (k, v) in other.iter() {
+            self.add(k.clone(), v);
+        }
+    }
+
+    /// Sum of energies whose category satisfies `pred`.
+    pub fn total_where(&self, mut pred: impl FnMut(&K) -> bool) -> Energy {
+        self.entries.iter().filter(|(k, _)| pred(k)).map(|(_, &v)| v).sum()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<K: Ord + fmt::Debug> fmt::Display for EnergyLedger<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "(empty ledger)");
+        }
+        for (k, v) in &self.entries {
+            writeln!(f, "{k:?}: {v}")?;
+        }
+        write!(f, "total: {}", self.total())
+    }
+}
+
+impl<K: Ord> FromIterator<(K, Energy)> for EnergyLedger<K> {
+    fn from_iter<I: IntoIterator<Item = (K, Energy)>>(iter: I) -> Self {
+        let mut ledger = EnergyLedger::new();
+        for (k, v) in iter {
+            ledger.add(k, v);
+        }
+        ledger
+    }
+}
+
+impl<K: Ord> Extend<(K, Energy)> for EnergyLedger<K> {
+    fn extend<I: IntoIterator<Item = (K, Energy)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut l = EnergyLedger::new();
+        l.add("read", Energy::from_pj(1.0));
+        l.add("read", Energy::from_pj(2.0));
+        l.add("write", Energy::from_pj(4.0));
+        assert_eq!(l.get("read").as_pj(), 3.0);
+        assert_eq!(l.get("missing"), Energy::ZERO);
+        assert_eq!(l.total().as_pj(), 7.0);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn merge_adds_categories() {
+        let mut a: EnergyLedger<&str> =
+            [("x", Energy::from_pj(1.0))].into_iter().collect();
+        let b: EnergyLedger<&str> =
+            [("x", Energy::from_pj(2.0)), ("y", Energy::from_pj(5.0))].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get("x").as_pj(), 3.0);
+        assert_eq!(a.get("y").as_pj(), 5.0);
+    }
+
+    #[test]
+    fn total_where_filters() {
+        let l: EnergyLedger<u32> = (1..=4).map(|i| (i, Energy::from_pj(i as f64))).collect();
+        assert_eq!(l.total_where(|&k| k % 2 == 0).as_pj(), 6.0);
+    }
+
+    #[test]
+    fn display_deterministic() {
+        let mut l = EnergyLedger::new();
+        l.add("b", Energy::from_pj(2.0));
+        l.add("a", Energy::from_pj(1.0));
+        let s = l.to_string();
+        let a_pos = s.find("\"a\"").unwrap();
+        let b_pos = s.find("\"b\"").unwrap();
+        assert!(a_pos < b_pos, "BTreeMap ordering must hold in display");
+        assert!(s.ends_with("total: 3.000pJ"));
+    }
+
+    #[test]
+    fn empty_display() {
+        let l: EnergyLedger<u8> = EnergyLedger::new();
+        assert_eq!(l.to_string(), "(empty ledger)");
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut l = EnergyLedger::new();
+        l.extend([(1u8, Energy::from_pj(1.0)), (1, Energy::from_pj(1.0))]);
+        assert_eq!(l.get(1).as_pj(), 2.0);
+        l.clear();
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! Memory and PE technology parameters (Tables III and V of the paper).
+//!
+//! The paper obtains these numbers from NVSim at a 45 nm node, with the
+//! HP cluster at **1.2 V** and the LP cluster at **0.8 V** (the LP-MRAM
+//! point follows fabricated STT-MRAM chip specs). We embed the published
+//! values verbatim and provide an NVSim-like interpolation model for
+//! other supply voltages (used only by sweep ablations).
+
+use crate::energy::{Energy, Power};
+use hhpim_sim::SimDuration;
+use std::fmt;
+
+/// Memory technology family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemKind {
+    /// Volatile SRAM: fast, high leakage, loses contents when gated.
+    Sram,
+    /// Non-volatile STT-MRAM: slower/costlier access, tiny leakage,
+    /// retains contents when power-gated.
+    Mram,
+}
+
+impl MemKind {
+    /// Whether the technology retains data without power.
+    pub const fn is_non_volatile(self) -> bool {
+        matches!(self, MemKind::Mram)
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Sram => write!(f, "SRAM"),
+            MemKind::Mram => write!(f, "MRAM"),
+        }
+    }
+}
+
+/// Cluster voltage/performance class (the two halves of HH-PIM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClusterClass {
+    /// High-performance cluster (Vdd = 1.2 V).
+    HighPerformance,
+    /// Low-power cluster (Vdd = 0.8 V).
+    LowPower,
+}
+
+impl ClusterClass {
+    /// Supply voltage of this class, in volts.
+    pub const fn vdd(self) -> f64 {
+        match self {
+            ClusterClass::HighPerformance => 1.2,
+            ClusterClass::LowPower => 0.8,
+        }
+    }
+
+    /// Short label used in reports ("HP"/"LP").
+    pub const fn label(self) -> &'static str {
+        match self {
+            ClusterClass::HighPerformance => "HP",
+            ClusterClass::LowPower => "LP",
+        }
+    }
+
+    /// Both classes, HP first (matches the paper's table ordering).
+    pub const ALL: [ClusterClass; 2] =
+        [ClusterClass::HighPerformance, ClusterClass::LowPower];
+}
+
+impl fmt::Display for ClusterClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Read/write access latencies (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Read latency.
+    pub read: SimDuration,
+    /// Write latency.
+    pub write: SimDuration,
+}
+
+impl AccessTiming {
+    /// Creates timings from fractional nanoseconds.
+    pub fn from_ns(read: f64, write: f64) -> Self {
+        AccessTiming {
+            read: SimDuration::from_ns_f64(read),
+            write: SimDuration::from_ns_f64(write),
+        }
+    }
+}
+
+/// Dynamic and static power (Table V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Power drawn during a read access.
+    pub dynamic_read: Power,
+    /// Power drawn during a write access.
+    pub dynamic_write: Power,
+    /// Leakage power while powered on (per 64 kB module bank).
+    pub static_power: Power,
+}
+
+impl PowerProfile {
+    /// Creates a profile from milliwatt values.
+    pub fn from_mw(dynamic_read: f64, dynamic_write: f64, static_power: f64) -> Self {
+        PowerProfile {
+            dynamic_read: Power::from_mw(dynamic_read),
+            dynamic_write: Power::from_mw(dynamic_write),
+            static_power: Power::from_mw(static_power),
+        }
+    }
+}
+
+/// Reference capacity for which [`PowerProfile::static_power`] is quoted:
+/// the paper's PIM modules each hold 64 kB per memory type.
+pub const REFERENCE_BANK_BYTES: usize = 64 * 1024;
+
+/// A complete memory technology operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryTech {
+    /// Technology family.
+    pub kind: MemKind,
+    /// Cluster class (fixes the supply voltage).
+    pub class: ClusterClass,
+    /// Access latencies.
+    pub timing: AccessTiming,
+    /// Power profile (static power per 64 kB).
+    pub power: PowerProfile,
+}
+
+impl MemoryTech {
+    /// Energy of a single read access (dynamic only).
+    pub fn read_energy(&self) -> Energy {
+        self.power.dynamic_read * self.timing.read
+    }
+
+    /// Energy of a single write access (dynamic only).
+    pub fn write_energy(&self) -> Energy {
+        self.power.dynamic_write * self.timing.write
+    }
+
+    /// Leakage power for a bank of `bytes` capacity, scaled linearly from
+    /// the 64 kB reference of Table V.
+    pub fn static_power_for(&self, bytes: usize) -> Power {
+        self.power.static_power * (bytes as f64 / REFERENCE_BANK_BYTES as f64)
+    }
+
+    /// Display name such as `"HP-MRAM"`.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.class.label(), self.kind)
+    }
+}
+
+/// Processing-element (PE) operating point (Tables III and V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeTech {
+    /// Cluster class.
+    pub class: ClusterClass,
+    /// Latency of one MAC operation.
+    pub mac_latency: SimDuration,
+    /// Power drawn while computing.
+    pub dynamic: Power,
+    /// Leakage power while powered on.
+    pub static_power: Power,
+}
+
+impl PeTech {
+    /// Energy of a single MAC operation (dynamic only).
+    pub fn mac_energy(&self) -> Energy {
+        self.dynamic * self.mac_latency
+    }
+}
+
+/// HP-cluster SRAM at 1.2 V (Tables III & V).
+pub fn hp_sram() -> MemoryTech {
+    MemoryTech {
+        kind: MemKind::Sram,
+        class: ClusterClass::HighPerformance,
+        timing: AccessTiming::from_ns(1.12, 1.12),
+        power: PowerProfile::from_mw(508.93, 500.0, 23.29),
+    }
+}
+
+/// HP-cluster STT-MRAM at 1.2 V (Tables III & V).
+pub fn hp_mram() -> MemoryTech {
+    MemoryTech {
+        kind: MemKind::Mram,
+        class: ClusterClass::HighPerformance,
+        timing: AccessTiming::from_ns(2.62, 11.81),
+        power: PowerProfile::from_mw(428.48, 133.78, 2.98),
+    }
+}
+
+/// LP-cluster SRAM at 0.8 V (Tables III & V).
+pub fn lp_sram() -> MemoryTech {
+    MemoryTech {
+        kind: MemKind::Sram,
+        class: ClusterClass::LowPower,
+        timing: AccessTiming::from_ns(1.41, 1.41),
+        power: PowerProfile::from_mw(177.3, 177.3, 5.45),
+    }
+}
+
+/// LP-cluster STT-MRAM at 0.8 V (Tables III & V).
+pub fn lp_mram() -> MemoryTech {
+    MemoryTech {
+        kind: MemKind::Mram,
+        class: ClusterClass::LowPower,
+        timing: AccessTiming::from_ns(2.96, 14.65),
+        power: PowerProfile::from_mw(179.05, 47.78, 0.84),
+    }
+}
+
+/// HP-cluster PE at 1.2 V (Tables III & V).
+pub fn hp_pe() -> PeTech {
+    PeTech {
+        class: ClusterClass::HighPerformance,
+        mac_latency: SimDuration::from_ns_f64(5.52),
+        dynamic: Power::from_mw(0.9),
+        static_power: Power::from_mw(0.48),
+    }
+}
+
+/// LP-cluster PE at 0.8 V (Tables III & V).
+pub fn lp_pe() -> PeTech {
+    PeTech {
+        class: ClusterClass::LowPower,
+        mac_latency: SimDuration::from_ns_f64(10.68),
+        dynamic: Power::from_mw(0.51),
+        static_power: Power::from_mw(0.25),
+    }
+}
+
+/// Looks up the published technology for a `(class, kind)` pair.
+pub fn tech_for(class: ClusterClass, kind: MemKind) -> MemoryTech {
+    match (class, kind) {
+        (ClusterClass::HighPerformance, MemKind::Sram) => hp_sram(),
+        (ClusterClass::HighPerformance, MemKind::Mram) => hp_mram(),
+        (ClusterClass::LowPower, MemKind::Sram) => lp_sram(),
+        (ClusterClass::LowPower, MemKind::Mram) => lp_mram(),
+    }
+}
+
+/// Looks up the published PE parameters for a cluster class.
+pub fn pe_for(class: ClusterClass) -> PeTech {
+    match class {
+        ClusterClass::HighPerformance => hp_pe(),
+        ClusterClass::LowPower => lp_pe(),
+    }
+}
+
+/// NVSim-like voltage interpolation between the two published operating
+/// points (1.2 V and 0.8 V).
+///
+/// The paper only evaluates the two voltages above; this model supports
+/// *sweep ablations* at other supply points. Latency and power are
+/// interpolated log-linearly in Vdd between the published HP and LP
+/// values of the same memory kind, which reproduces the published points
+/// exactly and captures the qualitative trend (lower Vdd → slower,
+/// lower-power) in between.
+///
+/// # Panics
+///
+/// Panics if `vdd` is outside `[0.6, 1.4]` (far outside the validity of
+/// any interpolation against the published anchors).
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_mem::{tech_at_vdd, MemKind};
+/// let mid = tech_at_vdd(MemKind::Sram, 1.0);
+/// let hp = hhpim_mem::hp_sram();
+/// let lp = hhpim_mem::lp_sram();
+/// assert!(mid.timing.read > hp.timing.read);
+/// assert!(mid.timing.read < lp.timing.read);
+/// ```
+pub fn tech_at_vdd(kind: MemKind, vdd: f64) -> MemoryTech {
+    assert!(
+        (0.6..=1.4).contains(&vdd),
+        "vdd {vdd} V outside supported interpolation range [0.6, 1.4]"
+    );
+    let (hi, lo) = match kind {
+        MemKind::Sram => (hp_sram(), lp_sram()),
+        MemKind::Mram => (hp_mram(), lp_mram()),
+    };
+    let (v_hi, v_lo) = (ClusterClass::HighPerformance.vdd(), ClusterClass::LowPower.vdd());
+    // Log-linear interpolation coordinate in vdd.
+    let t = (vdd - v_lo) / (v_hi - v_lo);
+    let lerp_log = |a: f64, b: f64| -> f64 {
+        // a at v_lo, b at v_hi; both strictly positive for all our params.
+        (a.ln() + t * (b.ln() - a.ln())).exp()
+    };
+    let class = if vdd >= 1.0 { ClusterClass::HighPerformance } else { ClusterClass::LowPower };
+    MemoryTech {
+        kind,
+        class,
+        timing: AccessTiming::from_ns(
+            lerp_log(lo.timing.read.as_ns_f64(), hi.timing.read.as_ns_f64()),
+            lerp_log(lo.timing.write.as_ns_f64(), hi.timing.write.as_ns_f64()),
+        ),
+        power: PowerProfile::from_mw(
+            lerp_log(lo.power.dynamic_read.as_mw(), hi.power.dynamic_read.as_mw()),
+            lerp_log(lo.power.dynamic_write.as_mw(), hi.power.dynamic_write.as_mw()),
+            lerp_log(lo.power.static_power.as_mw(), hi.power.static_power.as_mw()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_latencies() {
+        assert_eq!(hp_mram().timing.read, SimDuration::from_ns_f64(2.62));
+        assert_eq!(hp_mram().timing.write, SimDuration::from_ns_f64(11.81));
+        assert_eq!(hp_sram().timing.read, SimDuration::from_ns_f64(1.12));
+        assert_eq!(lp_mram().timing.read, SimDuration::from_ns_f64(2.96));
+        assert_eq!(lp_mram().timing.write, SimDuration::from_ns_f64(14.65));
+        assert_eq!(lp_sram().timing.read, SimDuration::from_ns_f64(1.41));
+        assert_eq!(hp_pe().mac_latency, SimDuration::from_ns_f64(5.52));
+        assert_eq!(lp_pe().mac_latency, SimDuration::from_ns_f64(10.68));
+    }
+
+    #[test]
+    fn table_v_powers() {
+        assert_eq!(hp_mram().power.dynamic_read.as_mw(), 428.48);
+        assert_eq!(hp_mram().power.dynamic_write.as_mw(), 133.78);
+        assert_eq!(hp_mram().power.static_power.as_mw(), 2.98);
+        assert_eq!(hp_sram().power.static_power.as_mw(), 23.29);
+        assert_eq!(lp_sram().power.static_power.as_mw(), 5.45);
+        assert_eq!(lp_mram().power.static_power.as_mw(), 0.84);
+        assert_eq!(hp_pe().dynamic.as_mw(), 0.9);
+        assert_eq!(lp_pe().static_power.as_mw(), 0.25);
+    }
+
+    #[test]
+    fn access_energy_ordering_matches_paper_narrative() {
+        // Dynamic read energy: LP-SRAM < LP-MRAM < HP-SRAM < HP-MRAM.
+        let e = |t: MemoryTech| t.read_energy().as_pj();
+        assert!(e(lp_sram()) < e(lp_mram()));
+        assert!(e(lp_mram()) < e(hp_sram()));
+        assert!(e(hp_sram()) < e(hp_mram()));
+        // Static power: MRAM ≪ SRAM in both classes.
+        assert!(lp_mram().power.static_power < lp_sram().power.static_power);
+        assert!(hp_mram().power.static_power < hp_sram().power.static_power);
+    }
+
+    #[test]
+    fn static_power_scales_with_capacity() {
+        let t = hp_sram();
+        let half = t.static_power_for(32 * 1024);
+        assert!((half.as_mw() - 23.29 / 2.0).abs() < 1e-9);
+        let double = t.static_power_for(128 * 1024);
+        assert!((double.as_mw() - 46.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonvolatility_flags() {
+        assert!(MemKind::Mram.is_non_volatile());
+        assert!(!MemKind::Sram.is_non_volatile());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(hp_mram().name(), "HP-MRAM");
+        assert_eq!(lp_sram().name(), "LP-SRAM");
+    }
+
+    #[test]
+    fn voltage_interpolation_hits_anchors() {
+        for kind in [MemKind::Sram, MemKind::Mram] {
+            let hi = tech_at_vdd(kind, 1.2);
+            let lo = tech_at_vdd(kind, 0.8);
+            let (ref_hi, ref_lo) = match kind {
+                MemKind::Sram => (hp_sram(), lp_sram()),
+                MemKind::Mram => (hp_mram(), lp_mram()),
+            };
+            assert_eq!(hi.timing.read, ref_hi.timing.read);
+            assert_eq!(lo.timing.read, ref_lo.timing.read);
+            assert!((hi.power.static_power.as_mw() - ref_hi.power.static_power.as_mw()).abs() < 1e-9);
+            assert!((lo.power.static_power.as_mw() - ref_lo.power.static_power.as_mw()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn voltage_interpolation_monotone_latency() {
+        let mut last = tech_at_vdd(MemKind::Mram, 1.2).timing.read;
+        for v in [1.1, 1.0, 0.9, 0.8] {
+            let cur = tech_at_vdd(MemKind::Mram, v).timing.read;
+            assert!(cur >= last, "latency must grow as vdd drops");
+            last = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported")]
+    fn voltage_out_of_range_panics() {
+        tech_at_vdd(MemKind::Sram, 0.3);
+    }
+
+    #[test]
+    fn tech_for_lookup_consistent() {
+        for class in ClusterClass::ALL {
+            for kind in [MemKind::Sram, MemKind::Mram] {
+                let t = tech_for(class, kind);
+                assert_eq!(t.class, class);
+                assert_eq!(t.kind, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_class_metadata() {
+        assert_eq!(ClusterClass::HighPerformance.vdd(), 1.2);
+        assert_eq!(ClusterClass::LowPower.vdd(), 0.8);
+        assert_eq!(ClusterClass::HighPerformance.to_string(), "HP");
+    }
+}

@@ -1,0 +1,346 @@
+//! Layer descriptors with shape inference, parameter and MAC counting.
+//!
+//! The paper characterizes its benchmark models by `#Param`, `#MAC` and
+//! the fraction of PIM-offloadable operations (Table IV); these
+//! descriptors compute all three from first principles.
+
+use core::fmt;
+
+/// Spatial shape `(channels, height, width)`.
+pub type Shape = (usize, usize, usize);
+
+/// A neural-network layer descriptor (weights not included; see
+/// [`crate::exec`] for executable, weighted layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// 2-D convolution; `groups == in_channels` makes it depthwise.
+    Conv2d {
+        /// Output channel count.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride in both dimensions.
+        stride: usize,
+        /// Zero padding on all sides.
+        padding: usize,
+        /// Channel groups (1 = dense, `in_channels` = depthwise).
+        groups: usize,
+    },
+    /// Fully connected layer over the flattened input.
+    Linear {
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Square window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Square window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// ReLU activation (no parameters, no MACs).
+    Relu,
+    /// Residual add of the input of the `depth`-layers-ago output
+    /// (element-wise; both shapes must match at execution time).
+    ResidualAdd {
+        /// How many layers back the residual source sits.
+        depth: usize,
+    },
+}
+
+/// Errors from shape inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Kernel/stride combination does not fit the input.
+    KernelTooLarge {
+        /// Input shape.
+        input: Shape,
+        /// Kernel size.
+        kernel: usize,
+    },
+    /// `in_channels` is not divisible by `groups`.
+    BadGroups {
+        /// Input channels.
+        in_channels: usize,
+        /// Requested groups.
+        groups: usize,
+    },
+    /// `out_channels` is not divisible by `groups`.
+    BadOutGroups {
+        /// Output channels.
+        out_channels: usize,
+        /// Requested groups.
+        groups: usize,
+    },
+    /// A residual add whose source shape differs from the current shape,
+    /// or whose depth reaches before the model input.
+    ResidualMismatch {
+        /// Shape expected at the add (current activation shape).
+        expected: Shape,
+        /// Shape found at the residual source.
+        found: Shape,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::KernelTooLarge { input, kernel } => {
+                write!(f, "kernel {kernel} too large for input {input:?}")
+            }
+            ShapeError::BadGroups { in_channels, groups } => {
+                write!(f, "{in_channels} input channels not divisible by {groups} groups")
+            }
+            ShapeError::BadOutGroups { out_channels, groups } => {
+                write!(f, "{out_channels} output channels not divisible by {groups} groups")
+            }
+            ShapeError::ResidualMismatch { expected, found } => {
+                write!(f, "residual source shape {found:?} does not match {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+fn conv_out(extent: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = extent + 2 * padding;
+    if padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+impl Layer {
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the layer cannot apply to `input`.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, ShapeError> {
+        let (c, h, w) = input;
+        match *self {
+            Layer::Conv2d { out_channels, kernel, stride, padding, groups } => {
+                if c % groups != 0 {
+                    return Err(ShapeError::BadGroups { in_channels: c, groups });
+                }
+                if out_channels % groups != 0 {
+                    return Err(ShapeError::BadOutGroups { out_channels, groups });
+                }
+                let oh = conv_out(h, kernel, stride, padding)
+                    .ok_or(ShapeError::KernelTooLarge { input, kernel })?;
+                let ow = conv_out(w, kernel, stride, padding)
+                    .ok_or(ShapeError::KernelTooLarge { input, kernel })?;
+                Ok((out_channels, oh, ow))
+            }
+            Layer::Linear { out_features } => Ok((out_features, 1, 1)),
+            Layer::AvgPool { kernel, stride } | Layer::MaxPool { kernel, stride } => {
+                let oh = conv_out(h, kernel, stride, 0)
+                    .ok_or(ShapeError::KernelTooLarge { input, kernel })?;
+                let ow = conv_out(w, kernel, stride, 0)
+                    .ok_or(ShapeError::KernelTooLarge { input, kernel })?;
+                Ok((c, oh, ow))
+            }
+            Layer::GlobalAvgPool => Ok((c, 1, 1)),
+            Layer::Relu | Layer::ResidualAdd { .. } => Ok(input),
+        }
+    }
+
+    /// Number of trainable weights (biases included).
+    pub fn params(&self, input: Shape) -> usize {
+        let (c, h, w) = input;
+        match *self {
+            Layer::Conv2d { out_channels, kernel, groups, .. } => {
+                out_channels * (c / groups.max(1)) * kernel * kernel + out_channels
+            }
+            Layer::Linear { out_features } => out_features * (c * h * w) + out_features,
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate count for one inference on `input`.
+    pub fn macs(&self, input: Shape) -> u64 {
+        let (c, _, _) = input;
+        match *self {
+            Layer::Conv2d { kernel, groups, .. } => {
+                let Ok((oc, oh, ow)) = self.output_shape(input) else { return 0 };
+                (oc * oh * ow) as u64 * ((c / groups.max(1)) * kernel * kernel) as u64
+            }
+            Layer::Linear { out_features } => {
+                let (ci, hi, wi) = input;
+                (out_features * ci * hi * wi) as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether this layer's MACs run on the PIM (convs and linears do;
+    /// pooling, activations and adds stay on the host core — this is
+    /// what makes the PIM-operation ratios of Table IV less than 100 %).
+    pub fn is_pim_layer(&self) -> bool {
+        matches!(self, Layer::Conv2d { .. } | Layer::Linear { .. })
+    }
+
+    /// Non-MAC scalar operations executed on the host for this layer
+    /// (comparisons, additions, averages). Used to compute the PIM
+    /// operation ratio.
+    pub fn host_ops(&self, input: Shape) -> u64 {
+        let (c, h, w) = input;
+        let elems = (c * h * w) as u64;
+        match *self {
+            Layer::Relu => elems,
+            Layer::ResidualAdd { .. } => elems,
+            Layer::AvgPool { kernel, .. } | Layer::MaxPool { kernel, .. } => {
+                let Ok((oc, oh, ow)) = self.output_shape(input) else { return 0 };
+                (oc * oh * ow) as u64 * (kernel * kernel) as u64
+            }
+            Layer::GlobalAvgPool => elems,
+            Layer::Conv2d { .. } | Layer::Linear { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Layer::Conv2d { out_channels, kernel, stride, padding, groups } => write!(
+                f,
+                "conv{kernel}x{kernel} -> {out_channels} (s{stride} p{padding} g{groups})"
+            ),
+            Layer::Linear { out_features } => write!(f, "linear -> {out_features}"),
+            Layer::AvgPool { kernel, stride } => write!(f, "avgpool{kernel} s{stride}"),
+            Layer::MaxPool { kernel, stride } => write!(f, "maxpool{kernel} s{stride}"),
+            Layer::GlobalAvgPool => write!(f, "gap"),
+            Layer::Relu => write!(f, "relu"),
+            Layer::ResidualAdd { depth } => write!(f, "add(skip {depth})"),
+        }
+    }
+}
+
+/// Convenience constructor for a dense (non-grouped) convolution with
+/// same-style padding.
+pub fn conv(out_channels: usize, kernel: usize, stride: usize) -> Layer {
+    Layer::Conv2d { out_channels, kernel, stride, padding: kernel / 2, groups: 1 }
+}
+
+/// Convenience constructor for a depthwise convolution (groups = input
+/// channels, resolved at shape-inference time via `groups == 0` marker is
+/// avoided; the caller provides the channel count).
+pub fn depthwise(channels: usize, kernel: usize, stride: usize) -> Layer {
+    Layer::Conv2d {
+        out_channels: channels,
+        kernel,
+        stride,
+        padding: kernel / 2,
+        groups: channels,
+    }
+}
+
+/// Convenience constructor for a 1×1 pointwise convolution.
+pub fn pointwise(out_channels: usize) -> Layer {
+    Layer::Conv2d { out_channels, kernel: 1, stride: 1, padding: 0, groups: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_params_macs() {
+        let l = conv(16, 3, 1); // 3x3, pad 1
+        let input = (3, 32, 32);
+        assert_eq!(l.output_shape(input).unwrap(), (16, 32, 32));
+        assert_eq!(l.params(input), 16 * 3 * 9 + 16);
+        assert_eq!(l.macs(input), (16 * 32 * 32) as u64 * 27);
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial() {
+        let l = conv(8, 3, 2);
+        assert_eq!(l.output_shape((4, 32, 32)).unwrap(), (8, 16, 16));
+    }
+
+    #[test]
+    fn depthwise_params_are_small() {
+        let l = depthwise(32, 3, 1);
+        let input = (32, 16, 16);
+        assert_eq!(l.output_shape(input).unwrap(), (32, 16, 16));
+        assert_eq!(l.params(input), 32 * 9 + 32);
+        assert_eq!(l.macs(input), (32 * 16 * 16) as u64 * 9);
+    }
+
+    #[test]
+    fn pointwise_is_1x1() {
+        let l = pointwise(64);
+        let input = (32, 8, 8);
+        assert_eq!(l.output_shape(input).unwrap(), (64, 8, 8));
+        assert_eq!(l.params(input), 64 * 32 + 64);
+    }
+
+    #[test]
+    fn linear_flattens() {
+        let l = Layer::Linear { out_features: 10 };
+        let input = (64, 2, 2);
+        assert_eq!(l.output_shape(input).unwrap(), (10, 1, 1));
+        assert_eq!(l.params(input), 10 * 256 + 10);
+        assert_eq!(l.macs(input), 2560);
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        assert_eq!(
+            Layer::MaxPool { kernel: 2, stride: 2 }.output_shape((8, 16, 16)).unwrap(),
+            (8, 8, 8)
+        );
+        assert_eq!(Layer::GlobalAvgPool.output_shape((8, 7, 7)).unwrap(), (8, 1, 1));
+    }
+
+    #[test]
+    fn activation_passthrough() {
+        assert_eq!(Layer::Relu.output_shape((5, 4, 4)).unwrap(), (5, 4, 4));
+        assert_eq!(Layer::Relu.params((5, 4, 4)), 0);
+        assert_eq!(Layer::Relu.macs((5, 4, 4)), 0);
+        assert_eq!(Layer::Relu.host_ops((5, 4, 4)), 80);
+    }
+
+    #[test]
+    fn bad_groups_detected() {
+        let l = Layer::Conv2d { out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 5 };
+        assert_eq!(
+            l.output_shape((16, 8, 8)),
+            Err(ShapeError::BadGroups { in_channels: 16, groups: 5 })
+        );
+    }
+
+    #[test]
+    fn kernel_too_large_detected() {
+        let l = Layer::Conv2d { out_channels: 8, kernel: 9, stride: 1, padding: 0, groups: 1 };
+        assert!(matches!(
+            l.output_shape((3, 4, 4)),
+            Err(ShapeError::KernelTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn pim_layer_classification() {
+        assert!(conv(8, 3, 1).is_pim_layer());
+        assert!(Layer::Linear { out_features: 10 }.is_pim_layer());
+        assert!(!Layer::Relu.is_pim_layer());
+        assert!(!Layer::GlobalAvgPool.is_pim_layer());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(conv(16, 3, 1).to_string(), "conv3x3 -> 16 (s1 p1 g1)");
+        assert_eq!(Layer::ResidualAdd { depth: 3 }.to_string(), "add(skip 3)");
+    }
+}

@@ -1,0 +1,287 @@
+//! Whole-model descriptors: resolved layer stacks with aggregate
+//! parameter/MAC/PIM-ratio accounting, plus structured pruning.
+
+use crate::layer::{Layer, Shape, ShapeError};
+use core::fmt;
+
+/// Per-layer resolved information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// The layer descriptor.
+    pub layer: Layer,
+    /// Its input shape.
+    pub input: Shape,
+    /// Its output shape.
+    pub output: Shape,
+    /// Trainable parameters.
+    pub params: usize,
+    /// MAC operations per inference.
+    pub macs: u64,
+    /// Host (non-PIM) scalar operations per inference.
+    pub host_ops: u64,
+}
+
+/// A model: a named, shape-resolved layer stack with an optional
+/// structured-pruning factor.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_nn::{Model, layer};
+/// let model = Model::new("toy", (3, 8, 8), vec![
+///     layer::conv(8, 3, 1),
+///     hhpim_nn::Layer::Relu,
+///     hhpim_nn::Layer::GlobalAvgPool,
+///     hhpim_nn::Layer::Linear { out_features: 10 },
+/// ]).unwrap();
+/// assert!(model.total_params() > 0);
+/// assert!(model.pim_ratio() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: String,
+    input: Shape,
+    infos: Vec<LayerInfo>,
+    sparsity: f64,
+}
+
+impl Model {
+    /// Builds a model, resolving every layer's shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeError`] encountered, with its layer
+    /// index, if the stack is inconsistent.
+    pub fn new(
+        name: impl Into<String>,
+        input: Shape,
+        layers: Vec<Layer>,
+    ) -> Result<Self, (usize, ShapeError)> {
+        let mut infos: Vec<LayerInfo> = Vec::with_capacity(layers.len());
+        let mut shape = input;
+        for (i, layer) in layers.into_iter().enumerate() {
+            let output = layer.output_shape(shape).map_err(|e| (i, e))?;
+            if let Layer::ResidualAdd { depth } = layer {
+                // The residual source is the output `depth` layers back
+                // (or the model input when the add sits exactly `depth`
+                // layers into the stack).
+                let source = if depth == 0 || depth > i + 1 {
+                    None
+                } else if depth == i + 1 {
+                    Some(input)
+                } else {
+                    Some(infos[i - depth].output)
+                };
+                match source {
+                    Some(s) if s == shape => {}
+                    Some(s) => {
+                        return Err((i, ShapeError::ResidualMismatch { expected: shape, found: s }))
+                    }
+                    None => {
+                        return Err((
+                            i,
+                            ShapeError::ResidualMismatch { expected: shape, found: (0, 0, 0) },
+                        ))
+                    }
+                }
+            }
+            infos.push(LayerInfo {
+                layer,
+                input: shape,
+                output,
+                params: layer.params(shape),
+                macs: layer.macs(shape),
+                host_ops: layer.host_ops(shape),
+            });
+            shape = output;
+        }
+        Ok(Model { name: name.into(), input, infos, sparsity: 0.0 })
+    }
+
+    /// Applies structured pruning: a fraction `sparsity` of weights (and
+    /// the MACs that consume them) is removed from every conv/linear
+    /// layer, as in the "INT8 Quantized & Pruned" models of Table IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= sparsity < 1.0`.
+    pub fn with_pruning(mut self, sparsity: f64) -> Self {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+
+    /// Output shape of the final layer.
+    pub fn output_shape(&self) -> Shape {
+        self.infos.last().map(|i| i.output).unwrap_or(self.input)
+    }
+
+    /// Pruning sparsity in effect.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+
+    /// Resolved per-layer information (pre-pruning numbers).
+    pub fn layers(&self) -> &[LayerInfo] {
+        &self.infos
+    }
+
+    fn keep(&self) -> f64 {
+        1.0 - self.sparsity
+    }
+
+    /// Total trainable parameters after pruning.
+    pub fn total_params(&self) -> usize {
+        let raw: usize = self.infos.iter().map(|i| i.params).sum();
+        (raw as f64 * self.keep()).round() as usize
+    }
+
+    /// Total MACs per inference after pruning.
+    pub fn total_macs(&self) -> u64 {
+        let raw: u64 = self.infos.iter().map(|i| i.macs).sum();
+        (raw as f64 * self.keep()).round() as u64
+    }
+
+    /// Total host (non-PIM) scalar operations per inference.
+    pub fn total_host_ops(&self) -> u64 {
+        self.infos.iter().map(|i| i.host_ops).sum()
+    }
+
+    /// Fraction of operations that execute on the PIM
+    /// (`macs / (macs + host_ops)`), the quantity Table IV reports.
+    pub fn pim_ratio(&self) -> f64 {
+        let macs = self.total_macs() as f64;
+        let host = self.total_host_ops() as f64;
+        if macs + host == 0.0 {
+            0.0
+        } else {
+            macs / (macs + host)
+        }
+    }
+
+    /// Weight footprint in bytes (INT8: one byte per parameter).
+    pub fn weight_bytes(&self) -> usize {
+        self.total_params()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: input {:?}, {} layers, {} params, {} MACs, PIM ratio {:.1}%",
+            self.name,
+            self.input,
+            self.infos.len(),
+            self.total_params(),
+            self.total_macs(),
+            self.pim_ratio() * 100.0
+        )?;
+        for (i, info) in self.infos.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{i:2}] {:<32} {:?} -> {:?}  params={} macs={}",
+                info.layer.to_string(),
+                info.input,
+                info.output,
+                info.params,
+                info.macs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv, pointwise};
+
+    fn toy() -> Model {
+        Model::new(
+            "toy",
+            (3, 8, 8),
+            vec![
+                conv(8, 3, 1),
+                Layer::Relu,
+                Layer::MaxPool { kernel: 2, stride: 2 },
+                pointwise(16),
+                Layer::GlobalAvgPool,
+                Layer::Linear { out_features: 10 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_resolve_sequentially() {
+        let m = toy();
+        let shapes: Vec<_> = m.layers().iter().map(|i| i.output).collect();
+        assert_eq!(
+            shapes,
+            vec![(8, 8, 8), (8, 8, 8), (8, 4, 4), (16, 4, 4), (16, 1, 1), (10, 1, 1)]
+        );
+        assert_eq!(m.output_shape(), (10, 1, 1));
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let m = toy();
+        let expect_params = (8 * 3 * 9 + 8) + (16 * 8 + 16) + (10 * 16 + 10);
+        assert_eq!(m.total_params(), expect_params);
+        assert!(m.total_macs() > 0);
+        assert!(m.total_host_ops() > 0);
+        assert!(m.pim_ratio() > 0.0 && m.pim_ratio() < 1.0);
+    }
+
+    #[test]
+    fn pruning_scales_counts() {
+        let dense = toy();
+        let pruned = toy().with_pruning(0.5);
+        assert_eq!(pruned.total_params(), (dense.total_params() as f64 * 0.5).round() as usize);
+        assert_eq!(pruned.total_macs(), (dense.total_macs() as f64 * 0.5).round() as u64);
+        // Host ops are unaffected by weight pruning.
+        assert_eq!(pruned.total_host_ops(), dense.total_host_ops());
+    }
+
+    #[test]
+    fn bad_stack_reports_layer_index() {
+        let err = Model::new(
+            "bad",
+            (3, 4, 4),
+            vec![conv(8, 3, 1), Layer::Conv2d { out_channels: 4, kernel: 9, stride: 1, padding: 0, groups: 1 }],
+        )
+        .unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn full_sparsity_rejected() {
+        toy().with_pruning(1.0);
+    }
+
+    #[test]
+    fn weight_bytes_equals_params_for_int8() {
+        let m = toy();
+        assert_eq!(m.weight_bytes(), m.total_params());
+    }
+
+    #[test]
+    fn display_contains_layers() {
+        let s = toy().to_string();
+        assert!(s.contains("toy"));
+        assert!(s.contains("conv3x3"));
+        assert!(s.contains("linear -> 10"));
+    }
+}

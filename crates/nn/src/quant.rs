@@ -1,0 +1,139 @@
+//! Symmetric INT8 quantization.
+//!
+//! Table IV's models are "INT8 Quantized & Pruned"; this module provides
+//! the quantizer used to lower float weights/activations into the 8-bit
+//! words stored in PIM memory, plus the requantization step between
+//! layers (i32 accumulator → i8 activation).
+
+use core::fmt;
+
+/// Symmetric per-tensor quantization parameters: `real = scale * q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Creates parameters with an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        QuantParams { scale }
+    }
+
+    /// Derives parameters covering `values` symmetrically (max-abs
+    /// calibration). Falls back to scale 1 for an all-zero input.
+    pub fn calibrate(values: &[f32]) -> Self {
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max_abs == 0.0 {
+            QuantParams { scale: 1.0 }
+        } else {
+            QuantParams { scale: max_abs / 127.0 }
+        }
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value with round-to-nearest and saturation.
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round();
+        q.clamp(-128.0, 127.0) as i8
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_all(&self, values: &[f32]) -> Vec<i8> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Requantizes an i32 accumulator (at `input_scale * weight_scale`)
+    /// into an i8 activation at `self`'s scale, with saturation.
+    pub fn requantize(&self, acc: i32, input: QuantParams, weights: QuantParams) -> i8 {
+        let real = acc as f64 * input.scale as f64 * weights.scale as f64;
+        let q = (real / self.scale as f64).round();
+        q.clamp(-128.0, 127.0) as i8
+    }
+}
+
+impl Default for QuantParams {
+    /// Unit scale.
+    fn default() -> Self {
+        QuantParams { scale: 1.0 }
+    }
+}
+
+impl fmt::Display for QuantParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q8(scale={})", self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_covers_range() {
+        let values = [-3.0f32, 1.5, 2.9];
+        let q = QuantParams::calibrate(&values);
+        assert_eq!(q.quantize(-3.0), -127);
+        assert_eq!(q.quantize(3.0), 127);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn saturation() {
+        let q = QuantParams::new(0.1);
+        assert_eq!(q.quantize(1000.0), 127);
+        assert_eq!(q.quantize(-1000.0), -128);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let q = QuantParams::new(0.05);
+        for v in [-6.0f32, -0.3, 0.0, 0.12, 3.21, 6.3] {
+            let err = (q.dequantize(q.quantize(v)) - v).abs();
+            assert!(err <= 0.5 * q.scale() + 1e-6, "error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn zero_input_calibration() {
+        let q = QuantParams::calibrate(&[0.0, 0.0]);
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn requantize_matches_float_math() {
+        let input = QuantParams::new(0.02);
+        let weights = QuantParams::new(0.01);
+        let output = QuantParams::new(0.1);
+        // acc = 5000 → real 5000×0.0002 = 1.0 → q = 10 at scale 0.1.
+        assert_eq!(output.requantize(5000, input, weights), 10);
+        // Saturates.
+        assert_eq!(output.requantize(i32::MAX, input, weights), 127);
+        assert_eq!(output.requantize(i32::MIN, input, weights), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_scale_rejected() {
+        QuantParams::new(0.0);
+    }
+
+    #[test]
+    fn quantize_all_length() {
+        let q = QuantParams::default();
+        assert_eq!(q.quantize_all(&[1.0, 2.0, 3.0]), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal dense tensors in CHW layout.
+//!
+//! The functional INT8 executor only needs rank-1 and rank-3 tensors
+//! with contiguous storage; this module provides exactly that, with
+//! checked indexing and no external dependencies.
+
+use core::fmt;
+
+/// A dense tensor in `(channels, height, width)` layout.
+///
+/// Rank-1 data (e.g. classifier logits) uses shape `(c, 1, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_nn::Tensor;
+/// let mut t = Tensor::zeros(2, 2, 2);
+/// *t.at_mut(1, 0, 1) = 7i8;
+/// assert_eq!(*t.at(1, 0, 1), 7);
+/// assert_eq!(t.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor<T> {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(channels > 0 && height > 0 && width > 0, "tensor dims must be non-zero");
+        Tensor { channels, height, width, data: vec![T::default(); channels * height * width] }
+    }
+
+    /// Creates a tensor from existing data in CHW order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * height * width`.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "data length does not match shape"
+        );
+        assert!(channels > 0 && height > 0 && width > 0, "tensor dims must be non-zero");
+        Tensor { channels, height, width, data }
+    }
+
+    /// Shape as `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat view of the data in CHW order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data in CHW order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Checked element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at(&self, c: usize, y: usize, x: usize) -> &T {
+        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        &self.data[self.offset(c, y, x)]
+    }
+
+    /// Checked mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut T {
+        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        let off = self.offset(c, y, x);
+        &mut self.data[off]
+    }
+
+    /// Element access with zero padding outside spatial bounds (used by
+    /// convolutions; channel index must still be valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    pub fn at_padded(&self, c: usize, y: isize, x: isize) -> T {
+        assert!(c < self.channels, "channel out of bounds");
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            T::default()
+        } else {
+            self.data[self.offset(c, y as usize, x as usize)]
+        }
+    }
+}
+
+impl<T: Copy + Default + fmt::Display> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{}x{})", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_chw() {
+        let t = Tensor::from_vec(2, 2, 3, (0..12i32).collect());
+        assert_eq!(*t.at(0, 0, 0), 0);
+        assert_eq!(*t.at(0, 1, 2), 5);
+        assert_eq!(*t.at(1, 0, 0), 6);
+        assert_eq!(*t.at(1, 1, 2), 11);
+    }
+
+    #[test]
+    fn padded_access() {
+        let t = Tensor::from_vec(1, 2, 2, vec![1i8, 2, 3, 4]);
+        assert_eq!(t.at_padded(0, -1, 0), 0);
+        assert_eq!(t.at_padded(0, 0, -1), 0);
+        assert_eq!(t.at_padded(0, 2, 0), 0);
+        assert_eq!(t.at_padded(0, 1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn checked_access_panics() {
+        let t: Tensor<i8> = Tensor::zeros(1, 1, 1);
+        t.at(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn shape_mismatch_panics() {
+        Tensor::from_vec(2, 2, 2, vec![0i8; 7]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut t = Tensor::zeros(1, 1, 4);
+        t.as_mut_slice()[2] = 9i32;
+        *t.at_mut(0, 0, 3) = 5;
+        assert_eq!(t.as_slice(), &[0, 0, 9, 5]);
+    }
+
+    #[test]
+    fn display() {
+        let t: Tensor<i8> = Tensor::zeros(3, 8, 8);
+        assert_eq!(t.to_string(), "Tensor(3x8x8)");
+    }
+}

@@ -1,0 +1,294 @@
+//! The benchmark model zoo (Table IV of the paper).
+//!
+//! The paper evaluates TinyML variants of three CNN backbones,
+//! characterized only by parameter count, MAC count and PIM-operation
+//! ratio:
+//!
+//! | Model           | #Param | #MAC    | PIM ops |
+//! |-----------------|--------|---------|---------|
+//! | EfficientNet-B0 | 95 k   | 3.245 M | 85 %    |
+//! | MobileNetV2     | 101 k  | 2.528 M | 80 %    |
+//! | ResNet-18       | 256 k  | 29.580 M| 75 %    |
+//!
+//! The authors "extracted the characteristics and operations of these
+//! models" rather than running the full ImageNet networks (a real
+//! ResNet-18 has 11.7 M parameters). We do the same from the opposite
+//! direction: each builder constructs a *tiny* variant using the
+//! backbone's characteristic blocks (inverted residuals for the mobile
+//! nets, basic residual blocks for ResNet), with widths chosen so the
+//! realized parameter/MAC counts land within a few percent of Table IV
+//! (asserted by tests). Experiments use [`ModelSpec`], the published
+//! numbers, so reproduction results are anchored to the paper.
+
+use crate::layer::{conv, depthwise, pointwise, Layer};
+use crate::model::Model;
+use core::fmt;
+
+/// The published Table IV characteristics of a benchmark model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Model name as printed in the paper.
+    pub name: &'static str,
+    /// Parameter count (weights, INT8 ⇒ bytes).
+    pub params: u64,
+    /// Multiply-accumulate operations per inference.
+    pub macs: u64,
+    /// Fraction of operations executed on the PIM.
+    pub pim_op_ratio: f64,
+}
+
+impl ModelSpec {
+    /// MACs per inference that run on the PIM.
+    pub fn pim_macs(&self) -> u64 {
+        (self.macs as f64 * self.pim_op_ratio).round() as u64
+    }
+
+    /// Weight footprint in bytes (INT8 quantized).
+    pub fn weight_bytes(&self) -> usize {
+        self.params as usize
+    }
+
+    /// Average weight reuse: PIM MACs per weight per inference.
+    pub fn reuse_factor(&self) -> f64 {
+        self.pim_macs() as f64 / self.params as f64
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}k params, {:.3}M MACs, {:.0}% PIM",
+            self.name,
+            self.params / 1000,
+            self.macs as f64 / 1e6,
+            self.pim_op_ratio * 100.0
+        )
+    }
+}
+
+/// The three benchmark models of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TinyMlModel {
+    /// EfficientNet-B0 tiny variant.
+    EfficientNetB0,
+    /// MobileNetV2 tiny variant.
+    MobileNetV2,
+    /// ResNet-18 tiny variant.
+    ResNet18,
+}
+
+impl TinyMlModel {
+    /// All three models in Table IV order.
+    pub const ALL: [TinyMlModel; 3] =
+        [TinyMlModel::EfficientNetB0, TinyMlModel::MobileNetV2, TinyMlModel::ResNet18];
+
+    /// The published Table IV characteristics.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            TinyMlModel::EfficientNetB0 => ModelSpec {
+                name: "EfficientNet-B0",
+                params: 95_000,
+                macs: 3_245_000,
+                pim_op_ratio: 0.85,
+            },
+            TinyMlModel::MobileNetV2 => ModelSpec {
+                name: "MobileNetV2",
+                params: 101_000,
+                macs: 2_528_000,
+                pim_op_ratio: 0.80,
+            },
+            TinyMlModel::ResNet18 => ModelSpec {
+                name: "ResNet-18",
+                params: 256_000,
+                macs: 29_580_000,
+                pim_op_ratio: 0.75,
+            },
+        }
+    }
+
+    /// Builds the tiny layer-graph variant (see module docs).
+    pub fn build(self) -> Model {
+        match self {
+            TinyMlModel::EfficientNetB0 => efficientnet_b0_tiny(),
+            TinyMlModel::MobileNetV2 => mobilenet_v2_tiny(),
+            TinyMlModel::ResNet18 => resnet18_tiny(),
+        }
+    }
+}
+
+impl fmt::Display for TinyMlModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+/// Appends an inverted-residual (MBConv) block: pointwise expand →
+/// depthwise k×k → pointwise project, with a skip connection when the
+/// block preserves shape.
+fn mbconv(layers: &mut Vec<Layer>, in_ch: usize, out_ch: usize, expand: usize, kernel: usize, stride: usize) -> usize {
+    let hidden = in_ch * expand;
+    layers.push(pointwise(hidden));
+    layers.push(Layer::Relu);
+    layers.push(depthwise(hidden, kernel, stride));
+    layers.push(Layer::Relu);
+    layers.push(pointwise(out_ch));
+    if stride == 1 && in_ch == out_ch {
+        layers.push(Layer::ResidualAdd { depth: 6 });
+    }
+    out_ch
+}
+
+/// Appends a ResNet basic block (two 3×3 convolutions with identity or
+/// projection skip).
+fn basic_block(layers: &mut Vec<Layer>, in_ch: usize, out_ch: usize, stride: usize) -> usize {
+    if stride == 1 && in_ch == out_ch {
+        layers.push(conv(out_ch, 3, 1));
+        layers.push(Layer::Relu);
+        layers.push(conv(out_ch, 3, 1));
+        layers.push(Layer::ResidualAdd { depth: 4 });
+        layers.push(Layer::Relu);
+    } else {
+        // Projection path: the shortcut is a 1×1 strided conv. In the
+        // descriptor stack we account for it as an extra conv layer; the
+        // add is omitted because the two paths fork (counting-wise the
+        // projection conv carries the parameters and MACs).
+        layers.push(conv(out_ch, 3, stride));
+        layers.push(Layer::Relu);
+        layers.push(conv(out_ch, 3, 1));
+        layers.push(Layer::Relu);
+        layers.push(Layer::Conv2d {
+            out_channels: out_ch,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        });
+        layers.push(Layer::Relu);
+    }
+    out_ch
+}
+
+/// EfficientNet-B0 tiny: MBConv stack at 48×48 input, width 9, expansion
+/// factor 4 (≈95.4 k params, ≈3.22 M MACs).
+pub fn efficientnet_b0_tiny() -> Model {
+    let w = 9;
+    let mut layers = vec![conv(w, 3, 2), Layer::Relu];
+    let mut ch = w;
+    // (out-multiple, repeats, first-stride, kernel)
+    for &(mult, repeats, stride, kernel) in
+        &[(1usize, 1usize, 1usize, 3usize), (2, 2, 2, 5), (4, 2, 2, 3), (8, 2, 2, 3)]
+    {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            ch = mbconv(&mut layers, ch, w * mult, 4, kernel, s);
+        }
+    }
+    layers.push(pointwise(w * 12));
+    layers.push(Layer::Relu);
+    layers.push(Layer::GlobalAvgPool);
+    layers.push(Layer::Linear { out_features: 10 });
+    Model::new("EfficientNet-B0-tiny", (3, 48, 48), layers)
+        .expect("zoo model must be well-formed")
+}
+
+/// MobileNetV2 tiny: inverted residuals at 20×20 input, width 11,
+/// expansion 3 (≈101.9 k params, ≈2.45 M MACs).
+pub fn mobilenet_v2_tiny() -> Model {
+    let w = 11;
+    let mut layers = vec![conv(w, 3, 1), Layer::Relu];
+    let mut ch = w;
+    for &(mult, repeats, stride) in &[(1usize, 1usize, 1usize), (2, 2, 2), (4, 2, 2), (8, 2, 2)] {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            ch = mbconv(&mut layers, ch, w * mult, 3, 3, s);
+        }
+    }
+    layers.push(pointwise(w * 8));
+    layers.push(Layer::Relu);
+    layers.push(Layer::GlobalAvgPool);
+    layers.push(Layer::Linear { out_features: 10 });
+    Model::new("MobileNetV2-tiny", (3, 20, 20), layers).expect("zoo model must be well-formed")
+}
+
+/// ResNet-18 tiny: basic residual blocks at 32×32 input, width 17,
+/// stage plan (2, 1, 3) (≈259.6 k params, ≈30.06 M MACs).
+pub fn resnet18_tiny() -> Model {
+    let w = 17;
+    let mut layers = vec![conv(w, 3, 1), Layer::Relu];
+    let mut ch = w;
+    for &(mult, repeats, stride) in &[(1usize, 2usize, 1usize), (2, 1, 2), (4, 3, 2)] {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            ch = basic_block(&mut layers, ch, w * mult, s);
+        }
+    }
+    layers.push(Layer::GlobalAvgPool);
+    layers.push(Layer::Linear { out_features: 10 });
+    Model::new("ResNet-18-tiny", (3, 32, 32), layers).expect("zoo model must be well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct_err(actual: f64, target: f64) -> f64 {
+        (actual - target).abs() / target * 100.0
+    }
+
+    #[test]
+    fn efficientnet_matches_table_iv() {
+        let m = efficientnet_b0_tiny();
+        let spec = TinyMlModel::EfficientNetB0.spec();
+        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}", m.total_params(), spec.params);
+        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}", m.total_macs(), spec.macs);
+    }
+
+    #[test]
+    fn mobilenet_matches_table_iv() {
+        let m = mobilenet_v2_tiny();
+        let spec = TinyMlModel::MobileNetV2.spec();
+        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}", m.total_params(), spec.params);
+        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}", m.total_macs(), spec.macs);
+    }
+
+    #[test]
+    fn resnet_matches_table_iv() {
+        let m = resnet18_tiny();
+        let spec = TinyMlModel::ResNet18.spec();
+        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}", m.total_params(), spec.params);
+        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}", m.total_macs(), spec.macs);
+    }
+
+    #[test]
+    fn specs_are_table_iv_exact() {
+        let specs: Vec<_> = TinyMlModel::ALL.iter().map(|m| m.spec()).collect();
+        assert_eq!(specs[0].params, 95_000);
+        assert_eq!(specs[1].macs, 2_528_000);
+        assert_eq!(specs[2].pim_op_ratio, 0.75);
+        // Derived quantities.
+        assert_eq!(specs[0].pim_macs(), 2_758_250);
+        assert!(specs[2].reuse_factor() > 80.0, "ResNet reuses weights heavily");
+    }
+
+    #[test]
+    fn all_models_build_and_classify_to_10() {
+        for m in TinyMlModel::ALL {
+            let model = m.build();
+            assert_eq!(model.output_shape(), (10, 1, 1), "{m}");
+            assert!(model.pim_ratio() > 0.5, "{m} should be MAC-dominated");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TinyMlModel::ResNet18.to_string(), "ResNet-18");
+        assert!(TinyMlModel::EfficientNetB0.spec().to_string().contains("95k"));
+    }
+}

@@ -1,0 +1,268 @@
+//! # hhpim-noc — lightweight system interconnect
+//!
+//! The paper's processor uses µNoC, "a lightweight Network-on-Chip
+//! optimized for edge devices", to connect the Rocket core, system
+//! memory and the HH-PIM block over AXI (Fig. 3). This crate models
+//! that substrate at the transfer level: a ring of routers moving
+//! fixed-size flits with per-hop latency and energy, plus an AXI-like
+//! burst interface on top.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim_noc::{Ring, NodeId, Transfer};
+//! use hhpim_sim::SimTime;
+//!
+//! // Core (0) sends a 64-byte burst to the PIM block (2) on a 4-node ring.
+//! let mut ring = Ring::new(4);
+//! let done = ring
+//!     .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(2), bytes: 64 })
+//!     .unwrap();
+//! assert!(done > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use hhpim_mem::{Energy, EnergyLedger};
+use hhpim_sim::{BusyResource, SimDuration, SimTime};
+
+/// A node endpoint on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A burst transfer request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Interconnect errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocError {
+    /// A node id beyond the ring size.
+    UnknownNode(NodeId),
+    /// Zero-byte transfer.
+    EmptyTransfer,
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NocError::EmptyTransfer => write!(f, "zero-byte transfer"),
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
+/// Ring parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingConfig {
+    /// Flit payload in bytes.
+    pub flit_bytes: usize,
+    /// Latency of one router hop per flit.
+    pub hop_latency: SimDuration,
+    /// Energy of one router hop per flit.
+    pub hop_energy: Energy,
+    /// Serialization interval between flits at injection.
+    pub injection_interval: SimDuration,
+}
+
+impl Default for RingConfig {
+    /// Edge-scale defaults: 8-byte flits, 1 ns hops, 0.8 pJ per
+    /// flit-hop (µNoC-class figures at 45 nm).
+    fn default() -> Self {
+        RingConfig {
+            flit_bytes: 8,
+            hop_latency: SimDuration::from_ns(1),
+            hop_energy: Energy::from_pj(0.8),
+            injection_interval: SimDuration::from_ns(1),
+        }
+    }
+}
+
+/// Energy categories reported by the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NocEnergyCat {
+    /// Router/link traversal energy.
+    Hops,
+}
+
+/// A unidirectional ring interconnect of `n` routers.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    n: usize,
+    config: RingConfig,
+    links: Vec<BusyResource>,
+    ledger: EnergyLedger<NocEnergyCat>,
+    flits_moved: u64,
+}
+
+impl Ring {
+    /// Creates a ring of `n` nodes with default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        Self::with_config(n, RingConfig::default())
+    }
+
+    /// Creates a ring with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `flit_bytes == 0`.
+    pub fn with_config(n: usize, config: RingConfig) -> Self {
+        assert!(n >= 2, "ring needs at least two nodes");
+        assert!(config.flit_bytes > 0, "flits must carry payload");
+        Ring {
+            n,
+            config,
+            links: vec![BusyResource::new(); n],
+            ledger: EnergyLedger::new(),
+            flits_moved: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ring is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Hops from `from` to `to` along the ring direction.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> usize {
+        (to.0 + self.n - from.0) % self.n
+    }
+
+    /// Total energy spent so far.
+    pub fn total_energy(&self) -> Energy {
+        self.ledger.total()
+    }
+
+    /// Flits moved so far.
+    pub fn flits_moved(&self) -> u64 {
+        self.flits_moved
+    }
+
+    /// Issues a burst transfer at `at`; returns the delivery instant of
+    /// the last flit.
+    ///
+    /// Flits serialize at the injection port and pipeline through the
+    /// ring: the first flit pays full hop latency, subsequent flits
+    /// stream behind it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError`] for unknown nodes or empty transfers.
+    pub fn transfer(&mut self, at: SimTime, t: Transfer) -> Result<SimTime, NocError> {
+        if t.from.0 >= self.n {
+            return Err(NocError::UnknownNode(t.from));
+        }
+        if t.to.0 >= self.n {
+            return Err(NocError::UnknownNode(t.to));
+        }
+        if t.bytes == 0 {
+            return Err(NocError::EmptyTransfer);
+        }
+        let flits = t.bytes.div_ceil(self.config.flit_bytes) as u64;
+        let hops = self.hops(t.from, t.to).max(1) as u64;
+        // Injection serialization on the source link.
+        let inject_done =
+            self.links[t.from.0].acquire(at, self.config.injection_interval * flits);
+        // Pipeline: last flit arrives hops×hop_latency after injection.
+        let delivered = inject_done + self.config.hop_latency * hops;
+        self.flits_moved += flits;
+        self.ledger.add(NocEnergyCat::Hops, self.config.hop_energy * (flits * hops));
+        Ok(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_count_wraps() {
+        let ring = Ring::new(4);
+        assert_eq!(ring.hops(NodeId(0), NodeId(2)), 2);
+        assert_eq!(ring.hops(NodeId(3), NodeId(0)), 1);
+        assert_eq!(ring.hops(NodeId(1), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_size_and_distance() {
+        let mut ring = Ring::new(4);
+        let near = ring
+            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 8 })
+            .unwrap();
+        let mut ring2 = Ring::new(4);
+        let far = ring2
+            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(3), bytes: 8 })
+            .unwrap();
+        assert!(far > near);
+        let mut ring3 = Ring::new(4);
+        let big = ring3
+            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 256 })
+            .unwrap();
+        assert!(big > near);
+    }
+
+    #[test]
+    fn energy_accrues_per_flit_hop() {
+        let mut ring = Ring::new(4);
+        ring.transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(2), bytes: 16 })
+            .unwrap();
+        // 2 flits × 2 hops × 0.8 pJ.
+        assert!((ring.total_energy().as_pj() - 3.2).abs() < 1e-9);
+        assert_eq!(ring.flits_moved(), 2);
+    }
+
+    #[test]
+    fn injection_port_serializes_bursts() {
+        let mut ring = Ring::new(4);
+        let t = Transfer { from: NodeId(0), to: NodeId(1), bytes: 64 };
+        let a = ring.transfer(SimTime::ZERO, t).unwrap();
+        let b = ring.transfer(SimTime::ZERO, t).unwrap();
+        assert!(b > a, "second burst queues behind the first");
+    }
+
+    #[test]
+    fn errors() {
+        let mut ring = Ring::new(2);
+        assert_eq!(
+            ring.transfer(SimTime::ZERO, Transfer { from: NodeId(5), to: NodeId(0), bytes: 1 }),
+            Err(NocError::UnknownNode(NodeId(5)))
+        );
+        assert_eq!(
+            ring.transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 0 }),
+            Err(NocError::EmptyTransfer)
+        );
+        assert_eq!(NocError::EmptyTransfer.to_string(), "zero-byte transfer");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_ring_rejected() {
+        Ring::new(1);
+    }
+}

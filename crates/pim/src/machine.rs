@@ -1,0 +1,642 @@
+//! The full PIM machine: instruction queue, one or two clusters, and
+//! the energy/latency report.
+//!
+//! Global module indices span both clusters: with `n_hp` HP modules and
+//! `n_lp` LP modules, mask bit `i < n_hp` selects HP module `i` and bit
+//! `n_hp <= i < n_hp+n_lp` selects LP module `i - n_hp`. This matches
+//! Table I, where every architecture has 8 modules total.
+
+use crate::cluster::{Cluster, ControllerConfig};
+use crate::module::{ModuleConfig, ModuleError, PimModule};
+use hhpim_isa::{
+    DecodeError, InstructionQueue, MemSelect, ModuleMask, PimInstruction, QueueFullError,
+};
+use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind};
+use hhpim_sim::SimTime;
+use std::fmt;
+
+/// Energy-report category for the machine ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EnergyCat {
+    /// Dynamic access energy of a memory type.
+    MemDynamic(ClusterClass, MemKind),
+    /// Leakage of a memory type.
+    MemStatic(ClusterClass, MemKind),
+    /// Power-gating wake-up charges of a memory type.
+    MemWake(ClusterClass, MemKind),
+    /// PE compute energy.
+    PeDynamic(ClusterClass),
+    /// PE leakage.
+    PeStatic(ClusterClass),
+    /// Controller issue + leakage energy.
+    Controller(ClusterClass),
+}
+
+/// Errors surfaced while running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A queue word failed to decode.
+    Decode(DecodeError),
+    /// A module rejected an operation (global module index attached).
+    Module {
+        /// Global module index.
+        module: usize,
+        /// Underlying error.
+        error: ModuleError,
+    },
+    /// The instruction queue overflowed.
+    QueueFull(QueueFullError),
+    /// An instruction selected module indices beyond the configuration.
+    NoSuchModule {
+        /// The offending mask.
+        mask: u8,
+        /// Total modules configured.
+        modules: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Decode(e) => write!(f, "decode error: {e}"),
+            MachineError::Module { module, error } => {
+                write!(f, "module {module}: {error}")
+            }
+            MachineError::QueueFull(e) => write!(f, "{e}"),
+            MachineError::NoSuchModule { mask, modules } => {
+                write!(f, "mask {mask:#010b} selects modules beyond the {modules} configured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<DecodeError> for MachineError {
+    fn from(e: DecodeError) -> Self {
+        MachineError::Decode(e)
+    }
+}
+
+impl From<QueueFullError> for MachineError {
+    fn from(e: QueueFullError) -> Self {
+        MachineError::QueueFull(e)
+    }
+}
+
+/// Machine shape: module counts and per-module memory sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of HP-PIM modules.
+    pub hp_modules: usize,
+    /// Number of LP-PIM modules (0 for homogeneous machines).
+    pub lp_modules: usize,
+    /// Per-module memory configuration.
+    pub module: ModuleConfig,
+    /// Controller parameters (shared by both controllers).
+    pub controller: ControllerConfig,
+    /// Instruction queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for MachineConfig {
+    /// The paper's HH-PIM: 4 HP + 4 LP modules, 64 kB MRAM + 64 kB SRAM
+    /// each (Table I).
+    fn default() -> Self {
+        MachineConfig {
+            hp_modules: 4,
+            lp_modules: 4,
+            module: ModuleConfig::default(),
+            controller: ControllerConfig::default(),
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// Outcome of [`PimMachine::run_program`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Instant the last operation retired.
+    pub finished_at: SimTime,
+    /// Per-category energy breakdown.
+    pub energy: EnergyLedger<EnergyCat>,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// MAC operations retired across all PEs.
+    pub macs: u64,
+}
+
+impl RunReport {
+    /// Total energy across all categories.
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+}
+
+/// A complete PIM machine (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_pim::{PimMachine, MachineConfig};
+/// use hhpim_isa::{assemble, MemSelect};
+///
+/// let mut machine = PimMachine::new(MachineConfig::default());
+/// machine.preload(0, MemSelect::Mram, 0, &[2, 3]).unwrap();
+/// machine.preload_activations(0, &[10, 10]).unwrap();
+/// let program = assemble("
+///     clr m0
+///     mac m0 mram @0 x2
+///     barrier
+///     halt
+/// ").unwrap();
+/// let report = machine.run_program(&program).unwrap();
+/// assert_eq!(machine.module(0).pe().accumulator(), 50);
+/// assert!(report.total_energy().as_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimMachine {
+    config: MachineConfig,
+    hp: Option<Cluster>,
+    lp: Option<Cluster>,
+    queue: InstructionQueue,
+    now: SimTime,
+    halted: bool,
+    instructions: u64,
+}
+
+impl PimMachine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both module counts are zero or if more than 8 total
+    /// modules are requested (the ISA's mask width).
+    pub fn new(config: MachineConfig) -> Self {
+        let total = config.hp_modules + config.lp_modules;
+        assert!(total > 0, "machine needs at least one module");
+        assert!(total <= 8, "ISA module mask addresses at most 8 modules");
+        let hp = (config.hp_modules > 0).then(|| {
+            Cluster::new(
+                ClusterClass::HighPerformance,
+                config.hp_modules,
+                config.module,
+                config.controller,
+            )
+        });
+        let lp = (config.lp_modules > 0).then(|| {
+            Cluster::new(ClusterClass::LowPower, config.lp_modules, config.module, config.controller)
+        });
+        PimMachine {
+            config,
+            hp,
+            lp,
+            queue: InstructionQueue::new(config.queue_depth),
+            now: SimTime::ZERO,
+            halted: false,
+            instructions: 0,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Total number of modules.
+    pub fn module_count(&self) -> usize {
+        self.config.hp_modules + self.config.lp_modules
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether a `halt` has been executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn locate(&self, global: usize) -> (ClusterClass, usize) {
+        if global < self.config.hp_modules {
+            (ClusterClass::HighPerformance, global)
+        } else {
+            (ClusterClass::LowPower, global - self.config.hp_modules)
+        }
+    }
+
+    /// Shared access to a module by global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range.
+    pub fn module(&self, global: usize) -> &PimModule {
+        assert!(global < self.module_count(), "module index out of range");
+        let (class, local) = self.locate(global);
+        match class {
+            ClusterClass::HighPerformance => self.hp.as_ref().expect("hp exists").module(local),
+            ClusterClass::LowPower => self.lp.as_ref().expect("lp exists").module(local),
+        }
+    }
+
+    /// Exclusive access to a module by global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range.
+    pub fn module_mut(&mut self, global: usize) -> &mut PimModule {
+        assert!(global < self.module_count(), "module index out of range");
+        let (class, local) = self.locate(global);
+        match class {
+            ClusterClass::HighPerformance => {
+                self.hp.as_mut().expect("hp exists").module_mut(local)
+            }
+            ClusterClass::LowPower => self.lp.as_mut().expect("lp exists").module_mut(local),
+        }
+    }
+
+    /// Host-side preload of weights into a module bank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates module range errors.
+    pub fn preload(&mut self, global: usize, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<(), MachineError> {
+        self.module_mut(global)
+            .preload(mem, addr, bytes)
+            .map_err(|error| MachineError::Module { module: global, error })
+    }
+
+    /// Host-side preload of activations into a module's SRAM activation
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates module range errors.
+    pub fn preload_activations(&mut self, global: usize, bytes: &[u8]) -> Result<(), MachineError> {
+        let act_base = self.config.module.act_base;
+        self.preload(global, MemSelect::Sram, act_base, bytes)
+    }
+
+    fn split_mask(&self, mask: ModuleMask) -> Result<(u8, u8), MachineError> {
+        let bits = mask.bits();
+        let total = self.module_count();
+        if total < 8 && bits >> total != 0 {
+            return Err(MachineError::NoSuchModule { mask: bits, modules: total });
+        }
+        let hp = self.config.hp_modules;
+        let hp_bits = bits & (((1u16 << hp) - 1) as u8);
+        let lp_bits = if hp >= 8 { 0 } else { bits >> hp };
+        Ok((hp_bits, lp_bits))
+    }
+
+    fn module_offset(&self, class: ClusterClass) -> usize {
+        match class {
+            ClusterClass::HighPerformance => 0,
+            ClusterClass::LowPower => self.config.hp_modules,
+        }
+    }
+
+    fn run_on_clusters<F>(&mut self, mask: ModuleMask, mut op: F) -> Result<SimTime, MachineError>
+    where
+        F: FnMut(&mut PimModule, SimTime) -> Result<SimTime, ModuleError>,
+    {
+        let (hp_bits, lp_bits) = self.split_mask(mask)?;
+        let now = self.now;
+        let mut latest = now;
+        if hp_bits != 0 {
+            let c = self.hp.as_mut().ok_or(MachineError::NoSuchModule {
+                mask: mask.bits(),
+                modules: 0,
+            })?;
+            let done = c
+                .for_selected(now, hp_bits, &mut op)
+                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+            latest = latest.max(done);
+        }
+        if lp_bits != 0 {
+            let offset = self.module_offset(ClusterClass::LowPower);
+            let c = self.lp.as_mut().ok_or(MachineError::NoSuchModule {
+                mask: mask.bits(),
+                modules: offset,
+            })?;
+            let done = c.for_selected(now, lp_bits, &mut op).map_err(|(local, error)| {
+                MachineError::Module { module: offset + local, error }
+            })?;
+            latest = latest.max(done);
+        }
+        Ok(latest)
+    }
+
+    /// Executes one instruction immediately (bypassing the queue).
+    ///
+    /// The machine clock only advances on `Barrier`/`Halt`; other
+    /// instructions dispatch at the current time and retire in the
+    /// background via per-module `free_at`, mirroring the pipelined
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode, routing and module errors.
+    pub fn execute(&mut self, inst: PimInstruction) -> Result<(), MachineError> {
+        use PimInstruction::*;
+        self.instructions += 1;
+        match inst {
+            Mac { modules, mem, addr, count } => {
+                self.run_on_clusters(modules, |m, at| m.mac(at, mem, addr as usize, count as usize))?;
+            }
+            WriteBack { modules, mem, addr } => {
+                self.run_on_clusters(modules, |m, at| m.write_back(at, mem, addr as usize))?;
+            }
+            ClearAcc { modules } => {
+                self.run_on_clusters(modules, |m, at| {
+                    m.clear_acc();
+                    Ok(at)
+                })?;
+            }
+            MoveIntra { modules, mem, addr, count } => {
+                self.run_on_clusters(modules, |m, at| {
+                    m.move_intra(at, mem, addr as usize, count as usize)
+                })?;
+            }
+            MoveInter { modules, mem, addr, count } => {
+                self.move_inter(modules, mem, addr as usize, count as usize)?;
+            }
+            LoadExt { modules, mem, addr, count } => {
+                // External data arrives over the host interface; the
+                // machine charges the write burst into the bank.
+                self.run_on_clusters(modules, |m, at| {
+                    let zeros = vec![0u8; count as usize];
+                    m.write_words(at, mem, addr as usize, &zeros)
+                })?;
+            }
+            StoreExt { modules, mem, addr, count } => {
+                self.run_on_clusters(modules, |m, at| {
+                    m.read_words(at, mem, addr as usize, count as usize).map(|(t, _)| t)
+                })?;
+            }
+            GateOff { modules, mem } => {
+                self.run_on_clusters(modules, |m, at| m.set_gated(at, mem, true))?;
+            }
+            GateOn { modules, mem } => {
+                self.run_on_clusters(modules, |m, at| m.set_gated(at, mem, false))?;
+            }
+            Barrier => {
+                let mut t = self.now;
+                if let Some(c) = &self.hp {
+                    t = t.max(c.all_free_at());
+                }
+                if let Some(c) = &self.lp {
+                    t = t.max(c.all_free_at());
+                }
+                self.now = t;
+            }
+            Halt => {
+                self.halted = true;
+            }
+            Nop => {}
+        }
+        Ok(())
+    }
+
+    /// Inter-cluster transfer through the Data Allocator: reads from the
+    /// selected source modules (whichever cluster each belongs to),
+    /// buffers chunks, and writes them into the *opposite* cluster.
+    fn move_inter(&mut self, modules: ModuleMask, mem: MemSelect, addr: usize, count: usize) -> Result<(), MachineError> {
+        let (hp_bits, lp_bits) = self.split_mask(modules)?;
+        let now = self.now;
+        // HP sources → LP destinations.
+        if hp_bits != 0 {
+            let (Some(hp), Some(lp)) = (self.hp.as_mut(), self.lp.as_mut()) else {
+                return Err(MachineError::NoSuchModule { mask: modules.bits(), modules: 0 });
+            };
+            let chunks = hp
+                .export_chunks(now, hp_bits, mem, addr, count)
+                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+            let offset = self.config.hp_modules;
+            lp.import_chunks(&chunks, mem).map_err(|(local, error)| MachineError::Module {
+                module: offset + local,
+                error,
+            })?;
+        }
+        // LP sources → HP destinations.
+        if lp_bits != 0 {
+            let (Some(hp), Some(lp)) = (self.hp.as_mut(), self.lp.as_mut()) else {
+                return Err(MachineError::NoSuchModule { mask: modules.bits(), modules: 0 });
+            };
+            let offset = self.config.hp_modules;
+            let chunks = lp
+                .export_chunks(now, lp_bits, mem, addr, count)
+                .map_err(|(local, error)| MachineError::Module { module: offset + local, error })?;
+            hp.import_chunks(&chunks, mem)
+                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+        }
+        Ok(())
+    }
+
+    /// Enqueues and runs a program until the queue drains or `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue, decode and module errors.
+    pub fn run_program(&mut self, program: &[PimInstruction]) -> Result<RunReport, MachineError> {
+        for &inst in program {
+            self.queue.push(inst)?;
+        }
+        while !self.halted {
+            let Some(decoded) = self.queue.pop() else { break };
+            self.execute(decoded?)?;
+        }
+        // Drain: wait for everything in flight, then accrue statics.
+        self.execute(PimInstruction::Barrier)?;
+        Ok(self.report())
+    }
+
+    /// Builds the current energy/latency report (accruing static energy
+    /// up to `now`).
+    pub fn report(&mut self) -> RunReport {
+        let now = self.now;
+        if let Some(c) = self.hp.as_mut() {
+            c.advance_to(now);
+        }
+        if let Some(c) = self.lp.as_mut() {
+            c.advance_to(now);
+        }
+        let mut energy = EnergyLedger::new();
+        let mut macs = 0;
+        for cluster in [self.hp.as_ref(), self.lp.as_ref()].into_iter().flatten() {
+            let class = cluster.class();
+            for m in cluster.modules() {
+                if m.has_mram() {
+                    let b = m.bank(MemSelect::Mram);
+                    energy.add(EnergyCat::MemDynamic(class, MemKind::Mram), b.dynamic_energy());
+                    energy.add(EnergyCat::MemStatic(class, MemKind::Mram), b.static_energy());
+                    energy.add(EnergyCat::MemWake(class, MemKind::Mram), b.wake_energy());
+                }
+                let s = m.bank(MemSelect::Sram);
+                energy.add(EnergyCat::MemDynamic(class, MemKind::Sram), s.dynamic_energy());
+                energy.add(EnergyCat::MemStatic(class, MemKind::Sram), s.static_energy());
+                energy.add(EnergyCat::MemWake(class, MemKind::Sram), s.wake_energy());
+                energy.add(EnergyCat::PeDynamic(class), m.pe().dynamic_energy());
+                energy.add(EnergyCat::PeStatic(class), m.pe().static_energy());
+                macs += m.pe().macs_retired();
+            }
+            energy.add(
+                EnergyCat::Controller(class),
+                cluster.controller_dynamic_energy() + cluster.controller_static_energy(),
+            );
+        }
+        RunReport { finished_at: now, energy, instructions: self.instructions, macs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhpim_isa::assemble;
+
+    fn machine() -> PimMachine {
+        PimMachine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn runs_simple_program() {
+        let mut m = machine();
+        m.preload(0, MemSelect::Mram, 0, &[1, 2, 3, 4]).unwrap();
+        m.preload_activations(0, &[1, 1, 1, 1]).unwrap();
+        let prog = assemble("clr m0\nmac m0 mram @0 x4\nbarrier\nhalt").unwrap();
+        let report = m.run_program(&prog).unwrap();
+        assert_eq!(m.module(0).pe().accumulator(), 10);
+        assert_eq!(report.macs, 4);
+        assert!(report.finished_at > SimTime::ZERO);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn mask_routes_across_clusters() {
+        let mut m = machine();
+        for g in [0usize, 5] {
+            m.preload(g, MemSelect::Sram, 0, &[2, 2]).unwrap();
+            m.preload_activations(g, &[3, 3]).unwrap();
+        }
+        // m0 is HP module 0; m5 is LP module 1.
+        let prog = assemble("clr m0,m5\nmac m0,m5 sram @0 x2\nbarrier\nhalt").unwrap();
+        m.run_program(&prog).unwrap();
+        assert_eq!(m.module(0).pe().accumulator(), 12);
+        assert_eq!(m.module(5).pe().accumulator(), 12);
+        assert_eq!(m.module(1).pe().accumulator(), 0);
+    }
+
+    #[test]
+    fn hp_finishes_before_lp() {
+        let mut m = machine();
+        m.preload(0, MemSelect::Sram, 0, &[1u8; 64]).unwrap();
+        m.preload(4, MemSelect::Sram, 0, &[1u8; 64]).unwrap();
+        m.execute(PimInstruction::Mac {
+            modules: ModuleMask::single(0),
+            mem: MemSelect::Sram,
+            addr: 0,
+            count: 64,
+        })
+        .unwrap();
+        m.execute(PimInstruction::Mac {
+            modules: ModuleMask::single(4),
+            mem: MemSelect::Sram,
+            addr: 0,
+            count: 64,
+        })
+        .unwrap();
+        let hp_done = m.module(0).free_at();
+        let lp_done = m.module(4).free_at();
+        assert!(hp_done < lp_done, "HP {hp_done} should beat LP {lp_done}");
+    }
+
+    #[test]
+    fn inter_cluster_move_transfers_weights() {
+        let mut m = machine();
+        m.preload(0, MemSelect::Sram, 32, &[42u8; 8]).unwrap();
+        let prog = assemble("movx m0 sram @32 x8\nbarrier\nhalt").unwrap();
+        m.run_program(&prog).unwrap();
+        // HP module 0 exports; LP module 0 (global 4) receives.
+        assert_eq!(m.module(4).read_back(MemSelect::Sram, 32, 8).unwrap(), &[42u8; 8]);
+    }
+
+    #[test]
+    fn gating_program_cuts_static_power() {
+        let mut a = machine();
+        let mut b = machine();
+        let gated = assemble("gateoff all mram\nbarrier\nhalt").unwrap();
+        a.run_program(&gated).unwrap();
+        b.run_program(&assemble("barrier\nhalt").unwrap()).unwrap();
+        // Let both idle for 1 ms, then compare MRAM static energy.
+        for mm in [&mut a, &mut b] {
+            mm.now = SimTime::from_ns(1_000_000);
+        }
+        let ra = a.report();
+        let rb = b.report();
+        let cat = EnergyCat::MemStatic(ClusterClass::HighPerformance, MemKind::Mram);
+        assert!(ra.energy.get(cat).as_pj() < rb.energy.get(cat).as_pj());
+    }
+
+    #[test]
+    fn rejects_mask_beyond_configuration() {
+        let cfg = MachineConfig { hp_modules: 2, lp_modules: 2, ..MachineConfig::default() };
+        let mut m = PimMachine::new(cfg);
+        let err = m
+            .execute(PimInstruction::ClearAcc { modules: ModuleMask::all() })
+            .unwrap_err();
+        assert!(matches!(err, MachineError::NoSuchModule { .. }));
+    }
+
+    #[test]
+    fn baseline_shape_runs_without_lp() {
+        // Baseline-PIM: 8 HP modules, SRAM only (Table I).
+        let cfg = MachineConfig {
+            hp_modules: 8,
+            lp_modules: 0,
+            module: ModuleConfig { mram_bytes: 0, sram_bytes: 128 * 1024, act_base: 96 * 1024 },
+            ..MachineConfig::default()
+        };
+        let mut m = PimMachine::new(cfg);
+        m.preload(7, MemSelect::Sram, 0, &[1, 1]).unwrap();
+        m.preload_activations(7, &[5, 5]).unwrap();
+        let prog = assemble("clr m7\nmac m7 sram @0 x2\nbarrier\nhalt").unwrap();
+        m.run_program(&prog).unwrap();
+        assert_eq!(m.module(7).pe().accumulator(), 10);
+    }
+
+    #[test]
+    fn report_energy_breakdown_has_all_active_categories() {
+        let mut m = machine();
+        m.preload(0, MemSelect::Mram, 0, &[1, 1]).unwrap();
+        m.preload_activations(0, &[1, 1]).unwrap();
+        let prog = assemble("clr m0\nmac m0 mram @0 x2\nbarrier\nhalt").unwrap();
+        let report = m.run_program(&prog).unwrap();
+        use ClusterClass::*;
+        use MemKind::*;
+        assert!(report.energy.get(EnergyCat::MemDynamic(HighPerformance, Mram)).as_pj() > 0.0);
+        assert!(report.energy.get(EnergyCat::MemDynamic(HighPerformance, Sram)).as_pj() > 0.0);
+        assert!(report.energy.get(EnergyCat::PeDynamic(HighPerformance)).as_pj() > 0.0);
+        assert!(report.energy.get(EnergyCat::Controller(HighPerformance)).as_pj() > 0.0);
+        assert!(report.energy.get(EnergyCat::MemStatic(HighPerformance, Sram)).as_pj() > 0.0);
+    }
+
+    #[test]
+    fn corrupted_queue_word_errors() {
+        let mut m = machine();
+        m.queue.push_word(u64::MAX).unwrap();
+        let mut failed = false;
+        while let Some(w) = m.queue.pop() {
+            if w.is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8")]
+    fn too_many_modules_rejected() {
+        PimMachine::new(MachineConfig { hp_modules: 6, lp_modules: 6, ..Default::default() });
+    }
+}

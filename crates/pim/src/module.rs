@@ -1,0 +1,541 @@
+//! A PIM module: hybrid MRAM+SRAM memory, an interface and a PE.
+//!
+//! Per Fig. 1 of the paper, every module (HP or LP) contains an MRAM
+//! bank, an SRAM bank, an internal interface and one PE. The interface
+//! "dynamically adjusts the load process based on data storage status",
+//! synchronizing the differing read cycles of MRAM and SRAM in the LOAD
+//! state — modelled here by starting PE execution only once *both*
+//! operand streams (weights from the selected bank, activations from
+//! SRAM) have arrived.
+//!
+//! The module is bit-accurate: banks have real byte contents, so whole
+//! quantized networks can be executed and checked against a software
+//! reference (the FPGA functional-verification step of §IV-A).
+
+use crate::pe::ProcessingElement;
+use hhpim_isa::MemSelect;
+use hhpim_mem::{
+    pe_for, tech_for, AccessKind, BankError, ClusterClass, Energy, MemKind, MemoryBank,
+};
+use hhpim_sim::{SimTime, Summary};
+use std::fmt;
+
+/// Errors raised by module operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleError {
+    /// The underlying bank rejected the access.
+    Bank(BankError),
+    /// An address range fell outside the bank.
+    AddrOutOfRange {
+        /// First out-of-range byte address.
+        addr: usize,
+        /// Bank capacity in bytes.
+        capacity: usize,
+    },
+    /// The activation pointer would run past the SRAM activation region.
+    ActivationOverrun,
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Bank(e) => write!(f, "bank error: {e}"),
+            ModuleError::AddrOutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} outside bank of {capacity} bytes")
+            }
+            ModuleError::ActivationOverrun => write!(f, "activation pointer overran SRAM"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+impl From<BankError> for ModuleError {
+    fn from(e: BankError) -> Self {
+        ModuleError::Bank(e)
+    }
+}
+
+/// Configuration of a single PIM module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleConfig {
+    /// MRAM bank capacity in bytes (0 disables the bank, as in the
+    /// SRAM-only Baseline/Heterogeneous architectures of Table I).
+    pub mram_bytes: usize,
+    /// SRAM bank capacity in bytes.
+    pub sram_bytes: usize,
+    /// Byte offset in SRAM where the activation region begins.
+    pub act_base: usize,
+}
+
+impl Default for ModuleConfig {
+    /// The paper's HH-PIM module: 64 kB MRAM + 64 kB SRAM, with the top
+    /// quarter of SRAM reserved for activations.
+    fn default() -> Self {
+        ModuleConfig {
+            mram_bytes: 64 * 1024,
+            sram_bytes: 64 * 1024,
+            act_base: 48 * 1024,
+        }
+    }
+}
+
+/// A single PIM module (see module-level docs).
+#[derive(Debug, Clone)]
+pub struct PimModule {
+    class: ClusterClass,
+    mram: Option<MemoryBank>,
+    mram_data: Vec<u8>,
+    sram: MemoryBank,
+    sram_data: Vec<u8>,
+    pe: ProcessingElement,
+    act_ptr: usize,
+    act_base: usize,
+    free_at: SimTime,
+    mac_burst_latency: Summary,
+}
+
+impl PimModule {
+    /// Creates a module of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sram_bytes` is zero or `act_base >= sram_bytes` —
+    /// a module always needs SRAM for activations.
+    pub fn new(class: ClusterClass, config: ModuleConfig) -> Self {
+        assert!(config.sram_bytes > 0, "module requires SRAM");
+        assert!(config.act_base < config.sram_bytes, "activation base outside SRAM");
+        let mram = (config.mram_bytes > 0)
+            .then(|| MemoryBank::new(tech_for(class, MemKind::Mram), config.mram_bytes));
+        PimModule {
+            class,
+            mram,
+            mram_data: vec![0; config.mram_bytes],
+            sram: MemoryBank::new(tech_for(class, MemKind::Sram), config.sram_bytes),
+            sram_data: vec![0; config.sram_bytes],
+            pe: ProcessingElement::new(pe_for(class)),
+            act_ptr: config.act_base,
+            act_base: config.act_base,
+            free_at: SimTime::ZERO,
+            mac_burst_latency: Summary::new(),
+        }
+    }
+
+    /// The module's cluster class.
+    pub fn class(&self) -> ClusterClass {
+        self.class
+    }
+
+    /// Whether the module has an MRAM bank.
+    pub fn has_mram(&self) -> bool {
+        self.mram.is_some()
+    }
+
+    /// The module's PE.
+    pub fn pe(&self) -> &ProcessingElement {
+        &self.pe
+    }
+
+    /// Shared view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when selecting MRAM on an SRAM-only module.
+    pub fn bank(&self, mem: MemSelect) -> &MemoryBank {
+        match mem {
+            MemSelect::Mram => self.mram.as_ref().expect("module has no MRAM bank"),
+            MemSelect::Sram => &self.sram,
+        }
+    }
+
+    fn bank_mut(&mut self, mem: MemSelect) -> Result<&mut MemoryBank, ModuleError> {
+        match mem {
+            MemSelect::Mram => self.mram.as_mut().ok_or(ModuleError::AddrOutOfRange {
+                addr: 0,
+                capacity: 0,
+            }),
+            MemSelect::Sram => Ok(&mut self.sram),
+        }
+    }
+
+    /// Instant at which the module completes all issued work.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Distribution of MAC-burst latencies (ns), for reports.
+    pub fn mac_burst_latency(&self) -> &Summary {
+        &self.mac_burst_latency
+    }
+
+    /// Advances static-energy accrual of all powered components to `now`.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if let Some(m) = self.mram.as_mut() {
+            m.advance_to(now);
+        }
+        self.sram.advance_to(now);
+        self.pe.advance_to(now);
+    }
+
+    /// Total energy (dynamic + static + wake) across banks and PE.
+    pub fn total_energy(&self) -> Energy {
+        let mram = self.mram.as_ref().map(MemoryBank::total_energy).unwrap_or(Energy::ZERO);
+        mram + self.sram.total_energy() + self.pe.dynamic_energy() + self.pe.static_energy()
+    }
+
+    fn check_range(&self, mem: MemSelect, addr: usize, len: usize) -> Result<(), ModuleError> {
+        let capacity = match mem {
+            MemSelect::Mram => self.mram_data.len(),
+            MemSelect::Sram => self.sram_data.len(),
+        };
+        if addr + len > capacity {
+            return Err(ModuleError::AddrOutOfRange { addr: addr + len, capacity });
+        }
+        Ok(())
+    }
+
+    fn data(&self, mem: MemSelect) -> &[u8] {
+        match mem {
+            MemSelect::Mram => &self.mram_data,
+            MemSelect::Sram => &self.sram_data,
+        }
+    }
+
+    fn data_mut(&mut self, mem: MemSelect) -> &mut Vec<u8> {
+        match mem {
+            MemSelect::Mram => &mut self.mram_data,
+            MemSelect::Sram => &mut self.sram_data,
+        }
+    }
+
+    /// Host-side preload: writes bytes directly (no timing/energy), used
+    /// for test fixture setup, mirroring a JTAG/debug load on the FPGA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModuleError::AddrOutOfRange`] on overflow.
+    pub fn preload(&mut self, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<(), ModuleError> {
+        self.check_range(mem, addr, bytes.len())?;
+        let occupy = bytes.len();
+        self.data_mut(mem)[addr..addr + occupy].copy_from_slice(bytes);
+        let bank = self.bank_mut(mem)?;
+        // Occupancy tracking saturates at capacity: preloads may overwrite.
+        let free = bank.free_bytes();
+        let _ = bank.store(occupy.min(free));
+        Ok(())
+    }
+
+    /// Host-side readback of bytes (no timing/energy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModuleError::AddrOutOfRange`] on overflow.
+    pub fn read_back(&self, mem: MemSelect, addr: usize, len: usize) -> Result<&[u8], ModuleError> {
+        self.check_range(mem, addr, len)?;
+        Ok(&self.data(mem)[addr..addr + len])
+    }
+
+    /// Clears the PE accumulator and rewinds the activation pointer to
+    /// the activation base (zero-latency architectural operation).
+    pub fn clear_acc(&mut self) {
+        self.pe.clear();
+        self.act_ptr = self.act_base;
+    }
+
+    /// Executes `count` MACs: weights stream from `mem` at `addr`,
+    /// activations stream from the SRAM activation region. The PE starts
+    /// when both operand bursts have arrived (the LOAD-state
+    /// synchronization the paper's interface performs); returns the
+    /// completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank errors (gated banks) and range errors.
+    pub fn mac(&mut self, at: SimTime, mem: MemSelect, addr: usize, count: usize) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, count)?;
+        if self.act_ptr + count > self.sram_data.len() {
+            return Err(ModuleError::ActivationOverrun);
+        }
+        // Weight burst from the selected bank.
+        let w_done = self.bank_mut(mem)?.access(at, AccessKind::Read, count as u64)?.done_at;
+        // Activation burst always from SRAM. When weights also come from
+        // SRAM the single port serializes both bursts automatically.
+        let a_done = self.sram.access(at, AccessKind::Read, count as u64)?.done_at;
+        let operands_ready = w_done.max(a_done);
+        let pairs: Vec<(i8, i8)> = (0..count)
+            .map(|i| {
+                let w = self.data(mem)[addr + i] as i8;
+                let a = self.sram_data[self.act_ptr + i] as i8;
+                (w, a)
+            })
+            .collect();
+        let done = self.pe.mac_burst(operands_ready, &pairs);
+        self.act_ptr += count;
+        self.free_at = done;
+        self.mac_burst_latency.add(done.saturating_since(at).as_ns_f64());
+        Ok(done)
+    }
+
+    /// Writes the PE accumulator (4 bytes, little-endian) to `mem` at
+    /// `addr`; returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank and range errors.
+    pub fn write_back(&mut self, at: SimTime, mem: MemSelect, addr: usize) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, 4)?;
+        let value = self.pe.accumulator().to_le_bytes();
+        let done = self.bank_mut(mem)?.access(at, AccessKind::Write, 4)?.done_at;
+        self.data_mut(mem)[addr..addr + 4].copy_from_slice(&value);
+        self.free_at = done;
+        Ok(done)
+    }
+
+    /// Copies `count` bytes from `from` at `addr` to the opposite bank at
+    /// the same address (read burst then write burst, serialized as the
+    /// module interface does); returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank and range errors; fails on SRAM-only modules.
+    pub fn move_intra(&mut self, at: SimTime, from: MemSelect, addr: usize, count: usize) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        let to = match from {
+            MemSelect::Mram => MemSelect::Sram,
+            MemSelect::Sram => MemSelect::Mram,
+        };
+        self.check_range(from, addr, count)?;
+        self.check_range(to, addr, count)?;
+        let read_done = self.bank_mut(from)?.access(at, AccessKind::Read, count as u64)?.done_at;
+        let write_done =
+            self.bank_mut(to)?.access(read_done, AccessKind::Write, count as u64)?.done_at;
+        let bytes: Vec<u8> = self.data(from)[addr..addr + count].to_vec();
+        self.data_mut(to)[addr..addr + count].copy_from_slice(&bytes);
+        // Occupancy: data now live in both banks until explicitly freed.
+        let to_bank = self.bank_mut(to)?;
+        let free = to_bank.free_bytes();
+        let _ = to_bank.store(count.min(free));
+        self.free_at = write_done;
+        Ok(write_done)
+    }
+
+    /// Timed read of `count` bytes (used by the Data Allocator's MEM
+    /// interface for inter-cluster transfers and external stores).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank and range errors.
+    pub fn read_words(&mut self, at: SimTime, mem: MemSelect, addr: usize, count: usize) -> Result<(SimTime, Vec<u8>), ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, count)?;
+        let done = self.bank_mut(mem)?.access(at, AccessKind::Read, count as u64)?.done_at;
+        let bytes = self.data(mem)[addr..addr + count].to_vec();
+        self.free_at = done;
+        Ok((done, bytes))
+    }
+
+    /// Timed write of bytes (inter-cluster arrivals and external loads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank and range errors.
+    pub fn write_words(&mut self, at: SimTime, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, bytes.len())?;
+        let done = self.bank_mut(mem)?.access(at, AccessKind::Write, bytes.len() as u64)?.done_at;
+        let n = bytes.len();
+        self.data_mut(mem)[addr..addr + n].copy_from_slice(bytes);
+        let bank = self.bank_mut(mem)?;
+        let free = bank.free_bytes();
+        let _ = bank.store(n.min(free));
+        self.free_at = done;
+        Ok(done)
+    }
+
+    /// Power-gates or wakes a bank. Gating SRAM with live data fails
+    /// (volatile); waking returns when the bank is accessible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankError::WouldLoseData`] for live SRAM.
+    pub fn set_gated(&mut self, now: SimTime, mem: MemSelect, gated: bool) -> Result<SimTime, ModuleError> {
+        let bank = self.bank_mut(mem)?;
+        if gated {
+            bank.gate(now)?;
+            Ok(now)
+        } else {
+            Ok(bank.ungate(now))
+        }
+    }
+
+    /// Frees `bytes` of occupancy from a bank (placement bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BankError::Underflow`].
+    pub fn free_bytes(&mut self, mem: MemSelect, bytes: usize) -> Result<(), ModuleError> {
+        Ok(self.bank_mut(mem)?.free(bytes)?)
+    }
+
+    /// Marks the module idle and powers the PE down or up.
+    pub fn set_pe_powered(&mut self, now: SimTime, powered: bool) {
+        self.pe.set_powered(now, powered);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp_module() -> PimModule {
+        PimModule::new(ClusterClass::HighPerformance, ModuleConfig::default())
+    }
+
+    #[test]
+    fn mac_computes_dot_product() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Mram, 0, &[2u8, 3, 0xFF]).unwrap(); // 2, 3, -1
+        let act_base = ModuleConfig::default().act_base;
+        m.preload(MemSelect::Sram, act_base, &[10u8, 20, 30]).unwrap();
+        m.clear_acc();
+        m.mac(SimTime::ZERO, MemSelect::Mram, 0, 3).unwrap();
+        assert_eq!(m.pe().accumulator(), 2 * 10 + 3 * 20 - 30);
+    }
+
+    #[test]
+    fn chained_macs_advance_activation_pointer() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Sram, 0, &[1u8, 1, 1, 1]).unwrap();
+        let act_base = ModuleConfig::default().act_base;
+        m.preload(MemSelect::Sram, act_base, &[1u8, 2, 3, 4]).unwrap();
+        m.clear_acc();
+        m.mac(SimTime::ZERO, MemSelect::Sram, 0, 2).unwrap();
+        m.mac(SimTime::ZERO, MemSelect::Sram, 2, 2).unwrap();
+        assert_eq!(m.pe().accumulator(), 1 + 2 + 3 + 4);
+        // Clearing rewinds the pointer.
+        m.clear_acc();
+        m.mac(SimTime::ZERO, MemSelect::Sram, 0, 2).unwrap();
+        assert_eq!(m.pe().accumulator(), 1 + 2);
+    }
+
+    #[test]
+    fn mram_and_sram_loads_overlap() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Mram, 0, &[1u8; 16]).unwrap();
+        let done_mram = m.mac(SimTime::ZERO, MemSelect::Mram, 0, 16).unwrap();
+
+        let mut m2 = hp_module();
+        m2.preload(MemSelect::Sram, 0, &[1u8; 16]).unwrap();
+        let done_sram = m2.mac(SimTime::ZERO, MemSelect::Sram, 0, 16).unwrap();
+
+        // MRAM weights (2.62 ns) overlap the SRAM activation reads
+        // (1.12 ns): operands ready at 16×2.62 = 41.92 ns.
+        // SRAM weights serialize with activations on one port:
+        // operands ready at 32×1.12 = 35.84 ns. PE: 16×5.52 = 88.32.
+        assert_eq!(done_mram.as_ps(), 41_920 + 88_320);
+        assert_eq!(done_sram.as_ps(), 35_840 + 88_320);
+    }
+
+    #[test]
+    fn write_back_persists_accumulator() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Sram, 0, &[5u8, 5]).unwrap();
+        let act_base = ModuleConfig::default().act_base;
+        m.preload(MemSelect::Sram, act_base, &[3u8, 4]).unwrap();
+        m.clear_acc();
+        m.mac(SimTime::ZERO, MemSelect::Sram, 0, 2).unwrap();
+        m.write_back(SimTime::ZERO, MemSelect::Sram, 100).unwrap();
+        let bytes = m.read_back(MemSelect::Sram, 100, 4).unwrap();
+        assert_eq!(i32::from_le_bytes(bytes.try_into().unwrap()), 35);
+    }
+
+    #[test]
+    fn move_intra_copies_and_times() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Mram, 10, &[7u8, 8, 9]).unwrap();
+        let done = m.move_intra(SimTime::ZERO, MemSelect::Mram, 10, 3).unwrap();
+        assert_eq!(m.read_back(MemSelect::Sram, 10, 3).unwrap(), &[7, 8, 9]);
+        // 3 MRAM reads (2.62) then 3 SRAM writes (1.12).
+        assert_eq!(done.as_ps(), 3 * 2_620 + 3 * 1_120);
+    }
+
+    #[test]
+    fn sram_only_module_rejects_mram_ops() {
+        let cfg = ModuleConfig { mram_bytes: 0, sram_bytes: 1024, act_base: 512 };
+        let mut m = PimModule::new(ClusterClass::HighPerformance, cfg);
+        assert!(!m.has_mram());
+        assert!(m.mac(SimTime::ZERO, MemSelect::Mram, 0, 1).is_err());
+    }
+
+    #[test]
+    fn range_errors() {
+        let mut m = hp_module();
+        let cap = 64 * 1024;
+        assert_eq!(
+            m.preload(MemSelect::Mram, cap - 1, &[0, 0]),
+            Err(ModuleError::AddrOutOfRange { addr: cap + 1, capacity: cap })
+        );
+        assert!(m.read_back(MemSelect::Sram, cap, 1).is_err());
+    }
+
+    #[test]
+    fn activation_overrun_detected() {
+        let cfg = ModuleConfig { mram_bytes: 1024, sram_bytes: 1024, act_base: 1020 };
+        let mut m = PimModule::new(ClusterClass::HighPerformance, cfg);
+        m.preload(MemSelect::Mram, 0, &[1u8; 8]).unwrap();
+        assert_eq!(
+            m.mac(SimTime::ZERO, MemSelect::Mram, 0, 8),
+            Err(ModuleError::ActivationOverrun)
+        );
+    }
+
+    #[test]
+    fn gated_bank_rejects_mac() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Mram, 0, &[1u8; 4]).unwrap();
+        m.set_gated(SimTime::ZERO, MemSelect::Mram, true).unwrap();
+        assert!(matches!(
+            m.mac(SimTime::ZERO, MemSelect::Mram, 0, 4),
+            Err(ModuleError::Bank(BankError::Gated))
+        ));
+        let ready = m.set_gated(SimTime::ZERO, MemSelect::Mram, false).unwrap();
+        assert!(m.mac(ready, MemSelect::Mram, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn lp_module_is_slower() {
+        let mut hp = hp_module();
+        let mut lp = PimModule::new(ClusterClass::LowPower, ModuleConfig::default());
+        for m in [&mut hp, &mut lp] {
+            m.preload(MemSelect::Sram, 0, &[1u8; 8]).unwrap();
+        }
+        let hp_done = hp.mac(SimTime::ZERO, MemSelect::Sram, 0, 8).unwrap();
+        let lp_done = lp.mac(SimTime::ZERO, MemSelect::Sram, 0, 8).unwrap();
+        assert!(lp_done > hp_done);
+    }
+
+    #[test]
+    fn energy_totals_accumulate() {
+        let mut m = hp_module();
+        m.preload(MemSelect::Mram, 0, &[1u8; 4]).unwrap();
+        m.mac(SimTime::ZERO, MemSelect::Mram, 0, 4).unwrap();
+        m.advance_to(SimTime::from_ns(100));
+        let total = m.total_energy();
+        assert!(total.as_pj() > 0.0);
+        // Components: MRAM reads + SRAM act reads + PE MACs + leakage.
+        let mram_dyn = m.bank(MemSelect::Mram).dynamic_energy();
+        let sram_dyn = m.bank(MemSelect::Sram).dynamic_energy();
+        assert!(mram_dyn.as_pj() > 0.0);
+        assert!(sram_dyn.as_pj() > 0.0);
+        assert!(total.as_pj() >= (mram_dyn + sram_dyn).as_pj());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ModuleError::AddrOutOfRange { addr: 0x10, capacity: 8 };
+        assert!(e.to_string().contains("0x10"));
+        assert_eq!(ModuleError::ActivationOverrun.to_string(), "activation pointer overran SRAM");
+    }
+}

@@ -1,0 +1,357 @@
+//! Mini-assembler for the RV32IM subset the driver programs use.
+//!
+//! Supports labels, decimal/hex immediates, the `li` pseudo-instruction
+//! (expanding to `lui`+`addi` when needed, always two words for
+//! deterministic layout) and `#` comments.
+
+use core::fmt;
+use std::collections::HashMap;
+
+/// Assembly errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RvAsmError {
+    /// Source line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for RvAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RvAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> RvAsmError {
+    RvAsmError { line, message: message.into() }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u32, RvAsmError> {
+    let name = s.trim().trim_end_matches(',');
+    let body = name.strip_prefix('x').ok_or_else(|| err(line, format!("bad register `{name}`")))?;
+    let idx: u32 = body.parse().map_err(|_| err(line, format!("bad register `{name}`")))?;
+    if idx >= 32 {
+        return Err(err(line, format!("register {name} out of range")));
+    }
+    Ok(idx)
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, RvAsmError> {
+    let t = s.trim().trim_end_matches(',');
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// `off(reg)` operand.
+fn parse_mem(s: &str, line: usize) -> Result<(i64, u32), RvAsmError> {
+    let t = s.trim().trim_end_matches(',');
+    let open = t.find('(').ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
+    let close = t.rfind(')').ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
+    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..close], line)?;
+    Ok((off, reg))
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i64, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i64, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+}
+
+fn b_type(imm: i64, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | 0x63
+}
+
+fn j_type(imm: i64, rd: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7)
+        | 0x6F
+}
+
+/// Number of words a source instruction occupies (for label layout).
+fn words_for(mnemonic: &str) -> u32 {
+    match mnemonic {
+        "li" => 2, // always lui+addi for deterministic layout
+        _ => 1,
+    }
+}
+
+/// Assembles RV32IM source into instruction words.
+///
+/// # Errors
+///
+/// Returns the first [`RvAsmError`] with its line number.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_riscv::assemble_rv;
+/// let code = assemble_rv("li x1, 42\necall").unwrap();
+/// assert_eq!(code.len(), 3); // li expands to lui+addi
+/// ```
+pub fn assemble_rv(source: &str) -> Result<Vec<u32>, RvAsmError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr = 0u32;
+    for (ln, raw) in source.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            let label = rest[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            rest = rest[colon + 1..].trim();
+        }
+        if !rest.is_empty() {
+            let mnemonic = rest.split_whitespace().next().expect("non-empty");
+            addr += 4 * words_for(mnemonic);
+        }
+    }
+
+    // Pass 2: encode.
+    let mut out: Vec<u32> = Vec::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty");
+        let ops: Vec<&str> = rest[mnemonic.len()..].split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let here = out.len() as u32 * 4;
+        let target = |name: &str| -> Result<i64, RvAsmError> {
+            if let Some(&a) = labels.get(name) {
+                Ok(a as i64 - here as i64)
+            } else {
+                parse_imm(name, line)
+            }
+        };
+        match mnemonic {
+            "li" => {
+                let rd = parse_reg(ops.first().ok_or_else(|| err(line, "li needs rd, imm"))?, line)?;
+                let imm = parse_imm(ops.get(1).ok_or_else(|| err(line, "li needs rd, imm"))?, line)?;
+                let imm = imm as i32;
+                let lo = (imm << 20) >> 20; // sign-extended low 12
+                let hi = (imm.wrapping_sub(lo)) as u32; // upper 20 in place
+                out.push((hi & 0xFFFF_F000) | (rd << 7) | 0x37); // lui
+                out.push(i_type(lo as i64, rd, 0, rd, 0x13)); // addi rd, rd, lo
+            }
+            "lui" => {
+                let rd = parse_reg(ops[0], line)?;
+                let imm = parse_imm(ops.get(1).ok_or_else(|| err(line, "lui needs imm"))?, line)?;
+                out.push(((imm as u32) << 12) | (rd << 7) | 0x37);
+            }
+            "addi" | "andi" | "ori" | "xori" | "slti" | "sltiu" | "slli" | "srli" | "srai" => {
+                if ops.len() != 3 {
+                    return Err(err(line, format!("{mnemonic} needs rd, rs1, imm")));
+                }
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = parse_imm(ops[2], line)?;
+                let (funct3, extra) = match mnemonic {
+                    "addi" => (0, 0),
+                    "slti" => (2, 0),
+                    "sltiu" => (3, 0),
+                    "xori" => (4, 0),
+                    "ori" => (6, 0),
+                    "andi" => (7, 0),
+                    "slli" => (1, 0),
+                    "srli" => (5, 0),
+                    _ => (5, 0x400), // srai
+                };
+                out.push(i_type(imm | extra, rs1, funct3, rd, 0x13));
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                if ops.len() != 3 {
+                    return Err(err(line, format!("{mnemonic} needs rd, rs1, rs2")));
+                }
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let rs2 = parse_reg(ops[2], line)?;
+                let (funct7, funct3) = match mnemonic {
+                    "add" => (0x00, 0),
+                    "sub" => (0x20, 0),
+                    "sll" => (0x00, 1),
+                    "slt" => (0x00, 2),
+                    "sltu" => (0x00, 3),
+                    "xor" => (0x00, 4),
+                    "srl" => (0x00, 5),
+                    "sra" => (0x20, 5),
+                    "or" => (0x00, 6),
+                    "and" => (0x00, 7),
+                    "mul" => (0x01, 0),
+                    "mulh" => (0x01, 1),
+                    "mulhsu" => (0x01, 2),
+                    "mulhu" => (0x01, 3),
+                    "div" => (0x01, 4),
+                    "divu" => (0x01, 5),
+                    "rem" => (0x01, 6),
+                    _ => (0x01, 7), // remu
+                };
+                out.push(r_type(funct7, rs2, rs1, funct3, rd, 0x33));
+            }
+            "lw" | "lb" | "lbu" => {
+                let rd = parse_reg(ops[0], line)?;
+                let (off, rs1) = parse_mem(ops.get(1).ok_or_else(|| err(line, "load needs mem operand"))?, line)?;
+                let funct3 = match mnemonic {
+                    "lb" => 0,
+                    "lw" => 2,
+                    _ => 4,
+                };
+                out.push(i_type(off, rs1, funct3, rd, 0x03));
+            }
+            "sw" | "sb" => {
+                let rs2 = parse_reg(ops[0], line)?;
+                let (off, rs1) = parse_mem(ops.get(1).ok_or_else(|| err(line, "store needs mem operand"))?, line)?;
+                let funct3 = if mnemonic == "sb" { 0 } else { 2 };
+                out.push(s_type(off, rs2, rs1, funct3, 0x23));
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                if ops.len() != 3 {
+                    return Err(err(line, format!("{mnemonic} needs rs1, rs2, target")));
+                }
+                let rs1 = parse_reg(ops[0], line)?;
+                let rs2 = parse_reg(ops[1], line)?;
+                let off = target(ops[2])?;
+                let funct3 = match mnemonic {
+                    "beq" => 0,
+                    "bne" => 1,
+                    "blt" => 4,
+                    "bge" => 5,
+                    "bltu" => 6,
+                    _ => 7,
+                };
+                out.push(b_type(off, rs2, rs1, funct3));
+            }
+            "jal" => {
+                let rd = parse_reg(ops[0], line)?;
+                let off = target(ops.get(1).ok_or_else(|| err(line, "jal needs target"))?)?;
+                out.push(j_type(off, rd));
+            }
+            "jalr" => {
+                if ops.len() != 3 {
+                    return Err(err(line, "jalr needs rd, rs1, imm"));
+                }
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = parse_imm(ops[2], line)?;
+                out.push(i_type(imm, rs1, 0, rd, 0x67));
+            }
+            "ecall" => out.push(0x0000_0073),
+            "ebreak" => out.push(0x0010_0073),
+            "nop" => out.push(i_type(0, 0, 0, 0, 0x13)),
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_expands_to_two_words() {
+        assert_eq!(assemble_rv("li x5, 1").unwrap().len(), 2);
+        assert_eq!(assemble_rv("li x5, 0x12345678").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_back() {
+        let code = assemble_rv(
+            "start: addi x1, x0, 1
+             beq x1, x0, start
+             jal x0, end
+             nop
+             end: ecall",
+        )
+        .unwrap();
+        assert_eq!(code.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble_rv("a: nop\na: nop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble_rv("frob x1, x2").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let e = assemble_rv("add x1, x99, x2").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn memory_operands() {
+        // sw x2, 8(x1) — S-type split immediate.
+        let w = assemble_rv("sw x2, 8(x1)").unwrap()[0];
+        assert_eq!(w & 0x7F, 0x23);
+        // lw x3, -4(x2)
+        let w = assemble_rv("lw x3, -4(x2)").unwrap()[0];
+        assert_eq!(w & 0x7F, 0x03);
+    }
+
+    #[test]
+    fn encodes_known_words() {
+        // addi x1, x0, 5 => 0x00500093
+        assert_eq!(assemble_rv("addi x1, x0, 5").unwrap()[0], 0x0050_0093);
+        // add x3, x1, x2 => 0x002081B3
+        assert_eq!(assemble_rv("add x3, x1, x2").unwrap()[0], 0x0020_81B3);
+        // ecall
+        assert_eq!(assemble_rv("ecall").unwrap()[0], 0x0000_0073);
+    }
+}

@@ -1,0 +1,258 @@
+//! System bus: RAM plus the memory-mapped PIM interface.
+//!
+//! Mirrors the paper's Fig. 3 processor: the core talks to HH-PIM over
+//! an AXI window. The register map (word offsets from [`PIM_BASE`]):
+//!
+//! | offset | register | behaviour |
+//! |--------|----------|-----------|
+//! | 0x0    | `QUEUE_LO` | latch low 32 bits of a PIM instruction word |
+//! | 0x4    | `QUEUE_HI` | latch high 32 bits **and push** to the queue |
+//! | 0x8    | `STATUS`   | read: bit0 = halted, bits 16.. = executed count |
+//! | 0xC    | `DOORBELL` | write: drain the queue through the machine |
+//! | 0x10   | `ACC_SEL`  | write: select module for accumulator readback |
+//! | 0x14   | `ACC`      | read: selected module's accumulator |
+
+use crate::cpu::{Bus, BusFault};
+use hhpim_isa::PimInstruction;
+use hhpim_pim::PimMachine;
+
+/// Base address of the PIM MMIO window.
+pub const PIM_BASE: u32 = 0x4000_0000;
+
+const REG_QUEUE_LO: u32 = 0x0;
+const REG_QUEUE_HI: u32 = 0x4;
+const REG_STATUS: u32 = 0x8;
+const REG_DOORBELL: u32 = 0xC;
+const REG_ACC_SEL: u32 = 0x10;
+const REG_ACC: u32 = 0x14;
+const PIM_WINDOW: u32 = 0x18;
+
+/// RAM + memory-mapped PIM machine.
+#[derive(Debug)]
+pub struct SystemBus {
+    ram: Vec<u8>,
+    pim: Option<PimMachine>,
+    queue_lo: u32,
+    acc_sel: u32,
+    executed: u32,
+    pim_error: Option<hhpim_pim::MachineError>,
+}
+
+impl SystemBus {
+    /// Creates a bus with `ram_bytes` of zeroed RAM and no PIM attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ram_bytes` is zero or not word-aligned.
+    pub fn new(ram_bytes: usize) -> Self {
+        assert!(ram_bytes > 0 && ram_bytes % 4 == 0, "RAM must be non-empty and word-aligned");
+        SystemBus {
+            ram: vec![0; ram_bytes],
+            pim: None,
+            queue_lo: 0,
+            acc_sel: 0,
+            executed: 0,
+            pim_error: None,
+        }
+    }
+
+    /// Attaches a PIM machine at [`PIM_BASE`].
+    pub fn with_pim(mut self, pim: PimMachine) -> Self {
+        self.pim = Some(pim);
+        self
+    }
+
+    /// The attached PIM machine, if any.
+    pub fn pim(&self) -> Option<&PimMachine> {
+        self.pim.as_ref()
+    }
+
+    /// Exclusive access to the attached PIM machine.
+    pub fn pim_mut(&mut self) -> Option<&mut PimMachine> {
+        self.pim.as_mut()
+    }
+
+    /// First PIM error raised while draining the queue, if any.
+    pub fn pim_error(&self) -> Option<&hhpim_pim::MachineError> {
+        self.pim_error.as_ref()
+    }
+
+    /// Copies instruction words into RAM at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds RAM.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            let addr = base as usize + i * 4;
+            assert!(addr + 4 <= self.ram.len(), "program exceeds RAM");
+            self.ram[addr..addr + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn pim_load(&mut self, offset: u32) -> Result<u32, BusFault> {
+        match offset {
+            REG_STATUS => {
+                let halted = self.pim.as_ref().map(|p| p.is_halted()).unwrap_or(true);
+                Ok((halted as u32) | (self.executed << 16) | ((self.pim_error.is_some() as u32) << 1))
+            }
+            REG_ACC => {
+                let sel = self.acc_sel as usize;
+                let acc = self
+                    .pim
+                    .as_ref()
+                    .filter(|p| sel < p.module_count())
+                    .map(|p| p.module(sel).pe().accumulator())
+                    .unwrap_or(0);
+                Ok(acc as u32)
+            }
+            REG_QUEUE_LO => Ok(self.queue_lo),
+            REG_ACC_SEL => Ok(self.acc_sel),
+            _ => Err(BusFault { addr: PIM_BASE + offset }),
+        }
+    }
+
+    fn pim_store(&mut self, offset: u32, value: u32) -> Result<(), BusFault> {
+        match offset {
+            REG_QUEUE_LO => {
+                self.queue_lo = value;
+                Ok(())
+            }
+            REG_QUEUE_HI => {
+                let word = ((value as u64) << 32) | self.queue_lo as u64;
+                let Some(pim) = self.pim.as_mut() else {
+                    return Err(BusFault { addr: PIM_BASE + offset });
+                };
+                match hhpim_isa::decode(word) {
+                    Ok(inst) => {
+                        if let Err(e) = pim.execute(inst) {
+                            self.pim_error.get_or_insert(e);
+                        } else {
+                            self.executed += 1;
+                        }
+                    }
+                    Err(e) => {
+                        self.pim_error
+                            .get_or_insert(hhpim_pim::MachineError::Decode(e));
+                    }
+                }
+                Ok(())
+            }
+            REG_DOORBELL => {
+                // Instructions execute eagerly on push in this model; the
+                // doorbell issues a barrier so the core observes retire.
+                if let Some(pim) = self.pim.as_mut() {
+                    let _ = pim.execute(PimInstruction::Barrier);
+                }
+                Ok(())
+            }
+            REG_ACC_SEL => {
+                self.acc_sel = value;
+                Ok(())
+            }
+            _ => Err(BusFault { addr: PIM_BASE + offset }),
+        }
+    }
+}
+
+impl Bus for SystemBus {
+    fn load32(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if addr % 4 != 0 {
+            return Err(BusFault { addr });
+        }
+        if (PIM_BASE..PIM_BASE + PIM_WINDOW).contains(&addr) {
+            return self.pim_load(addr - PIM_BASE);
+        }
+        let a = addr as usize;
+        if a + 4 > self.ram.len() {
+            return Err(BusFault { addr });
+        }
+        Ok(u32::from_le_bytes(self.ram[a..a + 4].try_into().expect("4 bytes")))
+    }
+
+    fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        if addr % 4 != 0 {
+            return Err(BusFault { addr });
+        }
+        if (PIM_BASE..PIM_BASE + PIM_WINDOW).contains(&addr) {
+            return self.pim_store(addr - PIM_BASE, value);
+        }
+        let a = addr as usize;
+        if a + 4 > self.ram.len() {
+            return Err(BusFault { addr });
+        }
+        self.ram[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhpim_isa::{encode, MemSelect, ModuleMask};
+    use hhpim_pim::MachineConfig;
+
+    fn bus_with_pim() -> SystemBus {
+        let mut pim = PimMachine::new(MachineConfig::default());
+        pim.preload(0, MemSelect::Mram, 0, &[2, 3]).unwrap();
+        pim.preload_activations(0, &[4, 5]).unwrap();
+        SystemBus::new(4096).with_pim(pim)
+    }
+
+    fn push(bus: &mut SystemBus, inst: PimInstruction) {
+        let w = encode(inst);
+        bus.store32(PIM_BASE + REG_QUEUE_LO, w as u32).unwrap();
+        bus.store32(PIM_BASE + REG_QUEUE_HI, (w >> 32) as u32).unwrap();
+    }
+
+    #[test]
+    fn mmio_push_and_readback() {
+        let mut bus = bus_with_pim();
+        push(&mut bus, PimInstruction::ClearAcc { modules: ModuleMask::single(0) });
+        push(
+            &mut bus,
+            PimInstruction::Mac { modules: ModuleMask::single(0), mem: MemSelect::Mram, addr: 0, count: 2 },
+        );
+        bus.store32(PIM_BASE + REG_DOORBELL, 1).unwrap();
+        bus.store32(PIM_BASE + REG_ACC_SEL, 0).unwrap();
+        let acc = bus.load32(PIM_BASE + REG_ACC).unwrap();
+        assert_eq!(acc as i32, 2 * 4 + 3 * 5);
+        assert!(bus.pim_error().is_none());
+        // Two instructions executed, reported in STATUS.
+        let status = bus.load32(PIM_BASE + REG_STATUS).unwrap();
+        assert_eq!(status >> 16, 2);
+    }
+
+    #[test]
+    fn corrupt_word_sets_error_bit() {
+        let mut bus = bus_with_pim();
+        bus.store32(PIM_BASE + REG_QUEUE_LO, 0xFFFF_FFFF).unwrap();
+        bus.store32(PIM_BASE + REG_QUEUE_HI, 0xFFFF_FFFF).unwrap();
+        assert!(bus.pim_error().is_some());
+        let status = bus.load32(PIM_BASE + REG_STATUS).unwrap();
+        assert_eq!(status & 0b10, 0b10);
+    }
+
+    #[test]
+    fn ram_roundtrip_and_bounds() {
+        let mut bus = SystemBus::new(64);
+        bus.store32(60, 0xDEAD_BEEF).unwrap();
+        assert_eq!(bus.load32(60).unwrap(), 0xDEAD_BEEF);
+        assert!(bus.load32(64).is_err());
+        assert!(bus.store32(2, 0).is_err(), "misaligned store");
+    }
+
+    #[test]
+    fn mmio_without_pim_faults_queue() {
+        let mut bus = SystemBus::new(64);
+        assert!(bus.store32(PIM_BASE + REG_QUEUE_HI, 0).is_err());
+        // Status still readable (reports halted).
+        assert_eq!(bus.load32(PIM_BASE + REG_STATUS).unwrap() & 1, 1);
+    }
+
+    #[test]
+    fn unmapped_mmio_offset_faults() {
+        let mut bus = bus_with_pim();
+        assert!(bus.load32(PIM_BASE + PIM_WINDOW - 4 + 8).is_err());
+    }
+}

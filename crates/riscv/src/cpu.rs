@@ -1,0 +1,478 @@
+//! RV32IM interpreter.
+//!
+//! The paper's processor pairs a RISC-V Rocket core with the PIM over
+//! AXI; benchmark applications running on the core enqueue PIM
+//! instructions and poll for completion. This interpreter executes the
+//! RV32I base set plus the M extension — everything those driver
+//! programs need — against a pluggable [`Bus`].
+
+use core::fmt;
+
+/// Memory/IO access interface presented to the CPU.
+pub trait Bus {
+    /// Loads a 32-bit word from a 4-byte-aligned address.
+    fn load32(&mut self, addr: u32) -> Result<u32, BusFault>;
+    /// Stores a 32-bit word to a 4-byte-aligned address.
+    fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault>;
+
+    /// Loads a byte (default via word access).
+    fn load8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        let word = self.load32(addr & !3)?;
+        Ok((word >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Stores a byte (default read-modify-write).
+    fn store8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        let aligned = addr & !3;
+        let shift = (addr & 3) * 8;
+        let word = self.load32(aligned)?;
+        let word = (word & !(0xFF << shift)) | ((value as u32) << shift);
+        self.store32(aligned, word)
+    }
+}
+
+/// A bus access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// Faulting address.
+    pub addr: u32,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus fault at {:#010x}", self.addr)
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// CPU execution errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// An illegal or unsupported instruction word.
+    IllegalInstruction {
+        /// Program counter.
+        pc: u32,
+        /// Raw instruction word.
+        word: u32,
+    },
+    /// A memory access faulted.
+    Fault(BusFault),
+    /// The step budget ran out before `ebreak`/`ecall`.
+    OutOfFuel,
+    /// A misaligned branch/jump target.
+    MisalignedPc {
+        /// The bad target.
+        target: u32,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#010x}")
+            }
+            CpuError::Fault(b) => write!(f, "{b}"),
+            CpuError::OutOfFuel => write!(f, "step budget exhausted"),
+            CpuError::MisalignedPc { target } => {
+                write!(f, "misaligned jump target {target:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+impl From<BusFault> for CpuError {
+    fn from(b: BusFault) -> Self {
+        CpuError::Fault(b)
+    }
+}
+
+/// Why execution stopped normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// `ecall` executed (environment call; used as "program done").
+    Ecall,
+    /// `ebreak` executed.
+    Ebreak,
+}
+
+/// The RV32IM hart.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers (`x0` hard-wired to zero).
+    regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    retired: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a hart with cleared registers at PC 0.
+    pub fn new() -> Self {
+        Cpu { regs: [0; 32], pc: 0, retired: 0 }
+    }
+
+    /// Reads register `x{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn reg(&self, i: usize) -> u32 {
+        assert!(i < 32, "register index out of range");
+        self.regs[i]
+    }
+
+    /// Writes register `x{i}` (writes to `x0` are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn set_reg(&mut self, i: usize, value: u32) {
+        assert!(i < 32, "register index out of range");
+        if i != 0 {
+            self.regs[i] = value;
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Executes instructions until `ecall`/`ebreak`, an error, or `fuel`
+    /// instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CpuError`] encountered.
+    pub fn run(&mut self, bus: &mut impl Bus, fuel: u64) -> Result<Halt, CpuError> {
+        for _ in 0..fuel {
+            if let Some(halt) = self.step(bus)? {
+                return Ok(halt);
+            }
+        }
+        Err(CpuError::OutOfFuel)
+    }
+
+    /// Executes a single instruction; `Some(halt)` on `ecall`/`ebreak`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CpuError`] encountered.
+    pub fn step(&mut self, bus: &mut impl Bus) -> Result<Option<Halt>, CpuError> {
+        let pc = self.pc;
+        let word = bus.load32(pc)?;
+        let opcode = word & 0x7F;
+        let rd = ((word >> 7) & 0x1F) as usize;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = ((word >> 15) & 0x1F) as usize;
+        let rs2 = ((word >> 20) & 0x1F) as usize;
+        let funct7 = word >> 25;
+        let imm_i = (word as i32) >> 20;
+        let imm_s = (((word & 0xFE00_0000) as i32) >> 20) | (((word >> 7) & 0x1F) as i32);
+        let imm_b = ((((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)) as i32;
+        let imm_b = (imm_b << 19) >> 19;
+        let imm_u = (word & 0xFFFF_F000) as i32;
+        let imm_j = ((((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)) as i32;
+        let imm_j = (imm_j << 11) >> 11;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let x = |i: usize| self.regs[i];
+
+        match opcode {
+            0x37 => self.set_reg(rd, imm_u as u32), // lui
+            0x17 => self.set_reg(rd, pc.wrapping_add(imm_u as u32)), // auipc
+            0x6F => {
+                // jal
+                let target = pc.wrapping_add(imm_j as u32);
+                if target % 4 != 0 {
+                    return Err(CpuError::MisalignedPc { target });
+                }
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            0x67 => {
+                // jalr
+                let target = x(rs1).wrapping_add(imm_i as u32) & !1;
+                if target % 4 != 0 {
+                    return Err(CpuError::MisalignedPc { target });
+                }
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            0x63 => {
+                let taken = match funct3 {
+                    0 => x(rs1) == x(rs2),                       // beq
+                    1 => x(rs1) != x(rs2),                       // bne
+                    4 => (x(rs1) as i32) < (x(rs2) as i32),      // blt
+                    5 => (x(rs1) as i32) >= (x(rs2) as i32),     // bge
+                    6 => x(rs1) < x(rs2),                        // bltu
+                    7 => x(rs1) >= x(rs2),                       // bgeu
+                    _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                };
+                if taken {
+                    let target = pc.wrapping_add(imm_b as u32);
+                    if target % 4 != 0 {
+                        return Err(CpuError::MisalignedPc { target });
+                    }
+                    next_pc = target;
+                }
+            }
+            0x03 => {
+                let addr = x(rs1).wrapping_add(imm_i as u32);
+                let value = match funct3 {
+                    0 => bus.load8(addr)? as i8 as i32 as u32, // lb
+                    2 => bus.load32(addr)?,                    // lw
+                    4 => bus.load8(addr)? as u32,              // lbu
+                    _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                };
+                self.set_reg(rd, value);
+            }
+            0x23 => {
+                let addr = x(rs1).wrapping_add(imm_s as u32);
+                match funct3 {
+                    0 => bus.store8(addr, x(rs2) as u8)?, // sb
+                    2 => bus.store32(addr, x(rs2))?,      // sw
+                    _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                }
+            }
+            0x13 => {
+                let a = x(rs1);
+                let shamt = (imm_i & 0x1F) as u32;
+                let value = match funct3 {
+                    0 => a.wrapping_add(imm_i as u32),                  // addi
+                    2 => ((a as i32) < imm_i) as u32,                   // slti
+                    3 => (a < imm_i as u32) as u32,                     // sltiu
+                    4 => a ^ imm_i as u32,                              // xori
+                    6 => a | imm_i as u32,                              // ori
+                    7 => a & imm_i as u32,                              // andi
+                    1 => a << shamt,                                    // slli
+                    5 => {
+                        if funct7 & 0x20 != 0 {
+                            ((a as i32) >> shamt) as u32 // srai
+                        } else {
+                            a >> shamt // srli
+                        }
+                    }
+                    _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                };
+                self.set_reg(rd, value);
+            }
+            0x33 => {
+                let (a, b) = (x(rs1), x(rs2));
+                let value = if funct7 == 1 {
+                    // M extension.
+                    match funct3 {
+                        0 => a.wrapping_mul(b),                                         // mul
+                        1 => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,    // mulh
+                        2 => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,    // mulhsu
+                        3 => (((a as u64) * (b as u64)) >> 32) as u32,                  // mulhu
+                        4 => {
+                            // div
+                            if b == 0 {
+                                u32::MAX
+                            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                                a
+                            } else {
+                                ((a as i32) / (b as i32)) as u32
+                            }
+                        }
+                        5 => if b == 0 { u32::MAX } else { a / b }, // divu
+                        6 => {
+                            // rem
+                            if b == 0 {
+                                a
+                            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                                0
+                            } else {
+                                ((a as i32) % (b as i32)) as u32
+                            }
+                        }
+                        7 => if b == 0 { a } else { a % b }, // remu
+                        _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                    }
+                } else {
+                    match (funct3, funct7) {
+                        (0, 0x00) => a.wrapping_add(b),                 // add
+                        (0, 0x20) => a.wrapping_sub(b),                 // sub
+                        (1, 0x00) => a << (b & 0x1F),                   // sll
+                        (2, 0x00) => ((a as i32) < (b as i32)) as u32,  // slt
+                        (3, 0x00) => (a < b) as u32,                    // sltu
+                        (4, 0x00) => a ^ b,                             // xor
+                        (5, 0x00) => a >> (b & 0x1F),                   // srl
+                        (5, 0x20) => ((a as i32) >> (b & 0x1F)) as u32, // sra
+                        (6, 0x00) => a | b,                             // or
+                        (7, 0x00) => a & b,                             // and
+                        _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                    }
+                };
+                self.set_reg(rd, value);
+            }
+            0x73 => {
+                self.retired += 1;
+                self.pc = next_pc;
+                return Ok(Some(if imm_i == 1 { Halt::Ebreak } else { Halt::Ecall }));
+            }
+            0x0F => {} // fence: no-op for a single hart
+            _ => return Err(CpuError::IllegalInstruction { pc, word }),
+        }
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_rv;
+    use crate::bus::SystemBus;
+
+    fn run_program(src: &str) -> (Cpu, SystemBus) {
+        let code = assemble_rv(src).expect("assembles");
+        let mut bus = SystemBus::new(64 * 1024);
+        bus.load_program(0, &code);
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 100_000).expect("halts");
+        (cpu, bus)
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let (cpu, _) = run_program(
+            "li x1, 20
+             li x2, 22
+             add x3, x1, x2
+             sub x4, x2, x1
+             xor x5, x1, x2
+             and x6, x1, x2
+             or x7, x1, x2
+             slli x8, x1, 3
+             ecall",
+        );
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(cpu.reg(4), 2);
+        assert_eq!(cpu.reg(5), 20 ^ 22);
+        assert_eq!(cpu.reg(6), 20 & 22);
+        assert_eq!(cpu.reg(7), 20 | 22);
+        assert_eq!(cpu.reg(8), 160);
+    }
+
+    #[test]
+    fn mul_div_rem() {
+        let (cpu, _) = run_program(
+            "li x1, -6
+             li x2, 4
+             mul x3, x1, x2
+             div x4, x1, x2
+             rem x5, x1, x2
+             divu x6, x2, x2
+             ecall",
+        );
+        assert_eq!(cpu.reg(3) as i32, -24);
+        assert_eq!(cpu.reg(4) as i32, -1);
+        assert_eq!(cpu.reg(5) as i32, -2);
+        assert_eq!(cpu.reg(6), 1);
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        let (cpu, _) = run_program(
+            "li x1, 7
+             li x2, 0
+             div x3, x1, x2
+             rem x4, x1, x2
+             ecall",
+        );
+        assert_eq!(cpu.reg(3), u32::MAX);
+        assert_eq!(cpu.reg(4), 7);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (cpu, mut bus) = run_program(
+            "li x1, 0x1000
+             li x2, 0xABCD
+             sw x2, 0(x1)
+             lw x3, 0(x1)
+             li x4, 0x7F
+             sb x4, 5(x1)
+             lbu x5, 5(x1)
+             ecall",
+        );
+        assert_eq!(cpu.reg(3), 0xABCD);
+        assert_eq!(cpu.reg(5), 0x7F);
+        assert_eq!(bus.load32(0x1000).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        // Sum 1..=10 with a bne loop.
+        let (cpu, _) = run_program(
+            "li x1, 0
+             li x2, 1
+             li x3, 11
+        loop:
+             add x1, x1, x2
+             addi x2, x2, 1
+             bne x2, x3, loop
+             ecall",
+        );
+        assert_eq!(cpu.reg(1), 55);
+    }
+
+    #[test]
+    fn jal_links_return_address() {
+        let (cpu, _) = run_program(
+            "jal x1, target
+             li x2, 99
+             ecall
+        target:
+             li x3, 7
+             jalr x0, x1, 0",
+        );
+        assert_eq!(cpu.reg(3), 7);
+        assert_eq!(cpu.reg(2), 99, "returned and executed the li");
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let (cpu, _) = run_program("li x1, 5\nadd x0, x1, x1\necall");
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_reported() {
+        let mut bus = SystemBus::new(4096);
+        bus.load_program(0, &[0xFFFF_FFFF]);
+        let mut cpu = Cpu::new();
+        let err = cpu.run(&mut bus, 10).unwrap_err();
+        assert!(matches!(err, CpuError::IllegalInstruction { pc: 0, .. }));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        // Infinite loop.
+        let code = assemble_rv("loop: jal x0, loop").unwrap();
+        let mut bus = SystemBus::new(4096);
+        bus.load_program(0, &code);
+        let mut cpu = Cpu::new();
+        assert_eq!(cpu.run(&mut bus, 100).unwrap_err(), CpuError::OutOfFuel);
+        assert_eq!(cpu.retired(), 100);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hhpim-riscv — the RV32IM host-core substrate
+//!
+//! The paper's processor drives HH-PIM from a RISC-V Rocket core over
+//! AXI (Fig. 3). This crate provides the software equivalent:
+//!
+//! * [`Cpu`] — an RV32IM interpreter (base integer + multiply/divide),
+//! * [`assemble_rv`] — a mini-assembler with labels and `li`,
+//! * [`SystemBus`] — RAM plus the memory-mapped PIM window at
+//!   [`PIM_BASE`] through which driver programs enqueue encoded PIM
+//!   instructions and read back accumulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim_riscv::{assemble_rv, Cpu, SystemBus};
+//! let code = assemble_rv("li x1, 40\naddi x1, x1, 2\necall").unwrap();
+//! let mut bus = SystemBus::new(4096);
+//! bus.load_program(0, &code);
+//! let mut cpu = Cpu::new();
+//! cpu.run(&mut bus, 1000).unwrap();
+//! assert_eq!(cpu.reg(1), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bus;
+pub mod cpu;
+
+pub use asm::{assemble_rv, RvAsmError};
+pub use bus::{SystemBus, PIM_BASE};
+pub use cpu::{Bus, BusFault, Cpu, CpuError, Halt};

@@ -1,0 +1,266 @@
+//! A minimal simulation driver tying an [`EventQueue`] to a handler.
+//!
+//! Models in this workspace are mostly *resource-availability* models
+//! ("this port is busy until t"), so the engine stays deliberately small:
+//! a run loop with step limits and stop predicates, suitable both for
+//! closed-loop component tests and for the full-processor simulations in
+//! `hhpim-pim`.
+
+use crate::event::{EventQueue, ScheduleInPastError};
+use crate::time::{SimDuration, SimTime};
+
+/// Outcome of a [`Simulation::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The configured horizon was reached with events still pending.
+    HorizonReached,
+    /// The handler requested a stop.
+    Stopped,
+    /// The step budget was exhausted (runaway protection).
+    StepBudgetExhausted,
+}
+
+/// What the event handler wants the engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Stop after this event.
+    Stop,
+}
+
+/// An event-driven simulation: a queue plus user state of type `S`.
+///
+/// The handler receives the state, a scheduling context and each popped
+/// event in deterministic order.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_sim::{Simulation, Control, SimDuration};
+///
+/// // Count down: each event schedules the next until zero.
+/// let mut sim = Simulation::new(0u32);
+/// sim.schedule_after(SimDuration::from_ns(1), 3u32).unwrap();
+/// let outcome = sim.run(|count, ctx, n| {
+///     *count += 1;
+///     if n > 1 {
+///         ctx.schedule_after(SimDuration::from_ns(1), n - 1).unwrap();
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(outcome, hhpim_sim::RunOutcome::Drained);
+/// assert_eq!(*sim.state(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<S, E> {
+    queue: EventQueue<E>,
+    state: S,
+    horizon: Option<SimTime>,
+    step_budget: Option<u64>,
+}
+
+/// Scheduling context passed to event handlers.
+///
+/// Borrows the queue so handlers can schedule follow-up events without
+/// taking `&mut Simulation` (which would alias the state borrow).
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `at` is in the past.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        payload: E,
+    ) -> Result<crate::event::EventKey, ScheduleInPastError> {
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event after a relative delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on timestamp overflow (practically never).
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        payload: E,
+    ) -> Result<crate::event::EventKey, ScheduleInPastError> {
+        self.queue.schedule_after(delay, payload)
+    }
+}
+
+impl<S, E> Simulation<S, E> {
+    /// Creates a simulation owning `state`, with an empty queue at time 0.
+    pub fn new(state: S) -> Self {
+        Simulation { queue: EventQueue::new(), state, horizon: None, step_budget: None }
+    }
+
+    /// Limits the run to events at or before `horizon`.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Limits the run to at most `steps` events (runaway protection).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// Shared access to the user state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the user state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulation, returning the user state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Schedules an initial event at an absolute time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `at` is in the past.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        payload: E,
+    ) -> Result<crate::event::EventKey, ScheduleInPastError> {
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an initial event after a relative delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on timestamp overflow (practically never).
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        payload: E,
+    ) -> Result<crate::event::EventKey, ScheduleInPastError> {
+        self.queue.schedule_after(delay, payload)
+    }
+
+    /// Runs until the queue drains, the horizon passes, the handler stops,
+    /// or the step budget is exhausted.
+    pub fn run<F>(&mut self, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut S, &mut Context<'_, E>, E) -> Control,
+    {
+        let mut remaining = self.step_budget;
+        loop {
+            if let Some(0) = remaining {
+                return RunOutcome::StepBudgetExhausted;
+            }
+            if let (Some(h), Some(t)) = (self.horizon, self.queue.peek_time()) {
+                if t > h {
+                    return RunOutcome::HorizonReached;
+                }
+            }
+            let Some((_, payload)) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            if let Some(r) = remaining.as_mut() {
+                *r -= 1;
+            }
+            let mut ctx = Context { queue: &mut self.queue };
+            match handler(&mut self.state, &mut ctx, payload) {
+                Control::Continue => {}
+                Control::Stop => return RunOutcome::Stopped,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_empty_queue() {
+        let mut sim: Simulation<(), u8> = Simulation::new(());
+        assert_eq!(sim.run(|_, _, _| Control::Continue), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn horizon_stops_before_late_events() {
+        let mut sim = Simulation::new(0u32).with_horizon(SimTime::from_ns(10));
+        sim.schedule(SimTime::from_ns(5), ()).unwrap();
+        sim.schedule(SimTime::from_ns(15), ()).unwrap();
+        let outcome = sim.run(|count, _, _| {
+            *count += 1;
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(*sim.state(), 1);
+    }
+
+    #[test]
+    fn handler_stop() {
+        let mut sim = Simulation::new(());
+        sim.schedule(SimTime::from_ns(1), 1).unwrap();
+        sim.schedule(SimTime::from_ns(2), 2).unwrap();
+        let outcome = sim.run(|_, _, n| if n == 1 { Control::Stop } else { Control::Continue });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(sim.processed(), 1);
+    }
+
+    #[test]
+    fn step_budget_halts_runaway() {
+        let mut sim = Simulation::new(()).with_step_budget(100);
+        sim.schedule(SimTime::from_ns(1), ()).unwrap();
+        // Self-perpetuating event chain.
+        let outcome = sim.run(|_, ctx, ()| {
+            ctx.schedule_after(SimDuration::from_ns(1), ()).unwrap();
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(sim.processed(), 100);
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule(SimTime::from_ns(1), 0u32).unwrap();
+        sim.run(|log: &mut Vec<u64>, ctx, n| {
+            log.push(ctx.now().as_ps());
+            if n < 2 {
+                ctx.schedule_after(SimDuration::from_ns(10), n + 1).unwrap();
+            }
+            Control::Continue
+        });
+        assert_eq!(sim.into_state(), vec![1_000, 11_000, 21_000]);
+    }
+}

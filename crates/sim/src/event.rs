@@ -1,0 +1,260 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence number)` so that two events
+//! scheduled for the same instant pop in the order they were scheduled.
+//! This determinism is essential for reproducible architecture studies.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered queue of events with payloads of type `E`.
+///
+/// The queue tracks the current simulation time: popping an event advances
+/// `now` to the event's timestamp. Scheduling in the past is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_sim::{EventQueue, SimDuration, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_ns(10), "b").unwrap();
+/// q.schedule_after(SimDuration::from_ns(5), "a").unwrap();
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.now(), SimTime::from_ns(5));
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+/// Error returned when scheduling an event before the current time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleInPastError {
+    /// The current queue time.
+    pub now: SimTime,
+    /// The rejected timestamp.
+    pub requested: SimTime,
+}
+
+impl std::fmt::Display for ScheduleInPastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot schedule event at {} before current time {}",
+            self.requested, self.now
+        )
+    }
+}
+
+impl std::error::Error for ScheduleInPastError {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleInPastError`] if `at` is before [`Self::now`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> Result<EventKey, ScheduleInPastError> {
+        if at < self.now {
+            return Err(ScheduleInPastError { now: self.now, requested: at });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, payload }));
+        Ok(EventKey(seq))
+    }
+
+    /// Schedules `payload` after a delay relative to the current time.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; shares the signature of [`Self::schedule`]
+    /// for uniform call sites.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        payload: E,
+    ) -> Result<EventKey, ScheduleInPastError> {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pops the next event, advancing the queue's clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.payload))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.remove(&s.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3).unwrap();
+        q.schedule(SimTime::from_ns(10), 1).unwrap();
+        q.schedule(SimTime::from_ns(20), 2).unwrap();
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..10 {
+            q.schedule(t, i).unwrap();
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_past() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ()).unwrap();
+        q.pop();
+        let err = q.schedule(SimTime::from_ns(5), ()).unwrap_err();
+        assert_eq!(err.requested, SimTime::from_ns(5));
+        assert_eq!(err.now, SimTime::from_ns(10));
+        assert!(err.to_string().contains("before current time"));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a").unwrap();
+        q.schedule(SimTime::from_ns(2), "b").unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a").unwrap();
+        q.schedule(SimTime::from_ns(2), "b").unwrap();
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+    }
+
+    #[test]
+    fn processed_counter() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_ns(1), ()).unwrap();
+        q.schedule_after(SimDuration::from_ns(2), ()).unwrap();
+        while q.pop().is_some() {}
+        assert_eq!(q.processed(), 2);
+    }
+}

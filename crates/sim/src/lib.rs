@@ -1,0 +1,51 @@
+//! # hhpim-sim — discrete-event simulation kernel
+//!
+//! The timing substrate for the HH-PIM reproduction (DAC 2025): a small,
+//! deterministic discrete-event kernel with picosecond resolution.
+//!
+//! The paper evaluates its architecture with an RTL design prototyped on
+//! an FPGA; this crate provides the equivalent *measurement instrument*
+//! in software. It deliberately contains no PIM-specific logic — the
+//! structural hardware models live in `hhpim-pim` and build on:
+//!
+//! * [`SimTime`] / [`SimDuration`] / [`Frequency`] / [`Clock`] — exact
+//!   integer time keeping and clock-domain conversion ([`time`]).
+//! * [`EventQueue`] — deterministic `(time, seq)`-ordered events with
+//!   cancellation ([`event`]).
+//! * [`Simulation`] — a run loop with horizons and step budgets
+//!   ([`engine`]).
+//! * [`BusyResource`] / [`ResourcePool`] — busy-until port and
+//!   server-pool models ([`resource`]).
+//! * [`TraceBuffer`] — bounded tracing, [`Summary`] — streaming stats.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim_sim::{BusyResource, Clock, Frequency, SimDuration, SimTime};
+//!
+//! // A 50 MHz memory port serving two 25 ns reads back to back.
+//! let clk = Clock::new(Frequency::from_mhz(50));
+//! let service = clk.cycles_to_duration(clk.cycles_for(SimDuration::from_ns(25)));
+//! let mut port = BusyResource::new();
+//! let first = port.acquire(SimTime::ZERO, service);
+//! let second = port.acquire(SimTime::ZERO, service);
+//! assert_eq!(first, SimTime::from_ns(40)); // 25 ns rounds to 2 cycles
+//! assert_eq!(second, SimTime::from_ns(80));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod resource;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Context, Control, RunOutcome, Simulation};
+pub use event::{EventKey, EventQueue, ScheduleInPastError};
+pub use resource::{BusyResource, ResourcePool};
+pub use stats::Summary;
+pub use time::{Clock, Frequency, SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceRecord};

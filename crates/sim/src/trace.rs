@@ -1,0 +1,154 @@
+//! Bounded in-memory tracing for simulations.
+//!
+//! Cycle-level debugging needs a record of "what happened when" without
+//! unbounded memory growth; [`TraceBuffer`] keeps the most recent `cap`
+//! records in insertion order.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A single trace record: a timestamp, a component tag and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Short component identifier (e.g. `"hp-ctrl"`).
+    pub tag: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.tag, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_sim::{TraceBuffer, SimTime};
+/// let mut trace = TraceBuffer::with_capacity(2);
+/// trace.record(SimTime::from_ns(1), "pe", "mac issued");
+/// trace.record(SimTime::from_ns(2), "pe", "mac retired");
+/// trace.record(SimTime::from_ns(3), "pe", "idle");
+/// // Oldest record evicted.
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.iter().next().unwrap().message, "mac retired");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    cap: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining at most `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be non-zero");
+        TraceBuffer { records: VecDeque::with_capacity(cap.min(4096)), cap, enabled: true, dropped: 0 }
+    }
+
+    /// Creates a disabled buffer that drops everything (zero overhead in
+    /// hot loops beyond a branch).
+    pub fn disabled() -> Self {
+        TraceBuffer { records: VecDeque::new(), cap: 1, enabled: false, dropped: 0 }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records a message; evicts the oldest record when full.
+    pub fn record(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, tag, message: message.into() });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Clears all retained records (the dropped counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_evicts() {
+        let mut t = TraceBuffer::with_capacity(3);
+        for i in 0..5u64 {
+            t.record(SimTime::from_ns(i), "x", format!("msg{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["msg2", "msg3", "msg4"]);
+    }
+
+    #[test]
+    fn disabled_buffer_drops_silently() {
+        let mut t = TraceBuffer::disabled();
+        t.record(SimTime::ZERO, "x", "ignored");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn display_format() {
+        let r = TraceRecord { at: SimTime::from_ns(5), tag: "pe", message: "go".into() };
+        assert_eq!(r.to_string(), "[5.000ns] pe: go");
+    }
+
+    #[test]
+    fn toggle_enabled() {
+        let mut t = TraceBuffer::with_capacity(2);
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, "x", "dropped");
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, "x", "kept");
+        assert_eq!(t.len(), 1);
+    }
+}

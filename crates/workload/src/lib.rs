@@ -1,0 +1,28 @@
+//! # hhpim-workload — dynamic inference workloads
+//!
+//! Generators for the six benchmark scenarios of Fig. 4 (constant
+//! low/high, periodic spikes, pulsing, random) and the double-buffered
+//! task queue whose occupancy drives the placement optimizer's
+//! `t_constraint` (paper §III-A/§IV-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+//! let trace = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
+//! let tasks = trace.task_counts(10); // ≤10 inferences per slice
+//! assert_eq!(tasks.len(), 50);
+//! assert_eq!(tasks[0], 10); // spike
+//! assert_eq!(tasks[1], 2);  // low baseline
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod object_trace;
+pub mod scenario;
+
+pub use buffer::{t_constraint_ps, Task, TaskBuffer};
+pub use object_trace::{object_loads, object_task_counts, ObjectStreamParams};
+pub use scenario::{LoadTrace, Scenario, ScenarioParams};

@@ -1,0 +1,107 @@
+//! Object-count-driven load traces: the paper's motivating example of a
+//! YOLO-style detector whose computational demand tracks how many
+//! objects appear per video segment (§I).
+//!
+//! Objects enter and leave the scene as a bounded random walk, giving
+//! bursty-but-correlated loads unlike the memoryless [`crate::Scenario::Random`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic detection stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStreamParams {
+    /// Number of time slices (video segments).
+    pub slices: usize,
+    /// Maximum simultaneous objects (full load).
+    pub max_objects: u32,
+    /// Initial object count.
+    pub initial_objects: u32,
+    /// Largest per-segment change in object count.
+    pub max_delta: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ObjectStreamParams {
+    fn default() -> Self {
+        ObjectStreamParams { slices: 50, max_objects: 10, initial_objects: 2, max_delta: 2, seed: 42 }
+    }
+}
+
+/// Generates per-slice loads in `[0, 1]` proportional to the number of
+/// detected objects.
+///
+/// # Panics
+///
+/// Panics if `slices == 0` or `max_objects == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hhpim_workload::object_trace::{object_loads, ObjectStreamParams};
+/// let loads = object_loads(ObjectStreamParams::default());
+/// assert_eq!(loads.len(), 50);
+/// assert!(loads.iter().all(|&l| (0.0..=1.0).contains(&l)));
+/// ```
+pub fn object_loads(params: ObjectStreamParams) -> Vec<f64> {
+    assert!(params.slices > 0, "need at least one slice");
+    assert!(params.max_objects > 0, "need a non-zero object capacity");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut objects = params.initial_objects.min(params.max_objects) as i64;
+    let delta = params.max_delta as i64;
+    (0..params.slices)
+        .map(|_| {
+            objects = (objects + rng.gen_range(-delta..=delta)).clamp(0, params.max_objects as i64);
+            objects as f64 / params.max_objects as f64
+        })
+        .collect()
+}
+
+/// Converts object-stream loads into per-slice task counts (≥1, like
+/// [`crate::LoadTrace::task_counts`]).
+pub fn object_task_counts(params: ObjectStreamParams, max_tasks: u32) -> Vec<u32> {
+    object_loads(params)
+        .into_iter()
+        .map(|l| ((l * max_tasks as f64).round() as u32).clamp(1, max_tasks))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = object_loads(ObjectStreamParams::default());
+        let b = object_loads(ObjectStreamParams::default());
+        assert_eq!(a, b);
+        let c = object_loads(ObjectStreamParams { seed: 7, ..ObjectStreamParams::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn loads_bounded_and_correlated() {
+        let params = ObjectStreamParams { slices: 200, ..ObjectStreamParams::default() };
+        let loads = object_loads(params);
+        assert!(loads.iter().all(|&l| (0.0..=1.0).contains(&l)));
+        // Random walk: successive deltas bounded by max_delta / max_objects.
+        let max_step = params.max_delta as f64 / params.max_objects as f64 + 1e-9;
+        for w in loads.windows(2) {
+            assert!((w[1] - w[0]).abs() <= max_step, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn task_counts_clamped() {
+        let counts = object_task_counts(ObjectStreamParams::default(), 10);
+        assert!(counts.iter().all(|&n| (1..=10).contains(&n)));
+        assert_eq!(counts.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_rejected() {
+        object_loads(ObjectStreamParams { slices: 0, ..ObjectStreamParams::default() });
+    }
+}

@@ -1,0 +1,293 @@
+//! The six workload scenarios of Fig. 4.
+//!
+//! Each scenario produces a *computational load* in `[0, 1]` per time
+//! slice; the runtime converts load to an inference (task) count via the
+//! per-slice maximum. The spike and pulse patterns "simulate realistic
+//! scenarios in AI applications on edge devices, where computational
+//! demands periodically surge" (paper, §IV-A).
+
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One of the paper's six benchmark workload patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scenario {
+    /// Case 1: consistently low load.
+    LowConstant,
+    /// Case 2: consistently high load.
+    HighConstant,
+    /// Case 3: periodic spikes over a low baseline.
+    PeriodicSpike,
+    /// Case 4: frequent periodic spikes.
+    PeriodicSpikeFrequent,
+    /// Case 5: alternating high/low pulses.
+    HighLowPulsing,
+    /// Case 6: uniformly random load.
+    Random,
+}
+
+impl Scenario {
+    /// All six cases in paper order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::LowConstant,
+        Scenario::HighConstant,
+        Scenario::PeriodicSpike,
+        Scenario::PeriodicSpikeFrequent,
+        Scenario::HighLowPulsing,
+        Scenario::Random,
+    ];
+
+    /// The 1-based case number used in the paper.
+    pub fn case_number(self) -> usize {
+        Scenario::ALL.iter().position(|&s| s == self).expect("scenario in ALL") + 1
+    }
+
+    /// The paper's label for this case.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::LowConstant => "Low Workload Constant",
+            Scenario::HighConstant => "High Workload Constant",
+            Scenario::PeriodicSpike => "Periodic Spike Pattern",
+            Scenario::PeriodicSpikeFrequent => "Periodic Spike Pattern (frequent)",
+            Scenario::HighLowPulsing => "High-Low Pulsing Pattern",
+            Scenario::Random => "Random Workload",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Case {}: {}", self.case_number(), self.label())
+    }
+}
+
+/// Parameters shaping scenario generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioParams {
+    /// Number of time slices (the paper runs 50).
+    pub slices: usize,
+    /// Load level of "low" phases.
+    pub low: f64,
+    /// Load level of "high" phases.
+    pub high: f64,
+    /// Spike period for Case 3, in slices.
+    pub spike_period: usize,
+    /// Spike period for Case 4 (frequent), in slices.
+    pub frequent_spike_period: usize,
+    /// Half-period of the Case 5 pulse, in slices.
+    pub pulse_half_period: usize,
+    /// RNG seed for Case 6.
+    pub seed: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            slices: 50,
+            low: 0.2,
+            high: 1.0,
+            spike_period: 10,
+            frequent_spike_period: 4,
+            pulse_half_period: 5,
+            seed: 0xDAC_2025,
+        }
+    }
+}
+
+/// A generated workload: per-slice load levels in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTrace {
+    scenario: Scenario,
+    loads: Vec<f64>,
+}
+
+impl LoadTrace {
+    /// Generates the trace for `scenario` under `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.slices == 0`, if the load levels leave `[0, 1]`,
+    /// or if `low > high`.
+    pub fn generate(scenario: Scenario, params: ScenarioParams) -> Self {
+        assert!(params.slices > 0, "need at least one slice");
+        assert!(
+            (0.0..=1.0).contains(&params.low) && (0.0..=1.0).contains(&params.high),
+            "load levels must lie in [0, 1]"
+        );
+        assert!(params.low <= params.high, "low level above high level");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let loads = (0..params.slices)
+            .map(|i| match scenario {
+                Scenario::LowConstant => params.low,
+                Scenario::HighConstant => params.high,
+                Scenario::PeriodicSpike => {
+                    if params.spike_period > 0 && i % params.spike_period == 0 {
+                        params.high
+                    } else {
+                        params.low
+                    }
+                }
+                Scenario::PeriodicSpikeFrequent => {
+                    if params.frequent_spike_period > 0 && i % params.frequent_spike_period == 0 {
+                        params.high
+                    } else {
+                        params.low
+                    }
+                }
+                Scenario::HighLowPulsing => {
+                    let half = params.pulse_half_period.max(1);
+                    if (i / half) % 2 == 0 {
+                        params.high
+                    } else {
+                        params.low
+                    }
+                }
+                Scenario::Random => rng.gen_range(params.low..=params.high),
+            })
+            .collect();
+        LoadTrace { scenario, loads }
+    }
+
+    /// The scenario that produced this trace.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Per-slice load levels.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether the trace is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Converts loads to integer task counts given the maximum number of
+    /// inferences a slice can hold; every slice issues at least one task
+    /// (an idle camera still runs detection).
+    pub fn task_counts(&self, max_tasks_per_slice: u32) -> Vec<u32> {
+        self.loads
+            .iter()
+            .map(|&l| ((l * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice))
+            .collect()
+    }
+
+    /// Mean load over the trace.
+    pub fn mean_load(&self) -> f64 {
+        self.loads.iter().sum::<f64>() / self.loads.len() as f64
+    }
+
+    /// Renders a one-line ASCII sparkline of the trace (for reports).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        self.loads
+            .iter()
+            .map(|&l| LEVELS[((l * 7.0).round() as usize).min(7)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScenarioParams {
+        ScenarioParams::default()
+    }
+
+    #[test]
+    fn constant_cases_are_flat() {
+        let low = LoadTrace::generate(Scenario::LowConstant, params());
+        assert!(low.loads().iter().all(|&l| l == 0.2));
+        let high = LoadTrace::generate(Scenario::HighConstant, params());
+        assert!(high.loads().iter().all(|&l| l == 1.0));
+    }
+
+    #[test]
+    fn spikes_occur_at_period() {
+        let t = LoadTrace::generate(Scenario::PeriodicSpike, params());
+        for (i, &l) in t.loads().iter().enumerate() {
+            if i % 10 == 0 {
+                assert_eq!(l, 1.0, "slice {i} should spike");
+            } else {
+                assert_eq!(l, 0.2, "slice {i} should idle");
+            }
+        }
+        let freq = LoadTrace::generate(Scenario::PeriodicSpikeFrequent, params());
+        let spikes = freq.loads().iter().filter(|&&l| l == 1.0).count();
+        assert_eq!(spikes, 13, "every 4th of 50 slices spikes");
+    }
+
+    #[test]
+    fn pulsing_alternates_blocks() {
+        let t = LoadTrace::generate(Scenario::HighLowPulsing, params());
+        assert!(t.loads()[..5].iter().all(|&l| l == 1.0));
+        assert!(t.loads()[5..10].iter().all(|&l| l == 0.2));
+        assert!(t.loads()[10..15].iter().all(|&l| l == 1.0));
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = LoadTrace::generate(Scenario::Random, params());
+        let b = LoadTrace::generate(Scenario::Random, params());
+        assert_eq!(a, b, "same seed, same trace");
+        let c = LoadTrace::generate(Scenario::Random, ScenarioParams { seed: 1, ..params() });
+        assert_ne!(a, c, "different seed, different trace");
+        assert!(a.loads().iter().all(|&l| (0.2..=1.0).contains(&l)));
+    }
+
+    #[test]
+    fn task_counts_round_and_clamp() {
+        let t = LoadTrace::generate(Scenario::LowConstant, params());
+        assert!(t.task_counts(10).iter().all(|&n| n == 2));
+        // A zero-load trace still issues one task per slice.
+        let z = LoadTrace::generate(
+            Scenario::LowConstant,
+            ScenarioParams { low: 0.0, ..params() },
+        );
+        assert!(z.task_counts(10).iter().all(|&n| n == 1));
+        let h = LoadTrace::generate(Scenario::HighConstant, params());
+        assert!(h.task_counts(10).iter().all(|&n| n == 10));
+    }
+
+    #[test]
+    fn mean_load_orders_cases() {
+        let low = LoadTrace::generate(Scenario::LowConstant, params()).mean_load();
+        let spike = LoadTrace::generate(Scenario::PeriodicSpike, params()).mean_load();
+        let pulse = LoadTrace::generate(Scenario::HighLowPulsing, params()).mean_load();
+        let high = LoadTrace::generate(Scenario::HighConstant, params()).mean_load();
+        assert!(low < spike && spike < pulse && pulse < high);
+    }
+
+    #[test]
+    fn case_numbers_match_paper() {
+        assert_eq!(Scenario::LowConstant.case_number(), 1);
+        assert_eq!(Scenario::Random.case_number(), 6);
+        assert_eq!(
+            Scenario::HighLowPulsing.to_string(),
+            "Case 5: High-Low Pulsing Pattern"
+        );
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_slice() {
+        let t = LoadTrace::generate(Scenario::Random, params());
+        assert_eq!(t.sparkline().chars().count(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "low level above high")]
+    fn inverted_levels_rejected() {
+        LoadTrace::generate(
+            Scenario::LowConstant,
+            ScenarioParams { low: 0.9, high: 0.1, ..ScenarioParams::default() },
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build an HH-PIM processor, run one workload scenario and
+//! print the energy report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hhpim::{Architecture, Processor};
+use hhpim_nn::TinyMlModel;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+
+fn main() {
+    // 1. Pick a Table I architecture and a Table IV model.
+    let processor = Processor::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
+        .expect("EfficientNet-B0 fits HH-PIM");
+    println!("architecture : {}", processor.arch());
+    println!(
+        "slice        : {} ({} inferences max)",
+        processor.runtime().slice_duration,
+        processor.runtime().max_tasks
+    );
+
+    // 2. Generate a fluctuating inference workload (Fig. 4, Case 3).
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
+    println!("workload     : {}", trace.scenario());
+    println!("load profile : {}", trace.sparkline());
+
+    // 3. Run the 50-slice trace and inspect the outcome.
+    let report = processor.run_trace(&trace);
+    println!("\nper-slice placements (first 12 slices):");
+    for r in report.records.iter().take(12) {
+        println!(
+            "  slice {:>2}: {:>2} tasks  {}  task {}  moved {:>3} groups  {}",
+            r.slice,
+            r.n_tasks,
+            if r.deadline_met { "ok  " } else { "MISS" },
+            r.task_time,
+            r.groups_moved,
+            r.placement,
+        );
+    }
+
+    println!("\nenergy breakdown:");
+    for (cat, e) in report.ledger.iter() {
+        println!("  {cat:?}: {e}");
+    }
+    println!("\ntotal: {} over {} slices ({} deadline misses)",
+        report.total_energy(), report.records.len(), report.deadline_misses);
+}

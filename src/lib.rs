@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: re-exports for examples and integration tests.
+pub use hhpim;

@@ -1,0 +1,149 @@
+//! Integration tests spanning crates: host core → ISA → cycle-level PIM
+//! machine → memory models, and functional equivalence between the PIM
+//! machine and the software INT8 reference executor (the paper's FPGA
+//! functional-verification step).
+
+use hhpim_isa::{assemble, encode, MemSelect, ModuleMask, PimInstruction};
+use hhpim_nn::{LayerWeights, Model, QuantizedModel, Tensor};
+use hhpim_pim::{MachineConfig, PimMachine};
+use hhpim_riscv::{assemble_rv, Cpu, SystemBus, PIM_BASE};
+
+/// A linear layer computed by the software reference must match the
+/// same dot products executed MAC-by-MAC on the PIM machine.
+#[test]
+fn pim_machine_matches_nn_reference_on_linear_layer() {
+    let in_features = 24usize;
+    let out_features = 4usize;
+    let model = Model::new(
+        "fc",
+        (in_features, 1, 1),
+        vec![hhpim_nn::Layer::Linear { out_features }],
+    )
+    .unwrap();
+    let mut qm = QuantizedModel::random(model, 123);
+    // Shift 0 so the PIM accumulator (no requantization) is comparable.
+    let lw = qm.layer_weights(0).unwrap().clone();
+    let raw = LayerWeights { shift: 0, ..lw };
+    let weights = raw.weights.clone();
+    let bias = raw.bias.clone();
+
+    let mut input = Tensor::zeros(in_features, 1, 1);
+    for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i as i32 * 7 - 13) % 50) as i8;
+    }
+
+    // Software reference: acc_o = bias_o + Σ w·a (pre-shift).
+    let reference: Vec<i32> = (0..out_features)
+        .map(|o| {
+            bias[o]
+                + (0..in_features)
+                    .map(|j| weights[o * in_features + j] as i32 * input.as_slice()[j] as i32)
+                    .sum::<i32>()
+        })
+        .collect();
+
+    // PIM execution: each output neuron's weight row on HP module 0.
+    let mut machine = PimMachine::new(MachineConfig::default());
+    let acts: Vec<u8> = input.as_slice().iter().map(|&v| v as u8).collect();
+    machine.preload_activations(0, &acts).unwrap();
+    for (o, expected) in reference.iter().enumerate() {
+        let row: Vec<u8> =
+            weights[o * in_features..(o + 1) * in_features].iter().map(|&w| w as u8).collect();
+        machine.preload(0, MemSelect::Mram, 0, &row).unwrap();
+        let program = assemble(&format!(
+            "clr m0\nmac m0 mram @0 x{in_features}\nbarrier"
+        ))
+        .unwrap();
+        for inst in program {
+            machine.execute(inst).unwrap();
+        }
+        let acc = machine.module(0).pe().accumulator();
+        assert_eq!(acc + bias[o], *expected, "neuron {o}");
+    }
+}
+
+/// The full stack: an RV32IM driver program enqueues PIM instructions
+/// over MMIO and reads back the result.
+#[test]
+fn riscv_driver_runs_pim_dot_product() {
+    let weights = [3u8, 1, 4, 1, 5, 9, 2, 6];
+    let acts = [2u8, 7, 1, 8, 2, 8, 1, 8];
+    let expected: i32 = weights
+        .iter()
+        .zip(&acts)
+        .map(|(&w, &a)| (w as i8 as i32) * (a as i8 as i32))
+        .sum();
+
+    let mut pim = PimMachine::new(MachineConfig::default());
+    pim.preload(0, MemSelect::Mram, 0, &weights).unwrap();
+    pim.preload_activations(0, &acts).unwrap();
+
+    let clr = encode(PimInstruction::ClearAcc { modules: ModuleMask::single(0) });
+    let mac = encode(PimInstruction::Mac {
+        modules: ModuleMask::single(0),
+        mem: MemSelect::Mram,
+        addr: 0,
+        count: 8,
+    });
+    let program = format!(
+        "li x1, {PIM_BASE}
+         li x2, {}\n sw x2, 0(x1)\n li x2, {}\n sw x2, 4(x1)
+         li x2, {}\n sw x2, 0(x1)\n li x2, {}\n sw x2, 4(x1)
+         li x2, 1\n sw x2, 12(x1)
+         sw x0, 16(x1)
+         lw x10, 20(x1)
+         ecall",
+        clr as u32,
+        (clr >> 32) as u32,
+        mac as u32,
+        (mac >> 32) as u32,
+    );
+    let code = assemble_rv(&program).unwrap();
+    let mut bus = SystemBus::new(16 * 1024).with_pim(pim);
+    bus.load_program(0, &code);
+    let mut cpu = Cpu::new();
+    cpu.run(&mut bus, 10_000).unwrap();
+    assert_eq!(cpu.reg(10) as i32, expected);
+    assert!(bus.pim_error().is_none());
+}
+
+/// Inter-cluster weight movement through the Data Rearrange Buffer
+/// preserves data and charges energy on both clusters.
+#[test]
+fn inter_cluster_movement_preserves_weights() {
+    let mut machine = PimMachine::new(MachineConfig::default());
+    let payload: Vec<u8> = (0..64u8).collect();
+    machine.preload(1, MemSelect::Sram, 128, &payload).unwrap();
+    let program = assemble("movx m1 sram @128 x64\nbarrier\nhalt").unwrap();
+    machine.run_program(&program).unwrap();
+    // HP module 1 exports to LP module 1 (global index 5).
+    assert_eq!(
+        machine.module(5).read_back(MemSelect::Sram, 128, 64).unwrap(),
+        payload.as_slice()
+    );
+}
+
+/// Power-gating via the ISA: gated MRAM rejects MACs until woken, and
+/// the energy report reflects the wake charge.
+#[test]
+fn gate_cycle_through_isa() {
+    let mut machine = PimMachine::new(MachineConfig::default());
+    machine.preload(0, MemSelect::Mram, 0, &[1, 1]).unwrap();
+    machine.preload_activations(0, &[1, 1]).unwrap();
+    let program = assemble(
+        "gateoff m0 mram
+         gateon m0 mram
+         clr m0
+         mac m0 mram @0 x2
+         barrier
+         halt",
+    )
+    .unwrap();
+    let report = machine.run_program(&program).unwrap();
+    assert_eq!(machine.module(0).pe().accumulator(), 2);
+    use hhpim_mem::{ClusterClass, MemKind};
+    let wake = report
+        .energy
+        .get(hhpim_pim::EnergyCat::MemWake(ClusterClass::HighPerformance, MemKind::Mram));
+    assert!(wake.as_pj() > 0.0, "wake-up energy must be charged");
+}

@@ -1,0 +1,117 @@
+//! Cross-crate property tests on core invariants: the DP optimizer's
+//! placements are always valid and deadline-respecting, energy
+//! accounting is conserved, and workload traces stay in range.
+
+use hhpim::{
+    Architecture, CostModel, CostParams, OptimizerConfig, PlacementOptimizer, Processor,
+    WorkloadProfile,
+};
+use hhpim_nn::TinyMlModel;
+use hhpim_sim::SimDuration;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = TinyMlModel> {
+    prop_oneof![
+        Just(TinyMlModel::EfficientNetB0),
+        Just(TinyMlModel::MobileNetV2),
+        Just(TinyMlModel::ResNet18),
+    ]
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    proptest::sample::select(Scenario::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever deadline the optimizer is given, its answer either is a
+    /// valid placement meeting the deadline, or None only below the
+    /// architectural peak.
+    #[test]
+    fn optimizer_placements_valid_and_feasible(
+        model in any_model(),
+        factor in 0.5f64..12.0,
+    ) {
+        let cost = CostModel::new(
+            Architecture::HhPim.spec(),
+            WorkloadProfile::from_spec(&model.spec()),
+            CostParams::default(),
+        ).expect("fits");
+        let opt = PlacementOptimizer::new(
+            &cost,
+            OptimizerConfig { time_buckets: 300, ..OptimizerConfig::default() },
+        );
+        let t = cost.peak_task_time().mul_f64(factor);
+        match opt.optimize(t) {
+            Some(r) => {
+                prop_assert!(cost.is_valid(&r.placement), "invalid {}", r.placement);
+                prop_assert!(r.task_time <= t, "deadline violated: {} > {}", r.task_time, t);
+                prop_assert_eq!(r.placement.total(), cost.k_groups());
+            }
+            None => {
+                prop_assert!(
+                    t < cost.peak_task_time(),
+                    "infeasible result above the peak at factor {factor}"
+                );
+            }
+        }
+    }
+
+    /// Slice energies always sum to the ledger total, every slice is
+    /// non-negative, and deadline misses never occur for HH-PIM on the
+    /// canned scenarios.
+    #[test]
+    fn trace_report_energy_is_conserved(
+        scenario in any_scenario(),
+        seed in 0u64..1000,
+    ) {
+        let proc = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2).expect("fits");
+        let trace = LoadTrace::generate(
+            scenario,
+            ScenarioParams { slices: 8, seed, ..ScenarioParams::default() },
+        );
+        let report = proc.run_trace(&trace);
+        let slice_sum: f64 = report.records.iter().map(|r| r.energy.as_pj()).sum();
+        let ledger_total = report.ledger.total().as_pj();
+        prop_assert!(
+            (slice_sum - ledger_total).abs() / ledger_total.max(1.0) < 1e-9,
+            "slice sum {slice_sum} vs ledger {ledger_total}"
+        );
+        prop_assert_eq!(report.deadline_misses, 0);
+    }
+
+    /// Load traces stay within [low, high] and task counts within
+    /// [1, max] for every scenario and seed.
+    #[test]
+    fn traces_bounded(scenario in any_scenario(), seed in 0u64..5000, max_tasks in 1u32..32) {
+        let trace = LoadTrace::generate(
+            scenario,
+            ScenarioParams { seed, ..ScenarioParams::default() },
+        );
+        prop_assert!(trace.loads().iter().all(|&l| (0.2..=1.0).contains(&l)));
+        prop_assert!(trace
+            .task_counts(max_tasks)
+            .iter()
+            .all(|&n| n >= 1 && n <= max_tasks));
+    }
+
+    /// Movement cost is zero exactly for identical placements and
+    /// symmetric in magnitude of groups moved.
+    #[test]
+    fn movement_cost_sane(n_a in 1u32..=10, n_b in 1u32..=10) {
+        let proc = Processor::new(Architecture::HhPim, TinyMlModel::EfficientNetB0).expect("fits");
+        let a = proc.placement_for_tasks(n_a);
+        let b = proc.placement_for_tasks(n_b);
+        let (t_ab, e_ab, m_ab) = proc.movement_cost(&a, &b);
+        let (_, _, m_ba) = proc.movement_cost(&b, &a);
+        prop_assert_eq!(m_ab, m_ba, "moved-group counts must be symmetric");
+        if a == b {
+            prop_assert_eq!(t_ab, SimDuration::ZERO);
+            prop_assert!(e_ab.as_pj() == 0.0);
+        } else {
+            prop_assert!(m_ab > 0);
+        }
+    }
+}
