@@ -10,7 +10,10 @@ use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 fn bench_trace_per_arch(c: &mut Criterion) {
     let trace = LoadTrace::generate(
         Scenario::PeriodicSpike,
-        ScenarioParams { slices: 50, ..ScenarioParams::default() },
+        ScenarioParams {
+            slices: 50,
+            ..ScenarioParams::default()
+        },
     );
     let mut group = c.benchmark_group("run_trace_50_slices");
     for arch in Architecture::ALL {

@@ -47,7 +47,10 @@ fn bench_resolution_scaling(c: &mut Criterion) {
     let peak = cost.peak_task_time();
     let mut group = c.benchmark_group("dp_resolution");
     for buckets in [250usize, 1000, 4000] {
-        let cfg = OptimizerConfig { time_buckets: buckets, ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            time_buckets: buckets,
+            ..OptimizerConfig::default()
+        };
         let opt = PlacementOptimizer::new(&cost, cfg);
         group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, _| {
             b.iter(|| opt.optimize(std::hint::black_box(peak.mul_f64(2.0))))

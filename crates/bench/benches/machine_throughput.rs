@@ -14,7 +14,8 @@ fn bench_machine_macs(c: &mut Criterion) {
             || {
                 let mut m = PimMachine::new(MachineConfig::default());
                 for g in 0..8 {
-                    m.preload(g, MemSelect::Mram, 0, &[1u8; 128]).expect("preload");
+                    m.preload(g, MemSelect::Mram, 0, &[1u8; 128])
+                        .expect("preload");
                     m.preload_activations(g, &[1u8; 128]).expect("preload");
                 }
                 m

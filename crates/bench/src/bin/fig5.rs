@@ -10,11 +10,20 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut config = ExperimentConfig::default();
     if args.iter().any(|a| a == "--quick") {
-        config.scenario_params = ScenarioParams { slices: 12, ..ScenarioParams::default() };
-        config.optimizer = OptimizerConfig { time_buckets: 500, ..OptimizerConfig::default() };
+        config.scenario_params = ScenarioParams {
+            slices: 12,
+            ..ScenarioParams::default()
+        };
+        config.optimizer = OptimizerConfig {
+            time_buckets: 500,
+            ..OptimizerConfig::default()
+        };
     }
     if args.iter().any(|a| a == "--dp-off") {
-        config.optimizer = OptimizerConfig { amortize_static: false, ..config.optimizer };
+        config.optimizer = OptimizerConfig {
+            amortize_static: false,
+            ..config.optimizer
+        };
         println!("(ablation: optimizer ignores leakage — placements stay SRAM-greedy)\n");
     }
     let matrix = hhpim_bench::savings(&config).expect("all models fit all architectures");

@@ -7,7 +7,11 @@ fn main() {
         Some("resnet") => TinyMlModel::ResNet18,
         _ => TinyMlModel::EfficientNetB0,
     };
-    let samples = if std::env::args().any(|a| a == "--quick") { 16 } else { 40 };
+    let samples = if std::env::args().any(|a| a == "--quick") {
+        16
+    } else {
+        40
+    };
     println!("{}", hhpim_bench::fig6_text(model, samples));
     println!("{}", hhpim_bench::inference_time_text());
 }

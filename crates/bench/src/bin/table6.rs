@@ -5,8 +5,14 @@ use hhpim_workload::ScenarioParams;
 fn main() {
     let mut config = ExperimentConfig::default();
     if std::env::args().any(|a| a == "--quick") {
-        config.scenario_params = ScenarioParams { slices: 12, ..ScenarioParams::default() };
-        config.optimizer = OptimizerConfig { time_buckets: 500, ..OptimizerConfig::default() };
+        config.scenario_params = ScenarioParams {
+            slices: 12,
+            ..ScenarioParams::default()
+        };
+        config.optimizer = OptimizerConfig {
+            time_buckets: 500,
+            ..OptimizerConfig::default()
+        };
     }
     let matrix = hhpim_bench::savings(&config).expect("all models fit all architectures");
     println!("{}", hhpim_bench::table6_text(&matrix));

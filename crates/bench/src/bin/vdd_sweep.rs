@@ -27,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Tech", "Vdd (V)", "Read (ns)", "Write (ns)", "Read E (pJ)", "Static (mW/64kB)"],
+            &[
+                "Tech",
+                "Vdd (V)",
+                "Read (ns)",
+                "Write (ns)",
+                "Read E (pJ)",
+                "Static (mW/64kB)"
+            ],
             &rows
         )
     );

@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 use hhpim::{
-    inference_times, placement_sweep, progression_summary, savings_matrix, Architecture,
-    CostModel, CostParams, ExperimentConfig, OptimizerConfig, WorkloadProfile,
+    inference_times, placement_sweep, progression_summary, savings_matrix, Architecture, CostModel,
+    CostParams, ExperimentConfig, OptimizerConfig, WorkloadProfile,
 };
 use hhpim_fpga::{table_ii_rows, CostFactors};
 use hhpim_mem::{hp_mram, hp_pe, hp_sram, lp_mram, lp_pe, lp_sram, ClusterClass};
@@ -47,7 +47,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
@@ -83,7 +86,14 @@ pub fn table1_text() -> String {
         .collect();
     format!(
         "Table I: Developed specifications for HH-PIM and other PIM architectures.\n\n{}",
-        render_table(&["Architecture", "PIM Module Configuration", "Memory Types (per module)"], &rows)
+        render_table(
+            &[
+                "Architecture",
+                "PIM Module Configuration",
+                "Memory Types (per module)"
+            ],
+            &rows
+        )
     )
 }
 
@@ -97,8 +107,16 @@ pub fn table2_text() -> String {
                 r.name,
                 r.resources.luts.to_string(),
                 r.resources.ffs.to_string(),
-                if r.resources.brams == 0 { "-".into() } else { r.resources.brams.to_string() },
-                if r.resources.dsps == 0 { "-".into() } else { r.resources.dsps.to_string() },
+                if r.resources.brams == 0 {
+                    "-".into()
+                } else {
+                    r.resources.brams.to_string()
+                },
+                if r.resources.dsps == 0 {
+                    "-".into()
+                } else {
+                    r.resources.dsps.to_string()
+                },
             ]
         })
         .collect();
@@ -127,8 +145,18 @@ pub fn table3_text() -> String {
     format!(
         "Table III: Latency (ns) of HP-PIM and LP-PIM modules.\n\n{}",
         render_table(
-            &["", "MRAM Read", "MRAM Write", "SRAM Read", "SRAM Write", "PE"],
-            &[row(ClusterClass::HighPerformance), row(ClusterClass::LowPower)],
+            &[
+                "",
+                "MRAM Read",
+                "MRAM Write",
+                "SRAM Read",
+                "SRAM Write",
+                "PE"
+            ],
+            &[
+                row(ClusterClass::HighPerformance),
+                row(ClusterClass::LowPower)
+            ],
         )
     )
 }
@@ -154,7 +182,14 @@ pub fn table4_text() -> String {
     format!(
         "Table IV: TinyML model specs and PIM operation ratios (INT8 quantized & pruned).\n\n{}",
         render_table(
-            &["Model", "#Param", "#MAC", "PIM Op", "built #Param", "built #MAC"],
+            &[
+                "Model",
+                "#Param",
+                "#MAC",
+                "PIM Op",
+                "built #Param",
+                "built #MAC"
+            ],
             &rows
         )
     )
@@ -197,7 +232,10 @@ pub fn table5_text() -> String {
                 "PE Dyn",
                 "PE Static"
             ],
-            &[row(ClusterClass::HighPerformance), row(ClusterClass::LowPower)],
+            &[
+                row(ClusterClass::HighPerformance),
+                row(ClusterClass::LowPower)
+            ],
         )
     )
 }
@@ -268,7 +306,10 @@ pub fn table6_text(matrix: &hhpim::SavingsMatrix) -> String {
             vec![
                 s.to_string(),
                 format!("{:.2}", matrix.scenario_mean(s, Architecture::Baseline)),
-                format!("{:.2}", matrix.scenario_mean(s, Architecture::Heterogeneous)),
+                format!(
+                    "{:.2}",
+                    matrix.scenario_mean(s, Architecture::Heterogeneous)
+                ),
                 format!("{:.2}", matrix.scenario_mean(s, Architecture::Hybrid)),
             ]
         })
@@ -315,7 +356,12 @@ pub fn fig6_text(model: TinyMlModel, samples: usize) -> String {
         "Fig. 6: Memory utilization and E_task across t_constraint ({}).\n\n{}",
         model,
         render_table(
-            &["t_constraint", "E_task(norm)", "util% [HPM HPS LPM LPS]", "placement"],
+            &[
+                "t_constraint",
+                "E_task(norm)",
+                "util% [HPM HPS LPM LPS]",
+                "placement"
+            ],
             &rows
         )
     );
@@ -414,7 +460,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let s = render_table(
             &["a", "bb"],
-            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

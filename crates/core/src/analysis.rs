@@ -66,7 +66,10 @@ pub fn mram_only_fastest(cost: &CostModel) -> Option<Placement> {
         let spill = k - placement.total();
         let hp_room = hp_cap - placement.get(StorageSpace::HpMram);
         let to_hp = spill.min(hp_room);
-        placement.set(StorageSpace::HpMram, placement.get(StorageSpace::HpMram) + to_hp);
+        placement.set(
+            StorageSpace::HpMram,
+            placement.get(StorageSpace::HpMram) + to_hp,
+        );
         placement.set(
             StorageSpace::LpMram,
             placement.get(StorageSpace::LpMram) + spill - to_hp,
@@ -118,7 +121,13 @@ pub fn placement_sweep(
             }
         })
         .collect();
-    PlacementSweep { points, peak_time, peak_placement, peak_energy, mram_only_peak_time }
+    PlacementSweep {
+        points,
+        peak_time,
+        peak_placement,
+        peak_energy,
+        mram_only_peak_time,
+    }
 }
 
 impl PlacementSweep {
@@ -130,9 +139,15 @@ impl PlacementSweep {
     /// The energy reduction (in percent) of the optimizer's placement
     /// versus *unoptimized* allocation (holding the peak placement) at
     /// the most relaxed deadline — the paper's 43.17 % claim.
-    pub fn relaxed_reduction_vs_unoptimized(&self, cost: &CostModel, opt_config: OptimizerConfig) -> f64 {
+    pub fn relaxed_reduction_vs_unoptimized(
+        &self,
+        cost: &CostModel,
+        opt_config: OptimizerConfig,
+    ) -> f64 {
         let optimizer = PlacementOptimizer::new(cost, opt_config);
-        let Some(last) = self.feasible().last() else { return 0.0 };
+        let Some(last) = self.feasible().last() else {
+            return 0.0;
+        };
         let t = last.t_constraint;
         let optimized = optimizer
             .optimize(t)
@@ -175,7 +190,11 @@ pub fn progression_summary(sweep: &PlacementSweep) -> Vec<(SimDuration, Placemen
     let mut out: Vec<(SimDuration, Placement)> = Vec::new();
     for p in sweep.feasible() {
         let placement = p.placement.expect("feasible point has placement");
-        if out.last().map(|(_, prev)| *prev != placement).unwrap_or(true) {
+        if out
+            .last()
+            .map(|(_, prev)| *prev != placement)
+            .unwrap_or(true)
+        {
             out.push((p.t_constraint, placement));
         }
     }
@@ -200,7 +219,10 @@ mod tests {
 
     fn sweep() -> (CostModel, PlacementSweep) {
         let c = cost();
-        let cfg = OptimizerConfig { time_buckets: 600, ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            time_buckets: 600,
+            ..OptimizerConfig::default()
+        };
         let s = placement_sweep(&c, cfg, SimDuration::from_ms(340), 40);
         (c, s)
     }
@@ -208,7 +230,10 @@ mod tests {
     #[test]
     fn gray_region_exists_below_peak() {
         let (_, s) = sweep();
-        assert!(s.points.first().unwrap().placement.is_none(), "sweep starts infeasible");
+        assert!(
+            s.points.first().unwrap().placement.is_none(),
+            "sweep starts infeasible"
+        );
         assert!(s.feasible().count() > 20, "most of the sweep is feasible");
     }
 
@@ -217,9 +242,17 @@ mod tests {
         let (_, s) = sweep();
         let feasible: Vec<&SweepPoint> = s.feasible().collect();
         let first = feasible.first().unwrap();
-        assert!((first.e_task_norm - 1.0).abs() < 0.1, "first feasible ≈ peak: {}", first.e_task_norm);
+        assert!(
+            (first.e_task_norm - 1.0).abs() < 0.1,
+            "first feasible ≈ peak: {}",
+            first.e_task_norm
+        );
         let last = feasible.last().unwrap();
-        assert!(last.e_task_norm < 0.85, "relaxed deadline must be cheaper: {}", last.e_task_norm);
+        assert!(
+            last.e_task_norm < 0.85,
+            "relaxed deadline must be cheaper: {}",
+            last.e_task_norm
+        );
         // Macro-shape: overall decline with plateaus. Between placement
         // switches the per-window SRAM retention term may rise locally
         // (see EXPERIMENTS.md), but never dramatically.
@@ -239,7 +272,10 @@ mod tests {
             .iter()
             .map(|p| p.e_task_norm)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_last < 0.85, "relaxed plateau must stay below peak: {max_last}");
+        assert!(
+            max_last < 0.85,
+            "relaxed plateau must stay below peak: {max_last}"
+        );
     }
 
     #[test]
@@ -250,7 +286,11 @@ mod tests {
         assert!(hp > lp);
         // Most relaxed: everything in LP-MRAM.
         let last = s.feasible().last().unwrap().placement.unwrap();
-        assert_eq!(last.get(StorageSpace::LpMram), c.k_groups(), "last point {last}");
+        assert_eq!(
+            last.get(StorageSpace::LpMram),
+            c.k_groups(),
+            "last point {last}"
+        );
     }
 
     #[test]
@@ -267,7 +307,10 @@ mod tests {
     #[test]
     fn relaxed_reduction_is_substantial() {
         let (c, s) = sweep();
-        let cfg = OptimizerConfig { time_buckets: 600, ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            time_buckets: 600,
+            ..OptimizerConfig::default()
+        };
         let red = s.relaxed_reduction_vs_unoptimized(&c, cfg);
         // Paper reports up to 43.17 %; the shape requirement is a large
         // double-digit reduction.
@@ -279,7 +322,11 @@ mod tests {
     fn progression_moves_toward_lp_mram() {
         let (c, s) = sweep();
         let prog = progression_summary(&s);
-        assert!(prog.len() >= 3, "expect several distinct placements, got {}", prog.len());
+        assert!(
+            prog.len() >= 3,
+            "expect several distinct placements, got {}",
+            prog.len()
+        );
         let first = prog.first().unwrap().1;
         let last = prog.last().unwrap().1;
         let sram = |p: &Placement| p.get(StorageSpace::HpSram) + p.get(StorageSpace::LpSram);

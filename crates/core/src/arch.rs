@@ -161,7 +161,10 @@ impl ArchSpec {
 
     /// Total weight-capable memory in bytes.
     pub fn total_capacity(&self) -> usize {
-        StorageSpace::ALL.iter().map(|&s| self.capacity_bytes(s)).sum()
+        StorageSpace::ALL
+            .iter()
+            .map(|&s| self.capacity_bytes(s))
+            .sum()
     }
 }
 
@@ -228,13 +231,22 @@ mod tests {
     fn policies_distinguish_designs() {
         assert_eq!(Architecture::Baseline.spec().gating, GatingPolicy::AlwaysOn);
         assert_eq!(Architecture::Hybrid.spec().gating, GatingPolicy::BankLevel);
-        assert_eq!(Architecture::HhPim.spec().placement, PlacementPolicy::DynamicDp);
-        assert_eq!(Architecture::Hybrid.spec().placement, PlacementPolicy::Static);
+        assert_eq!(
+            Architecture::HhPim.spec().placement,
+            PlacementPolicy::DynamicDp
+        );
+        assert_eq!(
+            Architecture::Hybrid.spec().placement,
+            PlacementPolicy::Static
+        );
     }
 
     #[test]
     fn display() {
         assert_eq!(Architecture::HhPim.to_string(), "HH-PIM");
-        assert!(Architecture::Baseline.spec().to_string().contains("8 HP + 0 LP"));
+        assert!(Architecture::Baseline
+            .spec()
+            .to_string()
+            .contains("8 HP + 0 LP"));
     }
 }

@@ -126,7 +126,9 @@ pub fn compile_linear(
     let Layer::Linear { out_features } = info.layer else {
         return Err(CompileError::NotLinear { layer: layer_idx });
     };
-    let lw = qm.layer_weights(layer_idx).ok_or(CompileError::NoWeights { layer: layer_idx })?;
+    let lw = qm
+        .layer_weights(layer_idx)
+        .ok_or(CompileError::NoWeights { layer: layer_idx })?;
     let (c, h, w) = info.input;
     let in_features = c * h * w;
     if in_features > 255 {
@@ -148,7 +150,12 @@ pub fn compile_linear(
             .collect();
         machine.preload(module, home.mem(), addr, &row)?;
     }
-    Ok(CompiledLinear { assignment, bias: lw.bias.clone(), in_features, home })
+    Ok(CompiledLinear {
+        assignment,
+        bias: lw.bias.clone(),
+        in_features,
+        home,
+    })
 }
 
 /// Executes a compiled layer on `machine` for one input vector and
@@ -203,12 +210,16 @@ pub fn run_linear(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hhpim_nn::{Model, Tensor};
+    use hhpim_nn::Model;
     use hhpim_pim::MachineConfig;
 
     fn fc_model(inf: usize, outf: usize) -> QuantizedModel {
-        let model =
-            Model::new("fc", (inf, 1, 1), vec![Layer::Linear { out_features: outf }]).unwrap();
+        let model = Model::new(
+            "fc",
+            (inf, 1, 1),
+            vec![Layer::Linear { out_features: outf }],
+        )
+        .unwrap();
         QuantizedModel::random(model, 77)
     }
 
@@ -253,7 +264,10 @@ mod tests {
         let t_sram = m2.report().finished_at;
 
         assert_eq!(r1, r2, "placement must not change results");
-        assert!(t_sram < t_mram, "SRAM weights must be faster: {t_sram} vs {t_mram}");
+        assert!(
+            t_sram < t_mram,
+            "SRAM weights must be faster: {t_sram} vs {t_mram}"
+        );
     }
 
     #[test]
@@ -306,7 +320,9 @@ mod tests {
         let in_features = c * h * w;
         let mut machine = PimMachine::new(MachineConfig::default());
         let compiled = compile_linear(&qm, head_idx, &mut machine, WeightHome::Mram).unwrap();
-        let input: Vec<i8> = (0..in_features).map(|i| ((i * 29) % 100) as i8 - 50).collect();
+        let input: Vec<i8> = (0..in_features)
+            .map(|i| ((i * 29) % 100) as i8 - 50)
+            .collect();
         let got = run_linear(&mut machine, &compiled, &input).unwrap();
         let lw = qm.layer_weights(head_idx).unwrap();
         let expect: Vec<i32> = (0..10)
@@ -328,6 +344,8 @@ mod tests {
             CompileError::RowTooLong { in_features: 300 }.to_string(),
             "300 input features exceed one module pass"
         );
-        assert!(CompileError::NotLinear { layer: 2 }.to_string().contains("layer 2"));
+        assert!(CompileError::NotLinear { layer: 2 }
+            .to_string()
+            .contains("layer 2"));
     }
 }

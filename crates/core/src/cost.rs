@@ -64,7 +64,10 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// Builds the profile from a published model spec.
     pub fn from_spec(spec: &ModelSpec) -> Self {
-        WorkloadProfile { weight_bytes: spec.weight_bytes(), pim_macs: spec.pim_macs() }
+        WorkloadProfile {
+            weight_bytes: spec.weight_bytes(),
+            pim_macs: spec.pim_macs(),
+        }
     }
 
     /// MACs per weight per task.
@@ -91,7 +94,10 @@ impl core::fmt::Display for CostModelError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CostModelError::InsufficientCapacity { needed, available } => {
-                write!(f, "weights need {needed} B but only {available} B are placeable")
+                write!(
+                    f,
+                    "weights need {needed} B but only {available} B are placeable"
+                )
             }
             CostModelError::ZeroGroupSize => write!(f, "group size must be non-zero"),
         }
@@ -184,8 +190,8 @@ impl CostModel {
                 MemKind::Mram => arch.mram_per_module,
                 MemKind::Sram => arch.sram_per_module,
             };
-            static_power_per_group[idx] = mem.static_power_for(bank_bytes * modules)
-                * (1.0 / k_groups.max(1) as f64);
+            static_power_per_group[idx] =
+                mem.static_power_for(bank_bytes * modules) * (1.0 / k_groups.max(1) as f64);
         }
 
         if k_groups * params.group_size > placeable_bytes {
@@ -300,8 +306,7 @@ impl CostModel {
 
     /// Leakage power of the activation/IO SRAM buffers of `cluster`.
     pub fn act_buffer_static_power(&self, cluster: ClusterClass) -> Power {
-        self.act_buffer_static_power_per_module(cluster)
-            * self.arch.modules_in(cluster) as f64
+        self.act_buffer_static_power_per_module(cluster) * self.arch.modules_in(cluster) as f64
     }
 
     /// Leakage power of one module's activation/IO SRAM region.
@@ -358,8 +363,7 @@ impl CostModel {
                 // Balance finish times: k_hp / k_lp = (1/t_hp) / (1/t_lp).
                 let t_hp = self.time_per_group(hp1).as_ns_f64().max(1e-9);
                 let t_lp = self.time_per_group(lp1).as_ns_f64().max(1e-9);
-                let k_hp = ((k as f64) * (1.0 / t_hp) / (1.0 / t_hp + 1.0 / t_lp)).round()
-                    as usize;
+                let k_hp = ((k as f64) * (1.0 / t_hp) / (1.0 / t_hp + 1.0 / t_lp)).round() as usize;
                 let k_hp = k_hp.min(k);
                 self.fill_cluster(&mut placement, hp1, hp2, k_hp);
                 self.fill_cluster(&mut placement, lp1, lp2, k - k_hp);
@@ -372,7 +376,13 @@ impl CostModel {
         placement
     }
 
-    fn fill_cluster(&self, placement: &mut Placement, first: StorageSpace, second: StorageSpace, k: usize) {
+    fn fill_cluster(
+        &self,
+        placement: &mut Placement,
+        first: StorageSpace,
+        second: StorageSpace,
+        k: usize,
+    ) {
         let in_first = k.min(self.capacity_groups(first));
         placement.set(first, placement.get(first) + in_first);
         let spill = k - in_first;
@@ -430,8 +440,12 @@ mod tests {
     fn dynamic_energy_ordering() {
         let m = hh_model();
         // LP accesses are cheaper than HP accesses for the same kind.
-        assert!(m.energy_per_group(StorageSpace::LpSram) < m.energy_per_group(StorageSpace::HpSram));
-        assert!(m.energy_per_group(StorageSpace::LpMram) < m.energy_per_group(StorageSpace::HpMram));
+        assert!(
+            m.energy_per_group(StorageSpace::LpSram) < m.energy_per_group(StorageSpace::HpSram)
+        );
+        assert!(
+            m.energy_per_group(StorageSpace::LpMram) < m.energy_per_group(StorageSpace::HpMram)
+        );
         // Static: MRAM is far cheaper at rest.
         assert!(
             m.static_power_per_group(StorageSpace::LpMram).as_mw()
@@ -450,7 +464,10 @@ mod tests {
         let hp = p.get(StorageSpace::HpSram) as f64;
         let lp = p.get(StorageSpace::LpSram) as f64;
         let ratio = hp / lp;
-        assert!((ratio - 16.0 / 9.0).abs() < 0.15, "split {hp}:{lp} ratio {ratio}");
+        assert!(
+            (ratio - 16.0 / 9.0).abs() < 0.15,
+            "split {hp}:{lp} ratio {ratio}"
+        );
     }
 
     #[test]
@@ -473,7 +490,10 @@ mod tests {
         let expect = m.time_per_group(StorageSpace::HpMram) * 10
             + m.time_per_group(StorageSpace::HpSram) * 10;
         assert_eq!(hp, expect);
-        assert_eq!(m.task_time(&p), hp.max(m.cluster_time(&p, ClusterClass::LowPower)));
+        assert_eq!(
+            m.task_time(&p),
+            hp.max(m.cluster_time(&p, ClusterClass::LowPower))
+        );
     }
 
     #[test]
@@ -507,7 +527,10 @@ mod tests {
     fn capacity_error_when_weights_too_large() {
         let err = CostModel::new(
             Architecture::HhPim.spec(),
-            WorkloadProfile { weight_bytes: 2 * 1024 * 1024, pim_macs: 1_000_000 },
+            WorkloadProfile {
+                weight_bytes: 2 * 1024 * 1024,
+                pim_macs: 1_000_000,
+            },
             CostParams::default(),
         )
         .unwrap_err();

@@ -40,7 +40,11 @@ pub struct OptimizerConfig {
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        OptimizerConfig { time_buckets: 2_000, amortize_static: true, retention_factor: 1.0 / 0.95 }
+        OptimizerConfig {
+            time_buckets: 2_000,
+            amortize_static: true,
+            retention_factor: 1.0 / 0.95,
+        }
     }
 }
 
@@ -136,7 +140,11 @@ impl ClusterDp {
             prev_energy.copy_from_slice(&energy);
             prev_mram.copy_from_slice(&mram);
         }
-        ClusterDp { k_max, energy, mram }
+        ClusterDp {
+            k_max,
+            energy,
+            mram,
+        }
     }
 }
 
@@ -246,9 +254,8 @@ impl<'a> PlacementOptimizer<'a> {
         // time, so every recovered placement is exactly feasible (the
         // boundary pessimism is absorbed by the fastest-placement
         // candidate below).
-        let quantize = |d: SimDuration| -> usize {
-            (d.as_ps().div_ceil(bucket_ps) as usize).max(1)
-        };
+        let quantize =
+            |d: SimDuration| -> usize { (d.as_ps().div_ceil(bucket_ps) as usize).max(1) };
 
         let build_cluster = |cluster: ClusterClass| -> Option<ClusterDp> {
             if self.cost.arch().modules_in(cluster) == 0 {
@@ -258,7 +265,10 @@ impl<'a> PlacementOptimizer<'a> {
             Some(ClusterDp::build(
                 k,
                 buckets,
-                [quantize(self.cost.time_per_group(m)), quantize(self.cost.time_per_group(s))],
+                [
+                    quantize(self.cost.time_per_group(m)),
+                    quantize(self.cost.time_per_group(s)),
+                ],
                 [self.e_pj(m, t_constraint), self.e_pj(s, t_constraint)],
                 [self.cost.capacity_groups(m), self.cost.capacity_groups(s)],
             ))
@@ -277,12 +287,8 @@ impl<'a> PlacementOptimizer<'a> {
                     if e.is_finite() && best.as_ref().is_none_or(|(b, _)| e < *b) {
                         let hp_m = hp.mram_at(t, k_hp) as usize;
                         let lp_m = lp.mram_at(t, k_lp) as usize;
-                        let placement = Placement::from_counts([
-                            hp_m,
-                            k_hp - hp_m,
-                            lp_m,
-                            k_lp - lp_m,
-                        ]);
+                        let placement =
+                            Placement::from_counts([hp_m, k_hp - hp_m, lp_m, k_lp - lp_m]);
                         best = Some((e, placement));
                     }
                 }
@@ -386,7 +392,10 @@ impl AllocationLut {
             t_constraints.push(t_c);
             entries.push(optimizer.optimize(t_c));
         }
-        AllocationLut { entries, t_constraints }
+        AllocationLut {
+            entries,
+            t_constraints,
+        }
     }
 
     /// Placement for `n_tasks` (clamped to the table's range).
@@ -429,8 +438,14 @@ mod tests {
         // Small K for brute-force comparisons.
         CostModel::new(
             Architecture::HhPim.spec(),
-            WorkloadProfile { weight_bytes, pim_macs: weight_bytes as u64 * 20 },
-            CostParams { group_size: 512, ..CostParams::default() },
+            WorkloadProfile {
+                weight_bytes,
+                pim_macs: weight_bytes as u64 * 20,
+            },
+            CostParams {
+                group_size: 512,
+                ..CostParams::default()
+            },
         )
         .unwrap()
     }
@@ -461,8 +476,8 @@ mod tests {
         let peak = cost.peak_task_time();
         let result = opt.optimize(peak).expect("peak must be feasible");
         // At the peak deadline, SRAM must carry (nearly) everything.
-        let sram = result.placement.get(StorageSpace::HpSram)
-            + result.placement.get(StorageSpace::LpSram);
+        let sram =
+            result.placement.get(StorageSpace::HpSram) + result.placement.get(StorageSpace::LpSram);
         assert!(
             sram as f64 >= 0.9 * cost.k_groups() as f64,
             "placement {} not SRAM-heavy",
@@ -476,7 +491,10 @@ mod tests {
         let cost = effnet_cost();
         let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
         let too_tight = cost.peak_task_time().mul_f64(0.5);
-        assert!(opt.optimize(too_tight).is_none(), "gray region must be detected");
+        assert!(
+            opt.optimize(too_tight).is_none(),
+            "gray region must be detected"
+        );
     }
 
     #[test]
@@ -512,7 +530,10 @@ mod tests {
         let cost = small_cost(6 * 512);
         let opt = PlacementOptimizer::new(
             &cost,
-            OptimizerConfig { time_buckets: 800, ..OptimizerConfig::default() },
+            OptimizerConfig {
+                time_buckets: 800,
+                ..OptimizerConfig::default()
+            },
         );
         for ms in [1u64, 2, 3, 5, 8, 15, 40] {
             let t = SimDuration::from_ms(ms);
@@ -521,9 +542,8 @@ mod tests {
             match (dp, bf) {
                 (None, None) => {}
                 (Some(d), Some(b)) => {
-                    let rel =
-                        (d.energy_per_task.as_pj() - b.energy_per_task.as_pj()).abs()
-                            / b.energy_per_task.as_pj().max(1.0);
+                    let rel = (d.energy_per_task.as_pj() - b.energy_per_task.as_pj()).abs()
+                        / b.energy_per_task.as_pj().max(1.0);
                     assert!(
                         rel < 0.02,
                         "t={ms}ms: dp {} vs bf {} ({} vs {})",
@@ -583,7 +603,9 @@ mod tests {
             )
             .unwrap();
             let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
-            let r = opt.optimize(cost.peak_task_time().mul_f64(2.0)).expect("feasible");
+            let r = opt
+                .optimize(cost.peak_task_time().mul_f64(2.0))
+                .expect("feasible");
             assert!(cost.is_valid(&r.placement), "{arch}: {}", r.placement);
             assert_eq!(r.placement.cluster_total(ClusterClass::LowPower), 0);
         }
@@ -595,14 +617,14 @@ mod tests {
         let with = PlacementOptimizer::new(&cost, OptimizerConfig::default());
         let without = PlacementOptimizer::new(
             &cost,
-            OptimizerConfig { amortize_static: false, ..OptimizerConfig::default() },
+            OptimizerConfig {
+                amortize_static: false,
+                ..OptimizerConfig::default()
+            },
         );
         let p = Placement::all_in(StorageSpace::LpMram, cost.k_groups());
         let t = SimDuration::from_ms(100);
         assert!(with.objective(&p, t) > without.objective(&p, t));
-        assert_eq!(
-            without.objective(&p, t),
-            cost.dynamic_energy_per_task(&p)
-        );
+        assert_eq!(without.objective(&p, t), cost.dynamic_energy_per_task(&p));
     }
 }

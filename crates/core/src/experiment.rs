@@ -2,9 +2,10 @@
 //! comparison architectures across workload scenarios and models.
 
 use crate::arch::Architecture;
+use crate::backend::ExecutionReport;
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
-use crate::runtime::{Processor, TraceReport};
+use crate::runtime::Processor;
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use std::fmt;
@@ -64,7 +65,9 @@ pub struct SavingsMatrix {
 impl SavingsMatrix {
     /// The cell for a `(scenario, model)` pair.
     pub fn cell(&self, scenario: Scenario, model: TinyMlModel) -> Option<&SavingsCell> {
-        self.cells.iter().find(|c| c.scenario == scenario && c.model == model)
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.model == model)
     }
 
     /// Mean savings versus `arch` across every cell (the paper's
@@ -78,7 +81,10 @@ impl SavingsMatrix {
 
     /// Maximum savings versus `arch` across cells.
     pub fn max_versus(&self, arch: Architecture) -> f64 {
-        self.cells.iter().map(|c| c.versus(arch)).fold(f64::NEG_INFINITY, f64::max)
+        self.cells
+            .iter()
+            .map(|c| c.versus(arch))
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean savings for one scenario across models (Table VI rows).
@@ -98,7 +104,7 @@ impl SavingsMatrix {
 }
 
 /// Experiment configuration for the savings matrix.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExperimentConfig {
     /// Workload scenario shaping parameters.
     pub scenario_params: ScenarioParams,
@@ -106,16 +112,6 @@ pub struct ExperimentConfig {
     pub cost_params: CostParams,
     /// Optimizer settings.
     pub optimizer: OptimizerConfig,
-}
-
-impl Default for ExperimentConfig {
-    fn default() -> Self {
-        ExperimentConfig {
-            scenario_params: ScenarioParams::default(),
-            cost_params: CostParams::default(),
-            optimizer: OptimizerConfig::default(),
-        }
-    }
 }
 
 /// Runs one `(arch, model, scenario)` case and returns its trace report.
@@ -128,7 +124,7 @@ pub fn run_case(
     model: TinyMlModel,
     scenario: Scenario,
     config: &ExperimentConfig,
-) -> Result<TraceReport, CostModelError> {
+) -> Result<ExecutionReport, CostModelError> {
     let processor = Processor::with_params(arch, model, config.cost_params, config.optimizer)?;
     let trace = LoadTrace::generate(scenario, config.scenario_params);
     Ok(processor.run_trace(&trace))
@@ -183,8 +179,14 @@ mod tests {
         // Fewer slices + coarser DP keep the test fast while preserving
         // every qualitative property.
         ExperimentConfig {
-            scenario_params: ScenarioParams { slices: 12, ..ScenarioParams::default() },
-            optimizer: OptimizerConfig { time_buckets: 400, ..OptimizerConfig::default() },
+            scenario_params: ScenarioParams {
+                slices: 12,
+                ..ScenarioParams::default()
+            },
+            optimizer: OptimizerConfig {
+                time_buckets: 400,
+                ..OptimizerConfig::default()
+            },
             ..ExperimentConfig::default()
         }
     }
@@ -237,15 +239,23 @@ mod tests {
         let base = m.mean_versus(Architecture::Baseline);
         let het = m.mean_versus(Architecture::Heterogeneous);
         let hyb = m.mean_versus(Architecture::Hybrid);
-        assert!(base > hyb && hyb > het, "base {base:.1} hyb {hyb:.1} het {het:.1}");
+        assert!(
+            base > hyb && hyb > het,
+            "base {base:.1} hyb {hyb:.1} het {het:.1}"
+        );
         assert!(base > 30.0, "vs baseline average {base:.1}% too small");
     }
 
     #[test]
     fn run_case_produces_full_trace() {
         let cfg = quick_config();
-        let r = run_case(Architecture::HhPim, TinyMlModel::MobileNetV2, Scenario::Random, &cfg)
-            .unwrap();
+        let r = run_case(
+            Architecture::HhPim,
+            TinyMlModel::MobileNetV2,
+            Scenario::Random,
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(r.records.len(), cfg.scenario_params.slices);
         assert!(r.total_energy().as_mj() > 0.0);
     }

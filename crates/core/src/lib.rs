@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod arch;
+pub mod backend;
 pub mod compile;
 pub mod cost;
 pub mod dp;
@@ -40,11 +41,18 @@ pub mod experiment;
 pub mod runtime;
 pub mod space;
 
-pub use analysis::{inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary, InferenceTimes, PlacementSweep, SweepPoint};
+pub use analysis::{
+    inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary,
+    InferenceTimes, PlacementSweep, SweepPoint,
+};
 pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
+pub use backend::{
+    AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
+    ExecutionReport, SliceRecord,
+};
 pub use compile::{compile_linear, run_linear, CompileError, CompiledLinear, WeightHome};
-pub use experiment::{run_case, savings_matrix, ExperimentConfig, SavingsCell, SavingsMatrix};
 pub use cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 pub use dp::{AllocationLut, OptimalPlacement, OptimizerConfig, PlacementOptimizer};
-pub use runtime::{CoreEnergyCat, Processor, RuntimeConfig, SliceRecord, TraceReport};
+pub use experiment::{run_case, savings_matrix, ExperimentConfig, SavingsCell, SavingsMatrix};
+pub use runtime::{Processor, RuntimeConfig};
 pub use space::{Placement, StorageSpace};

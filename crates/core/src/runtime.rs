@@ -9,32 +9,14 @@
 //! to what can(not) be power-gated.
 
 use crate::arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
+use crate::backend::{BackendKind, EnergyCat, ExecutionReport, SliceRecord};
 use crate::cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
 use crate::space::{Placement, StorageSpace};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind, Power};
 use hhpim_nn::TinyMlModel;
-use hhpim_sim::SimDuration;
+use hhpim_sim::{SimDuration, SimTime};
 use hhpim_workload::LoadTrace;
-use std::fmt;
-
-/// Energy-report categories for the analytical runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum CoreEnergyCat {
-    /// Dynamic energy of one space's weight traffic (weight read +
-    /// activation read + PE compute per MAC).
-    Dynamic(StorageSpace),
-    /// Leakage of weights resident in a space.
-    WeightStatic(StorageSpace),
-    /// Leakage of a cluster's activation/IO SRAM buffers.
-    ActBufferStatic(ClusterClass),
-    /// Leakage of a cluster's PEs.
-    PeStatic(ClusterClass),
-    /// Controller leakage + issue energy.
-    Controller,
-    /// Inter-space weight movement (re-placement) energy.
-    Movement,
-}
 
 /// Runtime configuration shared by all architectures in a comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,68 +31,29 @@ pub struct RuntimeConfig {
     pub movement_margin: f64,
 }
 
-/// One slice's outcome.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SliceRecord {
-    /// Slice index.
-    pub slice: usize,
-    /// Tasks processed this slice.
-    pub n_tasks: u32,
-    /// Placement in effect.
-    pub placement: Placement,
-    /// Per-task deadline after movement overhead.
-    pub t_constraint: SimDuration,
-    /// Exact per-task latency under `placement`.
-    pub task_time: SimDuration,
-    /// Re-placement movement time paid at the slice boundary.
-    pub movement_time: SimDuration,
-    /// Groups moved at the boundary.
-    pub groups_moved: usize,
-    /// Whether every task met `t_constraint`.
-    pub deadline_met: bool,
-    /// Slice energy (all categories).
-    pub energy: Energy,
-}
-
-/// Full-trace outcome.
-#[derive(Debug, Clone)]
-pub struct TraceReport {
-    /// Architecture that produced the report.
-    pub arch: Architecture,
-    /// Per-slice records.
-    pub records: Vec<SliceRecord>,
-    /// Energy breakdown over the whole trace.
-    pub ledger: EnergyLedger<CoreEnergyCat>,
-    /// Slices whose deadline was missed.
-    pub deadline_misses: usize,
-}
-
-impl TraceReport {
-    /// Total energy over the trace.
-    pub fn total_energy(&self) -> Energy {
-        self.ledger.total()
-    }
-
-    /// Mean energy per slice.
-    pub fn mean_slice_energy(&self) -> Energy {
-        if self.records.is_empty() {
-            Energy::ZERO
-        } else {
-            self.total_energy() / self.records.len() as f64
-        }
-    }
-}
-
-impl fmt::Display for TraceReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {} slices, {} total, {} misses",
-            self.arch,
-            self.records.len(),
-            self.total_energy(),
-            self.deadline_misses
-        )
+impl RuntimeConfig {
+    /// The shared runtime configuration for `model` under `params`.
+    ///
+    /// Slice timing always derives from the *HH-PIM* peak for the same
+    /// model (`T = 1.08 × max_tasks × peak`), so all four architectures
+    /// — and all execution backends — share identical slices, as in the
+    /// paper. The headroom factor covers re-placement movement and DP
+    /// discretization so the peak load remains schedulable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model's weights do not fit HH-PIM.
+    pub fn reference(model: TinyMlModel, params: CostParams) -> Result<Self, CostModelError> {
+        let profile = WorkloadProfile::from_spec(&model.spec());
+        let reference = CostModel::new(Architecture::HhPim.spec(), profile, params)?;
+        let slice_duration =
+            (reference.peak_task_time() * params.max_tasks_per_slice as u64).mul_f64(1.08);
+        Ok(RuntimeConfig {
+            slice_duration,
+            max_tasks: params.max_tasks_per_slice,
+            controller_static: Power::from_mw(0.7),
+            movement_margin: 0.05,
+        })
     }
 }
 
@@ -148,7 +91,12 @@ impl Processor {
     ///
     /// Fails if the model's weights do not fit the architecture.
     pub fn new(arch: Architecture, model: TinyMlModel) -> Result<Self, CostModelError> {
-        Self::with_params(arch, model, CostParams::default(), OptimizerConfig::default())
+        Self::with_params(
+            arch,
+            model,
+            CostParams::default(),
+            OptimizerConfig::default(),
+        )
     }
 
     /// Builds a processor with explicit calibration knobs.
@@ -169,25 +117,8 @@ impl Processor {
         let profile = WorkloadProfile::from_spec(&model.spec());
         let spec = arch.spec();
         let cost = CostModel::new(spec, profile, params)?;
-        // Reference slice from HH-PIM's peak, shared across comparisons.
-        let reference = if arch == Architecture::HhPim {
-            cost.clone()
-        } else {
-            CostModel::new(Architecture::HhPim.spec(), profile, params)?
-        };
-        // Headroom above max_tasks × peak covers re-placement movement
-        // and DP discretization so the peak load remains schedulable
-        // (the paper sets T so that 10 inferences fit at maximum
-        // performance, movement included).
-        let slice_duration = (reference.peak_task_time()
-            * params.max_tasks_per_slice as u64)
-            .mul_f64(1.08);
-        let runtime = RuntimeConfig {
-            slice_duration,
-            max_tasks: params.max_tasks_per_slice,
-            controller_static: Power::from_mw(0.7),
-            movement_margin: 0.05,
-        };
+        let runtime = RuntimeConfig::reference(model, params)?;
+        let slice_duration = runtime.slice_duration;
         let fixed = match arch {
             Architecture::Baseline => Placement::all_in(StorageSpace::HpSram, cost.k_groups()),
             Architecture::Heterogeneous | Architecture::HhPim => cost.fastest_placement(),
@@ -199,7 +130,14 @@ impl Processor {
             let usable = slice_duration.mul_f64(1.0 - runtime.movement_margin);
             AllocationLut::build(&optimizer, usable, runtime.max_tasks)
         });
-        Ok(Processor { arch: spec, cost, runtime, opt_config, lut, fixed })
+        Ok(Processor {
+            arch: spec,
+            cost,
+            runtime,
+            opt_config,
+            lut,
+            fixed,
+        })
     }
 
     /// The architecture specification.
@@ -282,12 +220,17 @@ impl Processor {
                 irem = inn.get(ii).map(|x| x.1).unwrap_or(0);
             }
         }
-        (SimDuration::from_ns_f64(time_ns), Energy::from_pj(energy_pj), moved)
+        (
+            SimDuration::from_ns_f64(time_ns),
+            Energy::from_pj(energy_pj),
+            moved,
+        )
     }
 
     /// Evaluates one slice under `placement` with `n_tasks` tasks,
     /// charging `movement` at the boundary. Returns the record and adds
     /// energy into `ledger`.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_slice(
         &self,
         slice: usize,
@@ -296,27 +239,35 @@ impl Processor {
         movement_time: SimDuration,
         movement_energy: Energy,
         groups_moved: usize,
-        ledger: &mut EnergyLedger<CoreEnergyCat>,
+        ledger: &mut EnergyLedger<EnergyCat>,
     ) -> SliceRecord {
         let t = self.runtime.slice_duration;
         let usable = t.saturating_sub(movement_time);
-        let t_constraint = if n_tasks > 0 { usable / n_tasks as u64 } else { usable };
+        let t_constraint = if n_tasks > 0 {
+            usable / n_tasks as u64
+        } else {
+            usable
+        };
         let task_time = self.cost.task_time(&placement);
         let deadline_met = task_time <= t_constraint;
         let mut slice_energy = Energy::ZERO;
-        let mut add = |cat: CoreEnergyCat, e: Energy| {
+        let mut add = |cat: EnergyCat, e: Energy| {
             ledger.add(cat, e);
             slice_energy += e;
         };
+        // Weight leakage and traffic report under the space's
+        // (cluster, technology) pair of the shared backend vocabulary.
+        let mem_dynamic = |s: StorageSpace| EnergyCat::MemDynamic(s.cluster(), s.kind());
+        let mem_static = |s: StorageSpace| EnergyCat::MemStatic(s.cluster(), s.kind());
 
         // Dynamic traffic.
         for (s, n) in placement.occupied() {
             add(
-                CoreEnergyCat::Dynamic(s),
+                mem_dynamic(s),
                 self.cost.energy_per_group(s) * (n as u64 * n_tasks as u64),
             );
         }
-        add(CoreEnergyCat::Movement, movement_energy);
+        add(EnergyCat::Movement, movement_energy);
 
         // Busy time per cluster, capped at the slice.
         let busy = |c: ClusterClass| -> SimDuration {
@@ -328,12 +279,12 @@ impl Processor {
             GatingPolicy::AlwaysOn => {
                 for s in StorageSpace::ALL {
                     if self.arch.has_space(s) {
-                        add(CoreEnergyCat::WeightStatic(s), self.cost.full_static_power(s) * t);
+                        add(mem_static(s), self.cost.full_static_power(s) * t);
                     }
                 }
                 for c in ClusterClass::ALL {
                     if self.arch.modules_in(c) > 0 {
-                        add(CoreEnergyCat::PeStatic(c), self.cost.pe_static_power(c) * t);
+                        add(EnergyCat::PeStatic(c), self.cost.pe_static_power(c) * t);
                     }
                 }
             }
@@ -346,7 +297,7 @@ impl Processor {
                         // Non-volatile banks gate whenever idle.
                         MemKind::Mram => busy(s.cluster()),
                     };
-                    add(CoreEnergyCat::WeightStatic(s), p * residency);
+                    add(mem_static(s), p * residency);
                 }
                 for c in ClusterClass::ALL {
                     if self.arch.modules_in(c) > 0 {
@@ -360,20 +311,20 @@ impl Processor {
                         let free_modules =
                             self.arch.modules_in(c).saturating_sub(weight_banks) as f64;
                         add(
-                            CoreEnergyCat::ActBufferStatic(c),
+                            EnergyCat::MemStatic(c, MemKind::Sram),
                             (self.cost.act_buffer_static_power_per_module(c) * free_modules) * b,
                         );
-                        add(CoreEnergyCat::PeStatic(c), self.cost.pe_static_power(c) * b);
+                        add(EnergyCat::PeStatic(c), self.cost.pe_static_power(c) * b);
                     }
                 }
             }
         }
-        add(CoreEnergyCat::Controller, self.runtime.controller_static * t);
+        add(EnergyCat::Controller, self.runtime.controller_static * t);
 
         SliceRecord {
             slice,
             n_tasks,
-            placement,
+            placement: Some(placement),
             t_constraint,
             task_time,
             movement_time,
@@ -384,8 +335,8 @@ impl Processor {
     }
 
     /// Runs a full load trace, returning per-slice records and the
-    /// energy breakdown.
-    pub fn run_trace(&self, trace: &LoadTrace) -> TraceReport {
+    /// energy breakdown as a unified [`ExecutionReport`].
+    pub fn run_trace(&self, trace: &LoadTrace) -> ExecutionReport {
         let tasks = trace.task_counts(self.runtime.max_tasks);
         let mut ledger = EnergyLedger::new();
         let mut records = Vec::with_capacity(tasks.len());
@@ -397,7 +348,16 @@ impl Processor {
             prev = placement;
         }
         let deadline_misses = records.iter().filter(|r| !r.deadline_met).count();
-        TraceReport { arch: self.arch.arch, records, ledger, deadline_misses }
+        ExecutionReport {
+            backend: BackendKind::Analytic,
+            arch: self.arch.arch,
+            records,
+            energy: ledger,
+            elapsed: SimTime::ZERO + self.runtime.slice_duration * tasks.len() as u64,
+            deadline_misses,
+            instructions: 0,
+            macs: self.cost.profile().pim_macs * tasks.iter().map(|&n| n as u64).sum::<u64>(),
+        }
     }
 }
 
@@ -431,18 +391,28 @@ mod tests {
         let low = p.placement_for_tasks(1);
         let high = p.placement_for_tasks(10);
         assert_ne!(low, high);
-        assert!(low.get(StorageSpace::LpMram) > 0, "low load should use LP-MRAM: {low}");
+        assert!(
+            low.get(StorageSpace::LpMram) > 0,
+            "low load should use LP-MRAM: {low}"
+        );
         let sram = high.get(StorageSpace::HpSram) + high.get(StorageSpace::LpSram);
-        assert!(sram > high.total() / 2, "high load should be SRAM-heavy: {high}");
+        assert!(
+            sram > high.total() / 2,
+            "high load should be SRAM-heavy: {high}"
+        );
     }
 
     #[test]
     fn fixed_architectures_never_move() {
-        for arch in [Architecture::Baseline, Architecture::Heterogeneous, Architecture::Hybrid] {
+        for arch in [
+            Architecture::Baseline,
+            Architecture::Heterogeneous,
+            Architecture::Hybrid,
+        ] {
             let p = proc(arch);
             let report = p.run_trace(&trace(Scenario::Random));
             assert!(report.records.iter().all(|r| r.groups_moved == 0), "{arch}");
-            assert_eq!(report.ledger.get(CoreEnergyCat::Movement), Energy::ZERO);
+            assert_eq!(report.energy.get(EnergyCat::Movement), Energy::ZERO);
         }
     }
 
@@ -452,7 +422,7 @@ mod tests {
         let report = p.run_trace(&trace(Scenario::PeriodicSpike));
         let moved: usize = report.records.iter().map(|r| r.groups_moved).sum();
         assert!(moved > 0, "spiky load must trigger re-placement");
-        assert!(report.ledger.get(CoreEnergyCat::Movement).as_pj() > 0.0);
+        assert!(report.energy.get(EnergyCat::Movement).as_pj() > 0.0);
     }
 
     #[test]
@@ -472,14 +442,13 @@ mod tests {
         for scenario in Scenario::ALL {
             let tr = trace(scenario);
             let e_hh = hh.run_trace(&tr).total_energy();
-            for other in [Architecture::Baseline, Architecture::Heterogeneous, Architecture::Hybrid] {
+            for other in [
+                Architecture::Baseline,
+                Architecture::Heterogeneous,
+                Architecture::Hybrid,
+            ] {
                 let e = proc(other).run_trace(&tr).total_energy();
-                assert!(
-                    e_hh < e,
-                    "{scenario}: HH {} not below {other} {}",
-                    e_hh,
-                    e
-                );
+                assert!(e_hh < e, "{scenario}: HH {} not below {other} {}", e_hh, e);
             }
         }
     }
@@ -496,8 +465,14 @@ mod tests {
         };
         let low = saving(Scenario::LowConstant);
         let high = saving(Scenario::HighConstant);
-        assert!(low > high, "low-load saving {low:.3} should exceed high-load {high:.3}");
-        assert!(low > 0.5, "low-load saving should be substantial, got {low:.3}");
+        assert!(
+            low > high,
+            "low-load saving {low:.3} should exceed high-load {high:.3}"
+        );
+        assert!(
+            low > 0.5,
+            "low-load saving should be substantial, got {low:.3}"
+        );
     }
 
     #[test]
@@ -509,7 +484,10 @@ mod tests {
         let e_hh = hh.run_trace(&tr).total_energy();
         let e_het = het.run_trace(&tr).total_energy();
         let saving = 1.0 - e_hh / e_het;
-        assert!(saving < 0.25, "case 2 vs hetero should be small, got {saving:.3}");
+        assert!(
+            saving < 0.25,
+            "case 2 vs hetero should be small, got {saving:.3}"
+        );
         assert!(saving >= 0.0);
     }
 
@@ -520,31 +498,48 @@ mod tests {
         let b = p.placement_for_tasks(10);
         let (t_ab, e_ab, m_ab) = p.movement_cost(&a, &b);
         let (t_zero, e_zero, m_zero) = p.movement_cost(&a, &a);
-        assert_eq!((t_zero, e_zero, m_zero), (SimDuration::ZERO, Energy::ZERO, 0));
+        assert_eq!(
+            (t_zero, e_zero, m_zero),
+            (SimDuration::ZERO, Energy::ZERO, 0)
+        );
         assert!(m_ab > 0);
         assert!(t_ab > SimDuration::ZERO && e_ab.as_pj() > 0.0);
         // Movement stays well under the slice (the paper requires no
         // inference delay from movement overhead).
-        assert!(t_ab < p.runtime().slice_duration.mul_f64(0.2), "movement {t_ab}");
+        assert!(
+            t_ab < p.runtime().slice_duration.mul_f64(0.2),
+            "movement {t_ab}"
+        );
     }
 
     #[test]
     fn ledger_records_expected_categories() {
         let p = proc(Architecture::HhPim);
         let report = p.run_trace(&trace(Scenario::HighConstant));
-        assert!(report.ledger.get(CoreEnergyCat::Dynamic(StorageSpace::HpSram)).as_pj() > 0.0);
-        assert!(report.ledger.get(CoreEnergyCat::Controller).as_pj() > 0.0);
+        use hhpim_mem::MemKind::Sram;
+        use ClusterClass::HighPerformance;
         assert!(
             report
-                .ledger
-                .get(CoreEnergyCat::PeStatic(ClusterClass::HighPerformance))
+                .energy
+                .get(EnergyCat::MemDynamic(HighPerformance, Sram))
+                .as_pj()
+                > 0.0
+        );
+        assert!(report.energy.get(EnergyCat::Controller).as_pj() > 0.0);
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::PeStatic(HighPerformance))
                 .as_pj()
                 > 0.0
         );
         // Baseline never gates: full static including unused spaces it has.
         let b = proc(Architecture::Baseline).run_trace(&trace(Scenario::LowConstant));
         assert!(
-            b.ledger.get(CoreEnergyCat::WeightStatic(StorageSpace::HpSram)).as_pj() > 0.0
+            b.energy
+                .get(EnergyCat::MemStatic(HighPerformance, Sram))
+                .as_pj()
+                > 0.0
         );
     }
 }

@@ -25,8 +25,12 @@ pub enum StorageSpace {
 impl StorageSpace {
     /// All four spaces; per-cluster order is MRAM then SRAM, matching
     /// the paper's DP iteration over `i = 1..n/2` per cluster.
-    pub const ALL: [StorageSpace; 4] =
-        [StorageSpace::HpMram, StorageSpace::HpSram, StorageSpace::LpMram, StorageSpace::LpSram];
+    pub const ALL: [StorageSpace; 4] = [
+        StorageSpace::HpMram,
+        StorageSpace::HpSram,
+        StorageSpace::LpMram,
+        StorageSpace::LpSram,
+    ];
 
     /// The cluster this space belongs to.
     pub fn cluster(self) -> ClusterClass {
@@ -131,7 +135,10 @@ impl Placement {
 
     /// Groups placed in `cluster`.
     pub fn cluster_total(&self, cluster: ClusterClass) -> usize {
-        StorageSpace::of_cluster(cluster).iter().map(|&s| self.get(s)).sum()
+        StorageSpace::of_cluster(cluster)
+            .iter()
+            .map(|&s| self.get(s))
+            .sum()
     }
 
     /// Iterates `(space, groups)` for all four spaces.
@@ -194,7 +201,10 @@ mod tests {
         assert_eq!(StorageSpace::LpSram.cluster(), LowPower);
         assert_eq!(StorageSpace::HpSram.kind(), MemKind::Sram);
         assert_eq!(StorageSpace::LpMram.kind(), MemKind::Mram);
-        assert_eq!(StorageSpace::of_cluster(LowPower), [StorageSpace::LpMram, StorageSpace::LpSram]);
+        assert_eq!(
+            StorageSpace::of_cluster(LowPower),
+            [StorageSpace::LpMram, StorageSpace::LpSram]
+        );
         for (i, s) in StorageSpace::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);
         }
@@ -234,6 +244,9 @@ mod tests {
             Placement::from_counts([0, 2, 3, 0]).to_string(),
             "2@HP-SRAM + 3@LP-MRAM"
         );
-        assert_eq!(Placement::all_in(StorageSpace::LpMram, 5).to_string(), "5@LP-MRAM");
+        assert_eq!(
+            Placement::all_in(StorageSpace::LpMram, 5).to_string(),
+            "5@LP-MRAM"
+        );
     }
 }

@@ -79,15 +79,48 @@ impl Component {
     /// Published Table II utilization for this IP.
     pub fn table_ii(self) -> Resources {
         match self {
-            Component::RocketCore => Resources { luts: 14_998, ffs: 9_762, brams: 12, dsps: 4 },
-            Component::Peripherals => Resources { luts: 4_704, ffs: 7_159, brams: 0, dsps: 0 },
-            Component::SystemInterconnect => {
-                Resources { luts: 5_237, ffs: 7_720, brams: 0, dsps: 0 }
-            }
-            Component::HpPimModule => Resources { luts: 968, ffs: 1_055, brams: 32, dsps: 2 },
-            Component::HpPimController => Resources { luts: 2_823, ffs: 875, brams: 0, dsps: 0 },
-            Component::LpPimModule => Resources { luts: 1_074, ffs: 1_094, brams: 32, dsps: 2 },
-            Component::LpPimController => Resources { luts: 2_149, ffs: 875, brams: 0, dsps: 0 },
+            Component::RocketCore => Resources {
+                luts: 14_998,
+                ffs: 9_762,
+                brams: 12,
+                dsps: 4,
+            },
+            Component::Peripherals => Resources {
+                luts: 4_704,
+                ffs: 7_159,
+                brams: 0,
+                dsps: 0,
+            },
+            Component::SystemInterconnect => Resources {
+                luts: 5_237,
+                ffs: 7_720,
+                brams: 0,
+                dsps: 0,
+            },
+            Component::HpPimModule => Resources {
+                luts: 968,
+                ffs: 1_055,
+                brams: 32,
+                dsps: 2,
+            },
+            Component::HpPimController => Resources {
+                luts: 2_823,
+                ffs: 875,
+                brams: 0,
+                dsps: 0,
+            },
+            Component::LpPimModule => Resources {
+                luts: 1_074,
+                ffs: 1_094,
+                brams: 32,
+                dsps: 2,
+            },
+            Component::LpPimController => Resources {
+                luts: 2_149,
+                ffs: 875,
+                brams: 0,
+                dsps: 0,
+            },
         }
     }
 
@@ -166,7 +199,8 @@ pub fn estimate_module(desc: &ModuleDescriptor, f: &CostFactors) -> Resources {
     if desc.lp_handshake {
         luts *= f.lp_factor;
     }
-    let ffs = f.module_base_ffs + f.ffs_per_mac_bit * desc.mac_width_bits as f64
+    let ffs = f.module_base_ffs
+        + f.ffs_per_mac_bit * desc.mac_width_bits as f64
         + if desc.lp_handshake { 39.0 } else { 0.0 };
     Resources {
         luts: luts.round() as u32,
@@ -178,12 +212,22 @@ pub fn estimate_module(desc: &ModuleDescriptor, f: &CostFactors) -> Resources {
 
 /// The paper's HP-PIM module shape (64 kB + 64 kB, 32-bit MAC path).
 pub fn hp_module_descriptor() -> ModuleDescriptor {
-    ModuleDescriptor { memory_kb: 128, mac_width_bits: 32, hybrid_interface: true, lp_handshake: false }
+    ModuleDescriptor {
+        memory_kb: 128,
+        mac_width_bits: 32,
+        hybrid_interface: true,
+        lp_handshake: false,
+    }
 }
 
 /// The paper's LP-PIM module shape.
 pub fn lp_module_descriptor() -> ModuleDescriptor {
-    ModuleDescriptor { memory_kb: 128, mac_width_bits: 32, hybrid_interface: true, lp_handshake: true }
+    ModuleDescriptor {
+        memory_kb: 128,
+        mac_width_bits: 32,
+        hybrid_interface: true,
+        lp_handshake: true,
+    }
 }
 
 /// One row of a regenerated Table II.
@@ -202,13 +246,22 @@ pub fn table_ii_rows(hp_modules: u32, lp_modules: u32, f: &CostFactors) -> Vec<T
     let hp = estimate_module(&hp_module_descriptor(), f);
     let lp = estimate_module(&lp_module_descriptor(), f);
     let mut rows = vec![
-        TableRow { name: Component::RocketCore.name().into(), resources: Component::RocketCore.table_ii() },
-        TableRow { name: Component::Peripherals.name().into(), resources: Component::Peripherals.table_ii() },
+        TableRow {
+            name: Component::RocketCore.name().into(),
+            resources: Component::RocketCore.table_ii(),
+        },
+        TableRow {
+            name: Component::Peripherals.name().into(),
+            resources: Component::Peripherals.table_ii(),
+        },
         TableRow {
             name: Component::SystemInterconnect.name().into(),
             resources: Component::SystemInterconnect.table_ii(),
         },
-        TableRow { name: Component::HpPimModule.name().into(), resources: hp },
+        TableRow {
+            name: Component::HpPimModule.name().into(),
+            resources: hp,
+        },
         TableRow {
             name: Component::HpPimController.name().into(),
             resources: Component::HpPimController.table_ii(),
@@ -225,9 +278,15 @@ pub fn table_ii_rows(hp_modules: u32, lp_modules: u32, f: &CostFactors) -> Vec<T
         brams: hp.brams * hp_modules,
         dsps: hp.dsps * hp_modules,
     };
-    rows.push(TableRow { name: format!("Total (HP-PIM cluster x{hp_modules})"), resources: hp_cluster });
+    rows.push(TableRow {
+        name: format!("Total (HP-PIM cluster x{hp_modules})"),
+        resources: hp_cluster,
+    });
     if lp_modules > 0 {
-        rows.push(TableRow { name: Component::LpPimModule.name().into(), resources: lp });
+        rows.push(TableRow {
+            name: Component::LpPimModule.name().into(),
+            resources: lp,
+        });
         rows.push(TableRow {
             name: Component::LpPimController.name().into(),
             resources: Component::LpPimController.table_ii(),
@@ -258,8 +317,14 @@ mod tests {
     fn hp_module_estimate_matches_table_ii() {
         let est = estimate_module(&hp_module_descriptor(), &CostFactors::default());
         let published = Component::HpPimModule.table_ii();
-        assert!(pct(est.luts, published.luts) < 5.0, "luts {est} vs {published}");
-        assert!(pct(est.ffs, published.ffs) < 5.0, "ffs {est} vs {published}");
+        assert!(
+            pct(est.luts, published.luts) < 5.0,
+            "luts {est} vs {published}"
+        );
+        assert!(
+            pct(est.ffs, published.ffs) < 5.0,
+            "ffs {est} vs {published}"
+        );
         assert_eq!(est.brams, published.brams);
         assert_eq!(est.dsps, published.dsps);
     }
@@ -268,8 +333,14 @@ mod tests {
     fn lp_module_estimate_matches_table_ii() {
         let est = estimate_module(&lp_module_descriptor(), &CostFactors::default());
         let published = Component::LpPimModule.table_ii();
-        assert!(pct(est.luts, published.luts) < 5.0, "luts {est} vs {published}");
-        assert!(pct(est.ffs, published.ffs) < 5.0, "ffs {est} vs {published}");
+        assert!(
+            pct(est.luts, published.luts) < 5.0,
+            "luts {est} vs {published}"
+        );
+        assert!(
+            pct(est.ffs, published.ffs) < 5.0,
+            "ffs {est} vs {published}"
+        );
         assert_eq!(est.brams, published.brams);
     }
 
@@ -278,12 +349,20 @@ mod tests {
         // Paper totals: HP cluster 6951 LUTs / 5460 FFs / 128 BRAM / 8 DSP,
         // LP cluster 6680 / 5616 / 128 / 8 (4 modules each).
         let rows = table_ii_rows(4, 4, &CostFactors::default());
-        let hp_total = &rows.iter().find(|r| r.name.contains("HP-PIM cluster")).unwrap().resources;
+        let hp_total = &rows
+            .iter()
+            .find(|r| r.name.contains("HP-PIM cluster"))
+            .unwrap()
+            .resources;
         assert!(pct(hp_total.luts, 6_951) < 6.0, "{hp_total}");
         assert!(pct(hp_total.ffs, 5_460) < 6.0, "{hp_total}");
         assert_eq!(hp_total.brams, 128);
         assert_eq!(hp_total.dsps, 8);
-        let lp_total = &rows.iter().find(|r| r.name.contains("LP-PIM cluster")).unwrap().resources;
+        let lp_total = &rows
+            .iter()
+            .find(|r| r.name.contains("LP-PIM cluster"))
+            .unwrap()
+            .resources;
         assert!(pct(lp_total.luts, 6_680) < 6.0, "{lp_total}");
         assert!(pct(lp_total.ffs, 5_616) < 6.0, "{lp_total}");
         assert_eq!(lp_total.brams, 128);
@@ -294,7 +373,10 @@ mod tests {
         let f = CostFactors::default();
         let hp = estimate_module(&hp_module_descriptor(), &f);
         let lp = estimate_module(&lp_module_descriptor(), &f);
-        assert!(lp.luts > hp.luts, "Table II shows LP modules slightly larger");
+        assert!(
+            lp.luts > hp.luts,
+            "Table II shows LP modules slightly larger"
+        );
         assert!(lp.ffs > hp.ffs);
     }
 
@@ -306,9 +388,22 @@ mod tests {
 
     #[test]
     fn resources_add_and_sum() {
-        let a = Resources { luts: 1, ffs: 2, brams: 3, dsps: 4 };
+        let a = Resources {
+            luts: 1,
+            ffs: 2,
+            brams: 3,
+            dsps: 4,
+        };
         let total: Resources = [a, a].into_iter().sum();
-        assert_eq!(total, Resources { luts: 2, ffs: 4, brams: 6, dsps: 8 });
+        assert_eq!(
+            total,
+            Resources {
+                luts: 2,
+                ffs: 4,
+                brams: 6,
+                dsps: 8
+            }
+        );
         assert_eq!(total.to_string(), "2 LUTs, 4 FFs, 6 BRAMs, 8 DSPs");
     }
 
@@ -316,11 +411,17 @@ mod tests {
     fn estimate_scales_with_memory() {
         let f = CostFactors::default();
         let small = estimate_module(
-            &ModuleDescriptor { memory_kb: 64, ..hp_module_descriptor() },
+            &ModuleDescriptor {
+                memory_kb: 64,
+                ..hp_module_descriptor()
+            },
             &f,
         );
         let big = estimate_module(
-            &ModuleDescriptor { memory_kb: 256, ..hp_module_descriptor() },
+            &ModuleDescriptor {
+                memory_kb: 256,
+                ..hp_module_descriptor()
+            },
             &f,
         );
         assert!(big.brams > small.brams);

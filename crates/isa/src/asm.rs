@@ -73,7 +73,9 @@ fn parse_mask(s: &str) -> Result<ModuleMask, AsmErrorKind> {
     }
     let mut mask = ModuleMask::empty();
     for part in s.split(',') {
-        let part = part.strip_prefix('m').ok_or_else(|| AsmErrorKind::BadMask(s.into()))?;
+        let part = part
+            .strip_prefix('m')
+            .ok_or_else(|| AsmErrorKind::BadMask(s.into()))?;
         if let Some((lo, hi)) = part.split_once('-') {
             let lo: u8 = lo.parse().map_err(|_| AsmErrorKind::BadMask(s.into()))?;
             let hi: u8 = hi.parse().map_err(|_| AsmErrorKind::BadMask(s.into()))?;
@@ -104,7 +106,9 @@ fn parse_mem(s: &str) -> Result<MemSelect, AsmErrorKind> {
 }
 
 fn parse_addr(s: &str) -> Result<u16, AsmErrorKind> {
-    let body = s.strip_prefix('@').ok_or_else(|| AsmErrorKind::BadAddr(s.into()))?;
+    let body = s
+        .strip_prefix('@')
+        .ok_or_else(|| AsmErrorKind::BadAddr(s.into()))?;
     let parsed = if let Some(hex) = body.strip_prefix("0x") {
         u16::from_str_radix(hex, 16)
     } else {
@@ -114,7 +118,9 @@ fn parse_addr(s: &str) -> Result<u16, AsmErrorKind> {
 }
 
 fn parse_count(s: &str) -> Result<u8, AsmErrorKind> {
-    let body = s.strip_prefix('x').ok_or_else(|| AsmErrorKind::BadCount(s.into()))?;
+    let body = s
+        .strip_prefix('x')
+        .ok_or_else(|| AsmErrorKind::BadCount(s.into()))?;
     let n: u16 = body.parse().map_err(|_| AsmErrorKind::BadCount(s.into()))?;
     if n == 0 || n > 255 {
         return Err(AsmErrorKind::BadCount(s.into()));
@@ -147,11 +153,36 @@ fn assemble_line(line: &str) -> Result<Option<PimInstruction>, AsmErrorKind> {
             let addr = parse_addr(ops[2])?;
             let count = parse_count(ops[3])?;
             match mnemonic {
-                "mac" => Mac { modules, mem, addr, count },
-                "movi" => MoveIntra { modules, mem, addr, count },
-                "movx" => MoveInter { modules, mem, addr, count },
-                "ldext" => LoadExt { modules, mem, addr, count },
-                _ => StoreExt { modules, mem, addr, count },
+                "mac" => Mac {
+                    modules,
+                    mem,
+                    addr,
+                    count,
+                },
+                "movi" => MoveIntra {
+                    modules,
+                    mem,
+                    addr,
+                    count,
+                },
+                "movx" => MoveInter {
+                    modules,
+                    mem,
+                    addr,
+                    count,
+                },
+                "ldext" => LoadExt {
+                    modules,
+                    mem,
+                    addr,
+                    count,
+                },
+                _ => StoreExt {
+                    modules,
+                    mem,
+                    addr,
+                    count,
+                },
             }
         }
         "wb" => {
@@ -164,7 +195,9 @@ fn assemble_line(line: &str) -> Result<Option<PimInstruction>, AsmErrorKind> {
         }
         "clr" => {
             arity(1, ops.len())?;
-            ClearAcc { modules: parse_mask(ops[0])? }
+            ClearAcc {
+                modules: parse_mask(ops[0])?,
+            }
         }
         "gateoff" | "gateon" => {
             arity(2, ops.len())?;
@@ -218,7 +251,12 @@ pub fn assemble(source: &str) -> Result<Vec<PimInstruction>, AsmError> {
         match assemble_line(line) {
             Ok(Some(inst)) => out.push(inst),
             Ok(None) => {}
-            Err(kind) => return Err(AsmError { line: idx + 1, kind }),
+            Err(kind) => {
+                return Err(AsmError {
+                    line: idx + 1,
+                    kind,
+                })
+            }
         }
     }
     Ok(out)
@@ -324,11 +362,17 @@ mod tests {
         ));
         assert!(matches!(
             assemble("wb m0 sram").unwrap_err().kind,
-            AsmErrorKind::WrongArity { expected: 3, found: 2 }
+            AsmErrorKind::WrongArity {
+                expected: 3,
+                found: 2
+            }
         ));
         assert!(matches!(
             assemble("barrier m0").unwrap_err().kind,
-            AsmErrorKind::WrongArity { expected: 0, found: 1 }
+            AsmErrorKind::WrongArity {
+                expected: 0,
+                found: 1
+            }
         ));
     }
 

@@ -85,14 +85,7 @@ fn mem_bit(mem: MemSelect) -> u64 {
     }
 }
 
-fn pack(
-    cat: u64,
-    op: u64,
-    mask: ModuleMask,
-    mem: u64,
-    addr: u16,
-    count: u8,
-) -> u64 {
+fn pack(cat: u64, op: u64, mask: ModuleMask, mem: u64, addr: u16, count: u8) -> u64 {
     (cat << CAT_SHIFT)
         | (op << OP_SHIFT)
         | ((mask.bits() as u64) << MASK_SHIFT)
@@ -124,7 +117,10 @@ fn pack(
 pub fn encode(inst: PimInstruction) -> u64 {
     use PimInstruction::*;
     let check_mask = |m: ModuleMask| {
-        assert!(!m.is_empty(), "module-targeting instruction needs a non-empty mask");
+        assert!(
+            !m.is_empty(),
+            "module-targeting instruction needs a non-empty mask"
+        );
         m
     };
     let check_count = |c: u8| {
@@ -132,7 +128,12 @@ pub fn encode(inst: PimInstruction) -> u64 {
         c
     };
     match inst {
-        Mac { modules, mem, addr, count } => pack(
+        Mac {
+            modules,
+            mem,
+            addr,
+            count,
+        } => pack(
             CAT_COMPUTE,
             OP_MAC,
             check_mask(modules),
@@ -140,13 +141,21 @@ pub fn encode(inst: PimInstruction) -> u64 {
             addr,
             check_count(count),
         ),
-        WriteBack { modules, mem, addr } => {
-            pack(CAT_COMPUTE, OP_WRITEBACK, check_mask(modules), mem_bit(mem), addr, 0)
-        }
-        ClearAcc { modules } => {
-            pack(CAT_COMPUTE, OP_CLEARACC, check_mask(modules), 0, 0, 0)
-        }
-        MoveIntra { modules, mem, addr, count } => pack(
+        WriteBack { modules, mem, addr } => pack(
+            CAT_COMPUTE,
+            OP_WRITEBACK,
+            check_mask(modules),
+            mem_bit(mem),
+            addr,
+            0,
+        ),
+        ClearAcc { modules } => pack(CAT_COMPUTE, OP_CLEARACC, check_mask(modules), 0, 0, 0),
+        MoveIntra {
+            modules,
+            mem,
+            addr,
+            count,
+        } => pack(
             CAT_DATAMOVE,
             OP_MOVE_INTRA,
             check_mask(modules),
@@ -154,7 +163,12 @@ pub fn encode(inst: PimInstruction) -> u64 {
             addr,
             check_count(count),
         ),
-        MoveInter { modules, mem, addr, count } => pack(
+        MoveInter {
+            modules,
+            mem,
+            addr,
+            count,
+        } => pack(
             CAT_DATAMOVE,
             OP_MOVE_INTER,
             check_mask(modules),
@@ -162,7 +176,12 @@ pub fn encode(inst: PimInstruction) -> u64 {
             addr,
             check_count(count),
         ),
-        LoadExt { modules, mem, addr, count } => pack(
+        LoadExt {
+            modules,
+            mem,
+            addr,
+            count,
+        } => pack(
             CAT_DATAMOVE,
             OP_LOAD_EXT,
             check_mask(modules),
@@ -170,7 +189,12 @@ pub fn encode(inst: PimInstruction) -> u64 {
             addr,
             check_count(count),
         ),
-        StoreExt { modules, mem, addr, count } => pack(
+        StoreExt {
+            modules,
+            mem,
+            addr,
+            count,
+        } => pack(
             CAT_DATAMOVE,
             OP_STORE_EXT,
             check_mask(modules),
@@ -178,12 +202,22 @@ pub fn encode(inst: PimInstruction) -> u64 {
             addr,
             check_count(count),
         ),
-        GateOff { modules, mem } => {
-            pack(CAT_CONFIG, OP_GATE_OFF, check_mask(modules), mem_bit(mem), 0, 0)
-        }
-        GateOn { modules, mem } => {
-            pack(CAT_CONFIG, OP_GATE_ON, check_mask(modules), mem_bit(mem), 0, 0)
-        }
+        GateOff { modules, mem } => pack(
+            CAT_CONFIG,
+            OP_GATE_OFF,
+            check_mask(modules),
+            mem_bit(mem),
+            0,
+            0,
+        ),
+        GateOn { modules, mem } => pack(
+            CAT_CONFIG,
+            OP_GATE_ON,
+            check_mask(modules),
+            mem_bit(mem),
+            0,
+            0,
+        ),
         Nop => pack(CAT_SYNC, OP_NOP, ModuleMask::empty(), 0, 0, 0),
         Barrier => pack(CAT_SYNC, OP_BARRIER, ModuleMask::empty(), 0, 0, 0),
         Halt => pack(CAT_SYNC, OP_HALT, ModuleMask::empty(), 0, 0, 0),
@@ -201,7 +235,11 @@ pub fn decode(word: u64) -> Result<PimInstruction, DecodeError> {
     let cat = (word >> CAT_SHIFT) & 0b11;
     let op = (word >> OP_SHIFT) & 0b11_1111;
     let mask = ModuleMask::from_bits(((word >> MASK_SHIFT) & 0xFF) as u8);
-    let mem = if (word >> MEM_SHIFT) & 1 == 1 { MemSelect::Sram } else { MemSelect::Mram };
+    let mem = if (word >> MEM_SHIFT) & 1 == 1 {
+        MemSelect::Sram
+    } else {
+        MemSelect::Mram
+    };
     let rsvd_hi = (word >> RSVD_HI_SHIFT) & 0x7F;
     let addr = ((word >> ADDR_SHIFT) & 0xFFFF) as u16;
     let count = ((word >> COUNT_SHIFT) & 0xFF) as u8;
@@ -227,30 +265,60 @@ pub fn decode(word: u64) -> Result<PimInstruction, DecodeError> {
 
     use PimInstruction::*;
     let inst = match (cat, op) {
-        (CAT_COMPUTE, OP_MAC) => {
-            Mac { modules: need_mask()?, mem, addr, count: need_count()? }
-        }
-        (CAT_COMPUTE, OP_WRITEBACK) => WriteBack { modules: need_mask()?, mem, addr },
-        (CAT_COMPUTE, OP_CLEARACC) => ClearAcc { modules: need_mask()? },
-        (CAT_DATAMOVE, OP_MOVE_INTRA) => {
-            MoveIntra { modules: need_mask()?, mem, addr, count: need_count()? }
-        }
-        (CAT_DATAMOVE, OP_MOVE_INTER) => {
-            MoveInter { modules: need_mask()?, mem, addr, count: need_count()? }
-        }
-        (CAT_DATAMOVE, OP_LOAD_EXT) => {
-            LoadExt { modules: need_mask()?, mem, addr, count: need_count()? }
-        }
-        (CAT_DATAMOVE, OP_STORE_EXT) => {
-            StoreExt { modules: need_mask()?, mem, addr, count: need_count()? }
-        }
-        (CAT_CONFIG, OP_GATE_OFF) => GateOff { modules: need_mask()?, mem },
-        (CAT_CONFIG, OP_GATE_ON) => GateOn { modules: need_mask()?, mem },
+        (CAT_COMPUTE, OP_MAC) => Mac {
+            modules: need_mask()?,
+            mem,
+            addr,
+            count: need_count()?,
+        },
+        (CAT_COMPUTE, OP_WRITEBACK) => WriteBack {
+            modules: need_mask()?,
+            mem,
+            addr,
+        },
+        (CAT_COMPUTE, OP_CLEARACC) => ClearAcc {
+            modules: need_mask()?,
+        },
+        (CAT_DATAMOVE, OP_MOVE_INTRA) => MoveIntra {
+            modules: need_mask()?,
+            mem,
+            addr,
+            count: need_count()?,
+        },
+        (CAT_DATAMOVE, OP_MOVE_INTER) => MoveInter {
+            modules: need_mask()?,
+            mem,
+            addr,
+            count: need_count()?,
+        },
+        (CAT_DATAMOVE, OP_LOAD_EXT) => LoadExt {
+            modules: need_mask()?,
+            mem,
+            addr,
+            count: need_count()?,
+        },
+        (CAT_DATAMOVE, OP_STORE_EXT) => StoreExt {
+            modules: need_mask()?,
+            mem,
+            addr,
+            count: need_count()?,
+        },
+        (CAT_CONFIG, OP_GATE_OFF) => GateOff {
+            modules: need_mask()?,
+            mem,
+        },
+        (CAT_CONFIG, OP_GATE_ON) => GateOn {
+            modules: need_mask()?,
+            mem,
+        },
         (CAT_SYNC, OP_NOP) => Nop,
         (CAT_SYNC, OP_BARRIER) => Barrier,
         (CAT_SYNC, OP_HALT) => Halt,
         (cat, op) => {
-            return Err(DecodeError::ReservedOpcode { category: cat as u8, opcode: op as u8 })
+            return Err(DecodeError::ReservedOpcode {
+                category: cat as u8,
+                opcode: op as u8,
+            })
         }
     };
     // Category cross-check: the enum's own classification must agree
@@ -273,16 +341,58 @@ mod tests {
         use PimInstruction::*;
         let m = ModuleMask::range(0, 3);
         vec![
-            Mac { modules: m, mem: MemSelect::Mram, addr: 0xBEEF, count: 255 },
-            Mac { modules: ModuleMask::single(7), mem: MemSelect::Sram, addr: 0, count: 1 },
-            WriteBack { modules: m, mem: MemSelect::Sram, addr: 0x1234 },
-            ClearAcc { modules: ModuleMask::all() },
-            MoveIntra { modules: m, mem: MemSelect::Mram, addr: 0x10, count: 64 },
-            MoveInter { modules: m, mem: MemSelect::Sram, addr: 0x20, count: 128 },
-            LoadExt { modules: m, mem: MemSelect::Mram, addr: 0xFFFF, count: 8 },
-            StoreExt { modules: m, mem: MemSelect::Sram, addr: 0xAAAA, count: 16 },
-            GateOff { modules: m, mem: MemSelect::Sram },
-            GateOn { modules: ModuleMask::all(), mem: MemSelect::Mram },
+            Mac {
+                modules: m,
+                mem: MemSelect::Mram,
+                addr: 0xBEEF,
+                count: 255,
+            },
+            Mac {
+                modules: ModuleMask::single(7),
+                mem: MemSelect::Sram,
+                addr: 0,
+                count: 1,
+            },
+            WriteBack {
+                modules: m,
+                mem: MemSelect::Sram,
+                addr: 0x1234,
+            },
+            ClearAcc {
+                modules: ModuleMask::all(),
+            },
+            MoveIntra {
+                modules: m,
+                mem: MemSelect::Mram,
+                addr: 0x10,
+                count: 64,
+            },
+            MoveInter {
+                modules: m,
+                mem: MemSelect::Sram,
+                addr: 0x20,
+                count: 128,
+            },
+            LoadExt {
+                modules: m,
+                mem: MemSelect::Mram,
+                addr: 0xFFFF,
+                count: 8,
+            },
+            StoreExt {
+                modules: m,
+                mem: MemSelect::Sram,
+                addr: 0xAAAA,
+                count: 16,
+            },
+            GateOff {
+                modules: m,
+                mem: MemSelect::Sram,
+            },
+            GateOn {
+                modules: ModuleMask::all(),
+                mem: MemSelect::Mram,
+            },
             Nop,
             Barrier,
             Halt,
@@ -303,7 +413,10 @@ mod tests {
         let word = 63u64 << OP_SHIFT | 1 << MASK_SHIFT;
         assert_eq!(
             decode(word),
-            Err(DecodeError::ReservedOpcode { category: 0, opcode: 63 })
+            Err(DecodeError::ReservedOpcode {
+                category: 0,
+                opcode: 63
+            })
         );
     }
 
@@ -311,7 +424,10 @@ mod tests {
     fn nonzero_reserved_rejected() {
         let good = encode(PimInstruction::Nop);
         assert_eq!(decode(good | 1), Err(DecodeError::NonZeroReserved));
-        assert_eq!(decode(good | (1 << RSVD_HI_SHIFT)), Err(DecodeError::NonZeroReserved));
+        assert_eq!(
+            decode(good | (1 << RSVD_HI_SHIFT)),
+            Err(DecodeError::NonZeroReserved)
+        );
     }
 
     #[test]
@@ -341,14 +457,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty mask")]
     fn encode_rejects_empty_mask() {
-        encode(PimInstruction::ClearAcc { modules: ModuleMask::empty() });
+        encode(PimInstruction::ClearAcc {
+            modules: ModuleMask::empty(),
+        });
     }
 
     #[test]
     fn error_display() {
         assert_eq!(DecodeError::ZeroCount.to_string(), "zero burst count");
-        assert!(DecodeError::ReservedOpcode { category: 1, opcode: 9 }
-            .to_string()
-            .contains("category 1"));
+        assert!(DecodeError::ReservedOpcode {
+            category: 1,
+            opcode: 9
+        }
+        .to_string()
+        .contains("category 1"));
     }
 }

@@ -50,7 +50,10 @@ impl ModuleMask {
     ///
     /// Panics if `index >= 8`.
     pub fn single(index: u8) -> Self {
-        assert!(index < Self::MAX_MODULES, "module index {index} out of range");
+        assert!(
+            index < Self::MAX_MODULES,
+            "module index {index} out of range"
+        );
         ModuleMask(1 << index)
     }
 
@@ -60,9 +63,16 @@ impl ModuleMask {
     ///
     /// Panics if `hi >= 8` or `lo > hi`.
     pub fn range(lo: u8, hi: u8) -> Self {
-        assert!(hi < Self::MAX_MODULES && lo <= hi, "invalid module range {lo}-{hi}");
+        assert!(
+            hi < Self::MAX_MODULES && lo <= hi,
+            "invalid module range {lo}-{hi}"
+        );
         let width = hi - lo + 1;
-        let bits = if width == 8 { 0xFF } else { ((1u16 << width) - 1) as u8 } << lo;
+        let bits = if width == 8 {
+            0xFF
+        } else {
+            ((1u16 << width) - 1) as u8
+        } << lo;
         ModuleMask(bits)
     }
 
@@ -284,21 +294,46 @@ impl fmt::Display for PimInstruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use PimInstruction::*;
         match *self {
-            Mac { modules, mem, addr, count } => {
+            Mac {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 write!(f, "mac {modules} {mem} @{addr:#x} x{count}")
             }
             WriteBack { modules, mem, addr } => write!(f, "wb {modules} {mem} @{addr:#x}"),
             ClearAcc { modules } => write!(f, "clr {modules}"),
-            MoveIntra { modules, mem, addr, count } => {
+            MoveIntra {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 write!(f, "movi {modules} {mem} @{addr:#x} x{count}")
             }
-            MoveInter { modules, mem, addr, count } => {
+            MoveInter {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 write!(f, "movx {modules} {mem} @{addr:#x} x{count}")
             }
-            LoadExt { modules, mem, addr, count } => {
+            LoadExt {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 write!(f, "ldext {modules} {mem} @{addr:#x} x{count}")
             }
-            StoreExt { modules, mem, addr, count } => {
+            StoreExt {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 write!(f, "stext {modules} {mem} @{addr:#x} x{count}")
             }
             GateOff { modules, mem } => write!(f, "gateoff {modules} {mem}"),
@@ -320,7 +355,10 @@ mod tests {
         assert_eq!(ModuleMask::range(0, 3).bits(), 0b0000_1111);
         assert_eq!(ModuleMask::range(4, 7).bits(), 0b1111_0000);
         assert_eq!(ModuleMask::range(0, 7), ModuleMask::all());
-        assert_eq!(ModuleMask::single(1).union(ModuleMask::single(4)).bits(), 0b0001_0010);
+        assert_eq!(
+            ModuleMask::single(1).union(ModuleMask::single(4)).bits(),
+            0b0001_0010
+        );
     }
 
     #[test]
@@ -346,17 +384,31 @@ mod tests {
     fn categories() {
         let m = ModuleMask::all();
         assert_eq!(
-            PimInstruction::Mac { modules: m, mem: MemSelect::Sram, addr: 0, count: 1 }
-                .category(),
+            PimInstruction::Mac {
+                modules: m,
+                mem: MemSelect::Sram,
+                addr: 0,
+                count: 1
+            }
+            .category(),
             Category::Compute
         );
         assert_eq!(
-            PimInstruction::LoadExt { modules: m, mem: MemSelect::Mram, addr: 0, count: 1 }
-                .category(),
+            PimInstruction::LoadExt {
+                modules: m,
+                mem: MemSelect::Mram,
+                addr: 0,
+                count: 1
+            }
+            .category(),
             Category::DataMove
         );
         assert_eq!(
-            PimInstruction::GateOff { modules: m, mem: MemSelect::Sram }.category(),
+            PimInstruction::GateOff {
+                modules: m,
+                mem: MemSelect::Sram
+            }
+            .category(),
             Category::Config
         );
         assert_eq!(PimInstruction::Barrier.category(), Category::Sync);

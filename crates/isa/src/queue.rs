@@ -109,7 +109,9 @@ impl InstructionQueue {
     /// Returns [`QueueFullError`] when at capacity.
     pub fn push_word(&mut self, word: u64) -> Result<(), QueueFullError> {
         if self.is_full() {
-            return Err(QueueFullError { capacity: self.capacity });
+            return Err(QueueFullError {
+                capacity: self.capacity,
+            });
         }
         self.words.push_back(word);
         self.pushed_total += 1;
@@ -139,7 +141,8 @@ impl Extend<PimInstruction> for InstructionQueue {
     /// fallible insertion).
     fn extend<I: IntoIterator<Item = PimInstruction>>(&mut self, iter: I) {
         for inst in iter {
-            self.push(inst).expect("instruction queue overflow in extend");
+            self.push(inst)
+                .expect("instruction queue overflow in extend");
         }
     }
 }
@@ -166,7 +169,10 @@ mod tests {
         let mut q = InstructionQueue::new(2);
         q.push(PimInstruction::Nop).unwrap();
         q.push(PimInstruction::Nop).unwrap();
-        assert_eq!(q.push(PimInstruction::Nop), Err(QueueFullError { capacity: 2 }));
+        assert_eq!(
+            q.push(PimInstruction::Nop),
+            Err(QueueFullError { capacity: 2 })
+        );
         assert!(q.is_full());
     }
 
@@ -194,7 +200,9 @@ mod tests {
     fn extend_and_clear() {
         let mut q = InstructionQueue::new(8);
         q.extend([
-            PimInstruction::ClearAcc { modules: ModuleMask::all() },
+            PimInstruction::ClearAcc {
+                modules: ModuleMask::all(),
+            },
             PimInstruction::Mac {
                 modules: ModuleMask::all(),
                 mem: MemSelect::Sram,

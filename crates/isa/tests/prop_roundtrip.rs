@@ -25,9 +25,8 @@ fn inst_strategy() -> impl Strategy<Value = PimInstruction> {
             addr,
             count
         }),
-        (mask_strategy(), mem_strategy(), any::<u16>()).prop_map(|(modules, mem, addr)| {
-            PimInstruction::WriteBack { modules, mem, addr }
-        }),
+        (mask_strategy(), mem_strategy(), any::<u16>())
+            .prop_map(|(modules, mem, addr)| { PimInstruction::WriteBack { modules, mem, addr } }),
         mask_strategy().prop_map(|modules| PimInstruction::ClearAcc { modules }),
         burst().prop_map(|(modules, mem, addr, count)| PimInstruction::MoveIntra {
             modules,

@@ -41,7 +41,10 @@ pub struct GateParams {
 
 impl Default for GateParams {
     fn default() -> Self {
-        GateParams { wake_latency: SimDuration::from_ns(2), wake_energy: Energy::from_pj(50.0) }
+        GateParams {
+            wake_latency: SimDuration::from_ns(2),
+            wake_energy: Energy::from_pj(50.0),
+        }
     }
 }
 
@@ -79,8 +82,14 @@ impl fmt::Display for BankError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BankError::Gated => write!(f, "bank is power-gated"),
-            BankError::CapacityExceeded { requested, available } => {
-                write!(f, "allocation of {requested} B exceeds {available} B available")
+            BankError::CapacityExceeded {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "allocation of {requested} B exceeds {available} B available"
+                )
             }
             BankError::WouldLoseData { live_bytes } => {
                 write!(f, "gating volatile bank would lose {live_bytes} live bytes")
@@ -307,7 +316,9 @@ impl MemoryBank {
     /// that still holds live data. MRAM banks may always be gated.
     pub fn gate(&mut self, now: SimTime) -> Result<(), BankError> {
         if !self.tech.kind.is_non_volatile() && self.live_bytes > 0 {
-            return Err(BankError::WouldLoseData { live_bytes: self.live_bytes });
+            return Err(BankError::WouldLoseData {
+                live_bytes: self.live_bytes,
+            });
         }
         self.advance_to(now);
         self.state = GateState::Gated;
@@ -390,7 +401,10 @@ mod tests {
         b.store(512).unwrap();
         b.gate(SimTime::ZERO).unwrap();
         assert_eq!(b.live_bytes(), 512, "non-volatile contents survive gating");
-        assert_eq!(b.access(SimTime::ZERO, AccessKind::Read, 1), Err(BankError::Gated));
+        assert_eq!(
+            b.access(SimTime::ZERO, AccessKind::Read, 1),
+            Err(BankError::Gated)
+        );
         let ready = b.ungate(SimTime::from_ns(100));
         assert!(ready > SimTime::from_ns(100), "wake-up takes time");
         assert!(b.access(ready, AccessKind::Read, 1).is_ok());
@@ -403,7 +417,10 @@ mod tests {
         b.store(60).unwrap();
         assert_eq!(
             b.store(50),
-            Err(BankError::CapacityExceeded { requested: 50, available: 40 })
+            Err(BankError::CapacityExceeded {
+                requested: 50,
+                available: 40
+            })
         );
         assert_eq!(b.free(70), Err(BankError::Underflow));
         assert_eq!(b.free_bytes(), 40);
@@ -436,6 +453,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(BankError::Gated.to_string(), "bank is power-gated");
-        assert!(BankError::WouldLoseData { live_bytes: 3 }.to_string().contains("3 live"));
+        assert!(BankError::WouldLoseData { live_bytes: 3 }
+            .to_string()
+            .contains("3 live"));
     }
 }

@@ -33,7 +33,10 @@ impl Energy {
     ///
     /// Panics if `pj` is negative or not finite.
     pub fn from_pj(pj: f64) -> Self {
-        assert!(pj.is_finite() && pj >= 0.0, "energy must be finite and non-negative");
+        assert!(
+            pj.is_finite() && pj >= 0.0,
+            "energy must be finite and non-negative"
+        );
         Energy(pj)
     }
 
@@ -179,7 +182,10 @@ impl Power {
     ///
     /// Panics if `mw` is negative or not finite.
     pub fn from_mw(mw: f64) -> Self {
-        assert!(mw.is_finite() && mw >= 0.0, "power must be finite and non-negative");
+        assert!(
+            mw.is_finite() && mw >= 0.0,
+            "power must be finite and non-negative"
+        );
         Power(mw)
     }
 

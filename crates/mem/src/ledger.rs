@@ -37,7 +37,9 @@ pub struct EnergyLedger<K: Ord> {
 impl<K: Ord> EnergyLedger<K> {
     /// Creates an empty ledger.
     pub fn new() -> Self {
-        EnergyLedger { entries: BTreeMap::new() }
+        EnergyLedger {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Adds energy under a category.
@@ -82,7 +84,11 @@ impl<K: Ord> EnergyLedger<K> {
 
     /// Sum of energies whose category satisfies `pred`.
     pub fn total_where(&self, mut pred: impl FnMut(&K) -> bool) -> Energy {
-        self.entries.iter().filter(|(k, _)| pred(k)).map(|(_, &v)| v).sum()
+        self.entries
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, &v)| v)
+            .sum()
     }
 
     /// Removes all entries.
@@ -139,10 +145,10 @@ mod tests {
 
     #[test]
     fn merge_adds_categories() {
-        let mut a: EnergyLedger<&str> =
-            [("x", Energy::from_pj(1.0))].into_iter().collect();
-        let b: EnergyLedger<&str> =
-            [("x", Energy::from_pj(2.0)), ("y", Energy::from_pj(5.0))].into_iter().collect();
+        let mut a: EnergyLedger<&str> = [("x", Energy::from_pj(1.0))].into_iter().collect();
+        let b: EnergyLedger<&str> = [("x", Energy::from_pj(2.0)), ("y", Energy::from_pj(5.0))]
+            .into_iter()
+            .collect();
         a.merge(&b);
         assert_eq!(a.get("x").as_pj(), 3.0);
         assert_eq!(a.get("y").as_pj(), 5.0);

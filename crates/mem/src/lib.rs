@@ -38,7 +38,6 @@ pub use bank::{Access, AccessKind, BankError, GateParams, GateState, MemoryBank}
 pub use energy::{Energy, Power};
 pub use ledger::EnergyLedger;
 pub use tech::{
-    hp_mram, hp_pe, hp_sram, lp_mram, lp_pe, lp_sram, pe_for, tech_at_vdd, tech_for,
-    AccessTiming, ClusterClass, MemKind, MemoryTech, PeTech, PowerProfile,
-    REFERENCE_BANK_BYTES,
+    hp_mram, hp_pe, hp_sram, lp_mram, lp_pe, lp_sram, pe_for, tech_at_vdd, tech_for, AccessTiming,
+    ClusterClass, MemKind, MemoryTech, PeTech, PowerProfile, REFERENCE_BANK_BYTES,
 };

@@ -63,8 +63,7 @@ impl ClusterClass {
     }
 
     /// Both classes, HP first (matches the paper's table ordering).
-    pub const ALL: [ClusterClass; 2] =
-        [ClusterClass::HighPerformance, ClusterClass::LowPower];
+    pub const ALL: [ClusterClass; 2] = [ClusterClass::HighPerformance, ClusterClass::LowPower];
 }
 
 impl fmt::Display for ClusterClass {
@@ -286,14 +285,21 @@ pub fn tech_at_vdd(kind: MemKind, vdd: f64) -> MemoryTech {
         MemKind::Sram => (hp_sram(), lp_sram()),
         MemKind::Mram => (hp_mram(), lp_mram()),
     };
-    let (v_hi, v_lo) = (ClusterClass::HighPerformance.vdd(), ClusterClass::LowPower.vdd());
+    let (v_hi, v_lo) = (
+        ClusterClass::HighPerformance.vdd(),
+        ClusterClass::LowPower.vdd(),
+    );
     // Log-linear interpolation coordinate in vdd.
     let t = (vdd - v_lo) / (v_hi - v_lo);
     let lerp_log = |a: f64, b: f64| -> f64 {
         // a at v_lo, b at v_hi; both strictly positive for all our params.
         (a.ln() + t * (b.ln() - a.ln())).exp()
     };
-    let class = if vdd >= 1.0 { ClusterClass::HighPerformance } else { ClusterClass::LowPower };
+    let class = if vdd >= 1.0 {
+        ClusterClass::HighPerformance
+    } else {
+        ClusterClass::LowPower
+    };
     MemoryTech {
         kind,
         class,
@@ -303,7 +309,10 @@ pub fn tech_at_vdd(kind: MemKind, vdd: f64) -> MemoryTech {
         ),
         power: PowerProfile::from_mw(
             lerp_log(lo.power.dynamic_read.as_mw(), hi.power.dynamic_read.as_mw()),
-            lerp_log(lo.power.dynamic_write.as_mw(), hi.power.dynamic_write.as_mw()),
+            lerp_log(
+                lo.power.dynamic_write.as_mw(),
+                hi.power.dynamic_write.as_mw(),
+            ),
             lerp_log(lo.power.static_power.as_mw(), hi.power.static_power.as_mw()),
         ),
     }
@@ -381,8 +390,12 @@ mod tests {
             };
             assert_eq!(hi.timing.read, ref_hi.timing.read);
             assert_eq!(lo.timing.read, ref_lo.timing.read);
-            assert!((hi.power.static_power.as_mw() - ref_hi.power.static_power.as_mw()).abs() < 1e-9);
-            assert!((lo.power.static_power.as_mw() - ref_lo.power.static_power.as_mw()).abs() < 1e-9);
+            assert!(
+                (hi.power.static_power.as_mw() - ref_hi.power.static_power.as_mw()).abs() < 1e-9
+            );
+            assert!(
+                (lo.power.static_power.as_mw() - ref_lo.power.static_power.as_mw()).abs() < 1e-9
+            );
         }
     }
 

@@ -86,7 +86,12 @@ impl QuantizedModel {
                     return None;
                 }
                 let (out_ch, n_weights) = match info.layer {
-                    Layer::Conv2d { out_channels, kernel, groups, .. } => {
+                    Layer::Conv2d {
+                        out_channels,
+                        kernel,
+                        groups,
+                        ..
+                    } => {
                         let icg = info.input.0 / groups.max(1);
                         (out_channels, out_channels * icg * kernel * kernel)
                     }
@@ -136,12 +141,22 @@ impl QuantizedModel {
     ///
     /// Panics if `input`'s shape differs from the model's input shape.
     pub fn infer_trace(&self, input: &Tensor<i8>) -> Vec<Tensor<i8>> {
-        assert_eq!(input.shape(), self.model.input_shape(), "input shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.model.input_shape(),
+            "input shape mismatch"
+        );
         let mut outputs: Vec<Tensor<i8>> = Vec::with_capacity(self.model.layers().len());
         for (i, info) in self.model.layers().iter().enumerate() {
             let src = if i == 0 { input } else { &outputs[i - 1] };
             let out = match info.layer {
-                Layer::Conv2d { out_channels, kernel, stride, padding, groups } => self.conv(
+                Layer::Conv2d {
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    groups,
+                } => self.conv(
                     src,
                     self.weights[i].as_ref().expect("conv has weights"),
                     out_channels,
@@ -150,9 +165,11 @@ impl QuantizedModel {
                     padding,
                     groups,
                 ),
-                Layer::Linear { out_features } => {
-                    self.linear(src, self.weights[i].as_ref().expect("linear has weights"), out_features)
-                }
+                Layer::Linear { out_features } => self.linear(
+                    src,
+                    self.weights[i].as_ref().expect("linear has weights"),
+                    out_features,
+                ),
                 Layer::Relu => {
                     let mut t = src.clone();
                     for v in t.as_mut_slice() {
@@ -195,6 +212,7 @@ impl QuantizedModel {
         outputs
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn conv(
         &self,
         src: &Tensor<i8>,
@@ -224,8 +242,7 @@ impl QuantizedModel {
                                 let iy = (oy * stride + ky) as isize - padding as isize;
                                 let ix = (ox * stride + kx) as isize - padding as isize;
                                 let a = src.at_padded(ic, iy, ix) as i32;
-                                let w = lw.weights
-                                    [w_base + (ic_off * kernel + ky) * kernel + kx]
+                                let w = lw.weights[w_base + (ic_off * kernel + ky) * kernel + kx]
                                     as i32;
                                 acc += w * a;
                             }
@@ -299,7 +316,10 @@ mod tests {
             vec![
                 conv(4, 3, 1),
                 Layer::Relu,
-                Layer::MaxPool { kernel: 2, stride: 2 },
+                Layer::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
                 pointwise(4),
                 Layer::ResidualAdd { depth: 1 },
                 Layer::GlobalAvgPool,
@@ -339,11 +359,24 @@ mod tests {
     fn conv_hand_check() {
         // 1 input channel, 1 output channel, 1x1 kernel, weight 2, bias 1,
         // shift 0: out = 2*in + 1.
-        let model =
-            Model::new("c", (1, 2, 2), vec![Layer::Conv2d { out_channels: 1, kernel: 1, stride: 1, padding: 0, groups: 1 }])
-                .unwrap();
+        let model = Model::new(
+            "c",
+            (1, 2, 2),
+            vec![Layer::Conv2d {
+                out_channels: 1,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+            }],
+        )
+        .unwrap();
         let mut qm = QuantizedModel::random(model, 1);
-        qm.weights[0] = Some(LayerWeights { weights: vec![2], bias: vec![1], shift: 0 });
+        qm.weights[0] = Some(LayerWeights {
+            weights: vec![2],
+            bias: vec![1],
+            shift: 0,
+        });
         let input = Tensor::from_vec(1, 2, 2, vec![1i8, 2, 3, -4]);
         let out = qm.infer(&input);
         assert_eq!(out.as_slice(), &[3, 5, 7, -7]);
@@ -351,8 +384,7 @@ mod tests {
 
     #[test]
     fn linear_hand_check() {
-        let model =
-            Model::new("l", (3, 1, 1), vec![Layer::Linear { out_features: 2 }]).unwrap();
+        let model = Model::new("l", (3, 1, 1), vec![Layer::Linear { out_features: 2 }]).unwrap();
         let mut qm = QuantizedModel::random(model, 1);
         qm.weights[0] = Some(LayerWeights {
             weights: vec![1, 2, 3, -1, -2, -3],
@@ -390,11 +422,21 @@ mod tests {
         let model = Model::new(
             "dw",
             (2, 1, 1),
-            vec![Layer::Conv2d { out_channels: 2, kernel: 1, stride: 1, padding: 0, groups: 2 }],
+            vec![Layer::Conv2d {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 2,
+            }],
         )
         .unwrap();
         let mut qm = QuantizedModel::random(model, 1);
-        qm.weights[0] = Some(LayerWeights { weights: vec![3, 5], bias: vec![0, 0], shift: 0 });
+        qm.weights[0] = Some(LayerWeights {
+            weights: vec![3, 5],
+            bias: vec![0, 0],
+            shift: 0,
+        });
         let out = qm.infer(&Tensor::from_vec(2, 1, 1, vec![2i8, 2]));
         // Channel 0 sees only input 0, channel 1 only input 1.
         assert_eq!(out.as_slice(), &[6, 10]);
@@ -417,7 +459,15 @@ mod tests {
 
     #[test]
     fn pooling_behaviour() {
-        let model = Model::new("p", (1, 2, 2), vec![Layer::AvgPool { kernel: 2, stride: 2 }]).unwrap();
+        let model = Model::new(
+            "p",
+            (1, 2, 2),
+            vec![Layer::AvgPool {
+                kernel: 2,
+                stride: 2,
+            }],
+        )
+        .unwrap();
         let qm = QuantizedModel::random(model, 1);
         let out = qm.infer(&Tensor::from_vec(1, 2, 2, vec![1i8, 3, 5, 7]));
         assert_eq!(out.as_slice(), &[4]);

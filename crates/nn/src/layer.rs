@@ -97,14 +97,29 @@ impl fmt::Display for ShapeError {
             ShapeError::KernelTooLarge { input, kernel } => {
                 write!(f, "kernel {kernel} too large for input {input:?}")
             }
-            ShapeError::BadGroups { in_channels, groups } => {
-                write!(f, "{in_channels} input channels not divisible by {groups} groups")
+            ShapeError::BadGroups {
+                in_channels,
+                groups,
+            } => {
+                write!(
+                    f,
+                    "{in_channels} input channels not divisible by {groups} groups"
+                )
             }
-            ShapeError::BadOutGroups { out_channels, groups } => {
-                write!(f, "{out_channels} output channels not divisible by {groups} groups")
+            ShapeError::BadOutGroups {
+                out_channels,
+                groups,
+            } => {
+                write!(
+                    f,
+                    "{out_channels} output channels not divisible by {groups} groups"
+                )
             }
             ShapeError::ResidualMismatch { expected, found } => {
-                write!(f, "residual source shape {found:?} does not match {expected:?}")
+                write!(
+                    f,
+                    "residual source shape {found:?} does not match {expected:?}"
+                )
             }
         }
     }
@@ -129,12 +144,24 @@ impl Layer {
     pub fn output_shape(&self, input: Shape) -> Result<Shape, ShapeError> {
         let (c, h, w) = input;
         match *self {
-            Layer::Conv2d { out_channels, kernel, stride, padding, groups } => {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
                 if c % groups != 0 {
-                    return Err(ShapeError::BadGroups { in_channels: c, groups });
+                    return Err(ShapeError::BadGroups {
+                        in_channels: c,
+                        groups,
+                    });
                 }
                 if out_channels % groups != 0 {
-                    return Err(ShapeError::BadOutGroups { out_channels, groups });
+                    return Err(ShapeError::BadOutGroups {
+                        out_channels,
+                        groups,
+                    });
                 }
                 let oh = conv_out(h, kernel, stride, padding)
                     .ok_or(ShapeError::KernelTooLarge { input, kernel })?;
@@ -159,9 +186,12 @@ impl Layer {
     pub fn params(&self, input: Shape) -> usize {
         let (c, h, w) = input;
         match *self {
-            Layer::Conv2d { out_channels, kernel, groups, .. } => {
-                out_channels * (c / groups.max(1)) * kernel * kernel + out_channels
-            }
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => out_channels * (c / groups.max(1)) * kernel * kernel + out_channels,
             Layer::Linear { out_features } => out_features * (c * h * w) + out_features,
             _ => 0,
         }
@@ -172,7 +202,9 @@ impl Layer {
         let (c, _, _) = input;
         match *self {
             Layer::Conv2d { kernel, groups, .. } => {
-                let Ok((oc, oh, ow)) = self.output_shape(input) else { return 0 };
+                let Ok((oc, oh, ow)) = self.output_shape(input) else {
+                    return 0;
+                };
                 (oc * oh * ow) as u64 * ((c / groups.max(1)) * kernel * kernel) as u64
             }
             Layer::Linear { out_features } => {
@@ -200,7 +232,9 @@ impl Layer {
             Layer::Relu => elems,
             Layer::ResidualAdd { .. } => elems,
             Layer::AvgPool { kernel, .. } | Layer::MaxPool { kernel, .. } => {
-                let Ok((oc, oh, ow)) = self.output_shape(input) else { return 0 };
+                let Ok((oc, oh, ow)) = self.output_shape(input) else {
+                    return 0;
+                };
                 (oc * oh * ow) as u64 * (kernel * kernel) as u64
             }
             Layer::GlobalAvgPool => elems,
@@ -212,7 +246,13 @@ impl Layer {
 impl fmt::Display for Layer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Layer::Conv2d { out_channels, kernel, stride, padding, groups } => write!(
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => write!(
                 f,
                 "conv{kernel}x{kernel} -> {out_channels} (s{stride} p{padding} g{groups})"
             ),
@@ -229,7 +269,13 @@ impl fmt::Display for Layer {
 /// Convenience constructor for a dense (non-grouped) convolution with
 /// same-style padding.
 pub fn conv(out_channels: usize, kernel: usize, stride: usize) -> Layer {
-    Layer::Conv2d { out_channels, kernel, stride, padding: kernel / 2, groups: 1 }
+    Layer::Conv2d {
+        out_channels,
+        kernel,
+        stride,
+        padding: kernel / 2,
+        groups: 1,
+    }
 }
 
 /// Convenience constructor for a depthwise convolution (groups = input
@@ -247,7 +293,13 @@ pub fn depthwise(channels: usize, kernel: usize, stride: usize) -> Layer {
 
 /// Convenience constructor for a 1×1 pointwise convolution.
 pub fn pointwise(out_channels: usize) -> Layer {
-    Layer::Conv2d { out_channels, kernel: 1, stride: 1, padding: 0, groups: 1 }
+    Layer::Conv2d {
+        out_channels,
+        kernel: 1,
+        stride: 1,
+        padding: 0,
+        groups: 1,
+    }
 }
 
 #[cfg(test)]
@@ -298,10 +350,18 @@ mod tests {
     #[test]
     fn pooling_shapes() {
         assert_eq!(
-            Layer::MaxPool { kernel: 2, stride: 2 }.output_shape((8, 16, 16)).unwrap(),
+            Layer::MaxPool {
+                kernel: 2,
+                stride: 2
+            }
+            .output_shape((8, 16, 16))
+            .unwrap(),
             (8, 8, 8)
         );
-        assert_eq!(Layer::GlobalAvgPool.output_shape((8, 7, 7)).unwrap(), (8, 1, 1));
+        assert_eq!(
+            Layer::GlobalAvgPool.output_shape((8, 7, 7)).unwrap(),
+            (8, 1, 1)
+        );
     }
 
     #[test]
@@ -314,16 +374,31 @@ mod tests {
 
     #[test]
     fn bad_groups_detected() {
-        let l = Layer::Conv2d { out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 5 };
+        let l = Layer::Conv2d {
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 5,
+        };
         assert_eq!(
             l.output_shape((16, 8, 8)),
-            Err(ShapeError::BadGroups { in_channels: 16, groups: 5 })
+            Err(ShapeError::BadGroups {
+                in_channels: 16,
+                groups: 5
+            })
         );
     }
 
     #[test]
     fn kernel_too_large_detected() {
-        let l = Layer::Conv2d { out_channels: 8, kernel: 9, stride: 1, padding: 0, groups: 1 };
+        let l = Layer::Conv2d {
+            out_channels: 8,
+            kernel: 9,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        };
         assert!(matches!(
             l.output_shape((3, 4, 4)),
             Err(ShapeError::KernelTooLarge { .. })

@@ -75,12 +75,21 @@ impl Model {
                 match source {
                     Some(s) if s == shape => {}
                     Some(s) => {
-                        return Err((i, ShapeError::ResidualMismatch { expected: shape, found: s }))
+                        return Err((
+                            i,
+                            ShapeError::ResidualMismatch {
+                                expected: shape,
+                                found: s,
+                            },
+                        ))
                     }
                     None => {
                         return Err((
                             i,
-                            ShapeError::ResidualMismatch { expected: shape, found: (0, 0, 0) },
+                            ShapeError::ResidualMismatch {
+                                expected: shape,
+                                found: (0, 0, 0),
+                            },
                         ))
                     }
                 }
@@ -95,7 +104,12 @@ impl Model {
             });
             shape = output;
         }
-        Ok(Model { name: name.into(), input, infos, sparsity: 0.0 })
+        Ok(Model {
+            name: name.into(),
+            input,
+            infos,
+            sparsity: 0.0,
+        })
     }
 
     /// Applies structured pruning: a fraction `sparsity` of weights (and
@@ -214,7 +228,10 @@ mod tests {
             vec![
                 conv(8, 3, 1),
                 Layer::Relu,
-                Layer::MaxPool { kernel: 2, stride: 2 },
+                Layer::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                },
                 pointwise(16),
                 Layer::GlobalAvgPool,
                 Layer::Linear { out_features: 10 },
@@ -229,7 +246,14 @@ mod tests {
         let shapes: Vec<_> = m.layers().iter().map(|i| i.output).collect();
         assert_eq!(
             shapes,
-            vec![(8, 8, 8), (8, 8, 8), (8, 4, 4), (16, 4, 4), (16, 1, 1), (10, 1, 1)]
+            vec![
+                (8, 8, 8),
+                (8, 8, 8),
+                (8, 4, 4),
+                (16, 4, 4),
+                (16, 1, 1),
+                (10, 1, 1)
+            ]
         );
         assert_eq!(m.output_shape(), (10, 1, 1));
     }
@@ -248,8 +272,14 @@ mod tests {
     fn pruning_scales_counts() {
         let dense = toy();
         let pruned = toy().with_pruning(0.5);
-        assert_eq!(pruned.total_params(), (dense.total_params() as f64 * 0.5).round() as usize);
-        assert_eq!(pruned.total_macs(), (dense.total_macs() as f64 * 0.5).round() as u64);
+        assert_eq!(
+            pruned.total_params(),
+            (dense.total_params() as f64 * 0.5).round() as usize
+        );
+        assert_eq!(
+            pruned.total_macs(),
+            (dense.total_macs() as f64 * 0.5).round() as u64
+        );
         // Host ops are unaffected by weight pruning.
         assert_eq!(pruned.total_host_ops(), dense.total_host_ops());
     }
@@ -259,7 +289,16 @@ mod tests {
         let err = Model::new(
             "bad",
             (3, 4, 4),
-            vec![conv(8, 3, 1), Layer::Conv2d { out_channels: 4, kernel: 9, stride: 1, padding: 0, groups: 1 }],
+            vec![
+                conv(8, 3, 1),
+                Layer::Conv2d {
+                    out_channels: 4,
+                    kernel: 9,
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                },
+            ],
         )
         .unwrap_err();
         assert_eq!(err.0, 1);

@@ -20,7 +20,10 @@ impl QuantParams {
     ///
     /// Panics if `scale` is not finite and positive.
     pub fn new(scale: f32) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
         QuantParams { scale }
     }
 
@@ -31,7 +34,9 @@ impl QuantParams {
         if max_abs == 0.0 {
             QuantParams { scale: 1.0 }
         } else {
-            QuantParams { scale: max_abs / 127.0 }
+            QuantParams {
+                scale: max_abs / 127.0,
+            }
         }
     }
 
@@ -103,7 +108,10 @@ mod tests {
         let q = QuantParams::new(0.05);
         for v in [-6.0f32, -0.3, 0.0, 0.12, 3.21, 6.3] {
             let err = (q.dequantize(q.quantize(v)) - v).abs();
-            assert!(err <= 0.5 * q.scale() + 1e-6, "error {err} too large for {v}");
+            assert!(
+                err <= 0.5 * q.scale() + 1e-6,
+                "error {err} too large for {v}"
+            );
         }
     }
 

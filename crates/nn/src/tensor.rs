@@ -34,8 +34,16 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if any dimension is zero.
     pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
-        assert!(channels > 0 && height > 0 && width > 0, "tensor dims must be non-zero");
-        Tensor { channels, height, width, data: vec![T::default(); channels * height * width] }
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dims must be non-zero"
+        );
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![T::default(); channels * height * width],
+        }
     }
 
     /// Creates a tensor from existing data in CHW order.
@@ -49,8 +57,16 @@ impl<T: Copy + Default> Tensor<T> {
             channels * height * width,
             "data length does not match shape"
         );
-        assert!(channels > 0 && height > 0 && width > 0, "tensor dims must be non-zero");
-        Tensor { channels, height, width, data }
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dims must be non-zero"
+        );
+        Tensor {
+            channels,
+            height,
+            width,
+            data,
+        }
     }
 
     /// Shape as `(channels, height, width)`.
@@ -105,7 +121,10 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if the index is out of bounds.
     pub fn at(&self, c: usize, y: usize, x: usize) -> &T {
-        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index out of bounds"
+        );
         &self.data[self.offset(c, y, x)]
     }
 
@@ -115,7 +134,10 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if the index is out of bounds.
     pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut T {
-        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index out of bounds"
+        );
         let off = self.offset(c, y, x);
         &mut self.data[off]
     }
@@ -138,7 +160,11 @@ impl<T: Copy + Default> Tensor<T> {
 
 impl<T: Copy + Default + fmt::Display> fmt::Display for Tensor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor({}x{}x{})", self.channels, self.height, self.width)
+        write!(
+            f,
+            "Tensor({}x{}x{})",
+            self.channels, self.height, self.width
+        )
     }
 }
 

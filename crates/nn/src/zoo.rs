@@ -80,8 +80,11 @@ pub enum TinyMlModel {
 
 impl TinyMlModel {
     /// All three models in Table IV order.
-    pub const ALL: [TinyMlModel; 3] =
-        [TinyMlModel::EfficientNetB0, TinyMlModel::MobileNetV2, TinyMlModel::ResNet18];
+    pub const ALL: [TinyMlModel; 3] = [
+        TinyMlModel::EfficientNetB0,
+        TinyMlModel::MobileNetV2,
+        TinyMlModel::ResNet18,
+    ];
 
     /// The published Table IV characteristics.
     pub fn spec(self) -> ModelSpec {
@@ -126,7 +129,14 @@ impl fmt::Display for TinyMlModel {
 /// Appends an inverted-residual (MBConv) block: pointwise expand →
 /// depthwise k×k → pointwise project, with a skip connection when the
 /// block preserves shape.
-fn mbconv(layers: &mut Vec<Layer>, in_ch: usize, out_ch: usize, expand: usize, kernel: usize, stride: usize) -> usize {
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    in_ch: usize,
+    out_ch: usize,
+    expand: usize,
+    kernel: usize,
+    stride: usize,
+) -> usize {
     let hidden = in_ch * expand;
     layers.push(pointwise(hidden));
     layers.push(Layer::Relu);
@@ -176,9 +186,12 @@ pub fn efficientnet_b0_tiny() -> Model {
     let mut layers = vec![conv(w, 3, 2), Layer::Relu];
     let mut ch = w;
     // (out-multiple, repeats, first-stride, kernel)
-    for &(mult, repeats, stride, kernel) in
-        &[(1usize, 1usize, 1usize, 3usize), (2, 2, 2, 5), (4, 2, 2, 3), (8, 2, 2, 3)]
-    {
+    for &(mult, repeats, stride, kernel) in &[
+        (1usize, 1usize, 1usize, 3usize),
+        (2, 2, 2, 5),
+        (4, 2, 2, 3),
+        (8, 2, 2, 3),
+    ] {
         for r in 0..repeats {
             let s = if r == 0 { stride } else { 1 };
             ch = mbconv(&mut layers, ch, w * mult, 4, kernel, s);
@@ -188,8 +201,7 @@ pub fn efficientnet_b0_tiny() -> Model {
     layers.push(Layer::Relu);
     layers.push(Layer::GlobalAvgPool);
     layers.push(Layer::Linear { out_features: 10 });
-    Model::new("EfficientNet-B0-tiny", (3, 48, 48), layers)
-        .expect("zoo model must be well-formed")
+    Model::new("EfficientNet-B0-tiny", (3, 48, 48), layers).expect("zoo model must be well-formed")
 }
 
 /// MobileNetV2 tiny: inverted residuals at 20×20 input, width 11,
@@ -240,30 +252,54 @@ mod tests {
     fn efficientnet_matches_table_iv() {
         let m = efficientnet_b0_tiny();
         let spec = TinyMlModel::EfficientNetB0.spec();
-        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
-            "params {} vs {}", m.total_params(), spec.params);
-        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
-            "macs {} vs {}", m.total_macs(), spec.macs);
+        assert!(
+            pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}",
+            m.total_params(),
+            spec.params
+        );
+        assert!(
+            pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}",
+            m.total_macs(),
+            spec.macs
+        );
     }
 
     #[test]
     fn mobilenet_matches_table_iv() {
         let m = mobilenet_v2_tiny();
         let spec = TinyMlModel::MobileNetV2.spec();
-        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
-            "params {} vs {}", m.total_params(), spec.params);
-        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
-            "macs {} vs {}", m.total_macs(), spec.macs);
+        assert!(
+            pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}",
+            m.total_params(),
+            spec.params
+        );
+        assert!(
+            pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}",
+            m.total_macs(),
+            spec.macs
+        );
     }
 
     #[test]
     fn resnet_matches_table_iv() {
         let m = resnet18_tiny();
         let spec = TinyMlModel::ResNet18.spec();
-        assert!(pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
-            "params {} vs {}", m.total_params(), spec.params);
-        assert!(pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
-            "macs {} vs {}", m.total_macs(), spec.macs);
+        assert!(
+            pct_err(m.total_params() as f64, spec.params as f64) < 5.0,
+            "params {} vs {}",
+            m.total_params(),
+            spec.params
+        );
+        assert!(
+            pct_err(m.total_macs() as f64, spec.macs as f64) < 5.0,
+            "macs {} vs {}",
+            m.total_macs(),
+            spec.macs
+        );
     }
 
     #[test]
@@ -274,7 +310,10 @@ mod tests {
         assert_eq!(specs[2].pim_op_ratio, 0.75);
         // Derived quantities.
         assert_eq!(specs[0].pim_macs(), 2_758_250);
-        assert!(specs[2].reuse_factor() > 80.0, "ResNet reuses weights heavily");
+        assert!(
+            specs[2].reuse_factor() > 80.0,
+            "ResNet reuses weights heavily"
+        );
     }
 
     #[test]
@@ -289,6 +328,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(TinyMlModel::ResNet18.to_string(), "ResNet-18");
-        assert!(TinyMlModel::EfficientNetB0.spec().to_string().contains("95k"));
+        assert!(TinyMlModel::EfficientNetB0
+            .spec()
+            .to_string()
+            .contains("95k"));
     }
 }

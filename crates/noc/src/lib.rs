@@ -187,12 +187,12 @@ impl Ring {
         let flits = t.bytes.div_ceil(self.config.flit_bytes) as u64;
         let hops = self.hops(t.from, t.to).max(1) as u64;
         // Injection serialization on the source link.
-        let inject_done =
-            self.links[t.from.0].acquire(at, self.config.injection_interval * flits);
+        let inject_done = self.links[t.from.0].acquire(at, self.config.injection_interval * flits);
         // Pipeline: last flit arrives hops×hop_latency after injection.
         let delivered = inject_done + self.config.hop_latency * hops;
         self.flits_moved += flits;
-        self.ledger.add(NocEnergyCat::Hops, self.config.hop_energy * (flits * hops));
+        self.ledger
+            .add(NocEnergyCat::Hops, self.config.hop_energy * (flits * hops));
         Ok(delivered)
     }
 }
@@ -213,16 +213,37 @@ mod tests {
     fn transfer_latency_scales_with_size_and_distance() {
         let mut ring = Ring::new(4);
         let near = ring
-            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 8 })
+            .transfer(
+                SimTime::ZERO,
+                Transfer {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    bytes: 8,
+                },
+            )
             .unwrap();
         let mut ring2 = Ring::new(4);
         let far = ring2
-            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(3), bytes: 8 })
+            .transfer(
+                SimTime::ZERO,
+                Transfer {
+                    from: NodeId(0),
+                    to: NodeId(3),
+                    bytes: 8,
+                },
+            )
             .unwrap();
         assert!(far > near);
         let mut ring3 = Ring::new(4);
         let big = ring3
-            .transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 256 })
+            .transfer(
+                SimTime::ZERO,
+                Transfer {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    bytes: 256,
+                },
+            )
             .unwrap();
         assert!(big > near);
     }
@@ -230,8 +251,15 @@ mod tests {
     #[test]
     fn energy_accrues_per_flit_hop() {
         let mut ring = Ring::new(4);
-        ring.transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(2), bytes: 16 })
-            .unwrap();
+        ring.transfer(
+            SimTime::ZERO,
+            Transfer {
+                from: NodeId(0),
+                to: NodeId(2),
+                bytes: 16,
+            },
+        )
+        .unwrap();
         // 2 flits × 2 hops × 0.8 pJ.
         assert!((ring.total_energy().as_pj() - 3.2).abs() < 1e-9);
         assert_eq!(ring.flits_moved(), 2);
@@ -240,7 +268,11 @@ mod tests {
     #[test]
     fn injection_port_serializes_bursts() {
         let mut ring = Ring::new(4);
-        let t = Transfer { from: NodeId(0), to: NodeId(1), bytes: 64 };
+        let t = Transfer {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 64,
+        };
         let a = ring.transfer(SimTime::ZERO, t).unwrap();
         let b = ring.transfer(SimTime::ZERO, t).unwrap();
         assert!(b > a, "second burst queues behind the first");
@@ -250,11 +282,25 @@ mod tests {
     fn errors() {
         let mut ring = Ring::new(2);
         assert_eq!(
-            ring.transfer(SimTime::ZERO, Transfer { from: NodeId(5), to: NodeId(0), bytes: 1 }),
+            ring.transfer(
+                SimTime::ZERO,
+                Transfer {
+                    from: NodeId(5),
+                    to: NodeId(0),
+                    bytes: 1
+                }
+            ),
             Err(NocError::UnknownNode(NodeId(5)))
         );
         assert_eq!(
-            ring.transfer(SimTime::ZERO, Transfer { from: NodeId(0), to: NodeId(1), bytes: 0 }),
+            ring.transfer(
+                SimTime::ZERO,
+                Transfer {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    bytes: 0
+                }
+            ),
             Err(NocError::EmptyTransfer)
         );
         assert_eq!(NocError::EmptyTransfer.to_string(), "zero-byte transfer");

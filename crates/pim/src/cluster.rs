@@ -85,7 +85,12 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn new(class: ClusterClass, n: usize, module_cfg: ModuleConfig, cfg: ControllerConfig) -> Self {
+    pub fn new(
+        class: ClusterClass,
+        n: usize,
+        module_cfg: ModuleConfig,
+        cfg: ControllerConfig,
+    ) -> Self {
         assert!(n > 0, "cluster must contain at least one module");
         Cluster {
             class,
@@ -177,8 +182,8 @@ impl Cluster {
     /// Charges controller issue overhead for an instruction targeting
     /// `selected` modules; returns the instant dispatch completes.
     pub fn issue(&mut self, at: SimTime, selected: usize) -> SimTime {
-        let cycles = self.cfg.fetch_decode_cycles
-            + self.cfg.dispatch_cycles_per_module * selected as u64;
+        let cycles =
+            self.cfg.fetch_decode_cycles + self.cfg.dispatch_cycles_per_module * selected as u64;
         let dur = self.cfg.clock.cycles_to_duration(cycles);
         self.ctrl_dynamic += self.cfg.dynamic_per_inst;
         self.instructions_issued += 1;
@@ -197,7 +202,12 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns the first module error with its local index.
-    pub fn for_selected<F>(&mut self, at: SimTime, mask: u8, mut op: F) -> Result<SimTime, (usize, ModuleError)>
+    pub fn for_selected<F>(
+        &mut self,
+        at: SimTime,
+        mask: u8,
+        mut op: F,
+    ) -> Result<SimTime, (usize, ModuleError)>
     where
         F: FnMut(&mut PimModule, SimTime) -> Result<SimTime, ModuleError>,
     {
@@ -279,7 +289,10 @@ impl Cluster {
 
     /// Total energy across modules plus the controller.
     pub fn total_energy(&self) -> Energy {
-        self.modules.iter().map(PimModule::total_energy).sum::<Energy>()
+        self.modules
+            .iter()
+            .map(PimModule::total_energy)
+            .sum::<Energy>()
             + self.ctrl_dynamic
             + self.ctrl_static
     }
@@ -312,11 +325,15 @@ mod tests {
     fn for_selected_targets_masked_modules() {
         let mut c = cluster(4);
         for i in 0..4 {
-            c.module_mut(i).preload(MemSelect::Sram, 0, &[1u8; 4]).unwrap();
+            c.module_mut(i)
+                .preload(MemSelect::Sram, 0, &[1u8; 4])
+                .unwrap();
         }
         // Modules 0 and 2 only.
         let done = c
-            .for_selected(SimTime::ZERO, 0b0101, |m, at| m.mac(at, MemSelect::Sram, 0, 4))
+            .for_selected(SimTime::ZERO, 0b0101, |m, at| {
+                m.mac(at, MemSelect::Sram, 0, 4)
+            })
             .unwrap();
         assert!(done > SimTime::ZERO);
         assert_eq!(c.module(0).pe().macs_retired(), 4);
@@ -328,16 +345,24 @@ mod tests {
     fn modules_work_in_parallel() {
         let mut c = cluster(4);
         for i in 0..4 {
-            c.module_mut(i).preload(MemSelect::Sram, 0, &[1u8; 64]).unwrap();
+            c.module_mut(i)
+                .preload(MemSelect::Sram, 0, &[1u8; 64])
+                .unwrap();
         }
         let one = {
             let mut c1 = cluster(1);
-            c1.module_mut(0).preload(MemSelect::Sram, 0, &[1u8; 64]).unwrap();
-            c1.for_selected(SimTime::ZERO, 0b0001, |m, at| m.mac(at, MemSelect::Sram, 0, 64))
-                .unwrap()
+            c1.module_mut(0)
+                .preload(MemSelect::Sram, 0, &[1u8; 64])
+                .unwrap();
+            c1.for_selected(SimTime::ZERO, 0b0001, |m, at| {
+                m.mac(at, MemSelect::Sram, 0, 64)
+            })
+            .unwrap()
         };
         let four = c
-            .for_selected(SimTime::ZERO, 0b1111, |m, at| m.mac(at, MemSelect::Sram, 0, 64))
+            .for_selected(SimTime::ZERO, 0b1111, |m, at| {
+                m.mac(at, MemSelect::Sram, 0, 64)
+            })
             .unwrap();
         // Four modules each doing the same burst finish barely later than
         // one (only extra dispatch cycles), not 4× later.
@@ -354,14 +379,26 @@ mod tests {
             ModuleConfig::default(),
             ControllerConfig::default(),
         );
-        src.module_mut(0).preload(MemSelect::Sram, 16, &[9u8, 8, 7]).unwrap();
-        src.module_mut(1).preload(MemSelect::Sram, 16, &[1u8, 2, 3]).unwrap();
-        let chunks = src.export_chunks(SimTime::ZERO, 0b11, MemSelect::Sram, 16, 3).unwrap();
+        src.module_mut(0)
+            .preload(MemSelect::Sram, 16, &[9u8, 8, 7])
+            .unwrap();
+        src.module_mut(1)
+            .preload(MemSelect::Sram, 16, &[1u8, 2, 3])
+            .unwrap();
+        let chunks = src
+            .export_chunks(SimTime::ZERO, 0b11, MemSelect::Sram, 16, 3)
+            .unwrap();
         assert_eq!(chunks.len(), 2);
         let done = dst.import_chunks(&chunks, MemSelect::Mram).unwrap();
         assert!(done > SimTime::ZERO);
-        assert_eq!(dst.module(0).read_back(MemSelect::Mram, 16, 3).unwrap(), &[9, 8, 7]);
-        assert_eq!(dst.module(1).read_back(MemSelect::Mram, 16, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(
+            dst.module(0).read_back(MemSelect::Mram, 16, 3).unwrap(),
+            &[9, 8, 7]
+        );
+        assert_eq!(
+            dst.module(1).read_back(MemSelect::Mram, 16, 3).unwrap(),
+            &[1, 2, 3]
+        );
     }
 
     #[test]
@@ -374,14 +411,24 @@ mod tests {
             ControllerConfig::default(),
         );
         for i in 0..4 {
-            src.module_mut(i).preload(MemSelect::Sram, 0, &[i as u8 + 1; 2]).unwrap();
+            src.module_mut(i)
+                .preload(MemSelect::Sram, 0, &[i as u8 + 1; 2])
+                .unwrap();
         }
-        let chunks = src.export_chunks(SimTime::ZERO, 0b1111, MemSelect::Sram, 0, 2).unwrap();
+        let chunks = src
+            .export_chunks(SimTime::ZERO, 0b1111, MemSelect::Sram, 0, 2)
+            .unwrap();
         dst.import_chunks(&chunks, MemSelect::Sram).unwrap();
         // Sources 2,3 wrap onto destinations 0,1 (overwriting 0,1's data
         // at the same address — last writer wins).
-        assert_eq!(dst.module(0).read_back(MemSelect::Sram, 0, 2).unwrap(), &[3, 3]);
-        assert_eq!(dst.module(1).read_back(MemSelect::Sram, 0, 2).unwrap(), &[4, 4]);
+        assert_eq!(
+            dst.module(0).read_back(MemSelect::Sram, 0, 2).unwrap(),
+            &[3, 3]
+        );
+        assert_eq!(
+            dst.module(1).read_back(MemSelect::Sram, 0, 2).unwrap(),
+            &[4, 4]
+        );
     }
 
     #[test]
@@ -404,10 +451,16 @@ mod tests {
     fn error_carries_module_index() {
         let mut c = cluster(2);
         // Module 1's MRAM gated: MAC against it must fail with idx 1.
-        c.module_mut(1).set_gated(SimTime::ZERO, MemSelect::Mram, true).unwrap();
-        c.module_mut(0).preload(MemSelect::Mram, 0, &[1u8; 2]).unwrap();
+        c.module_mut(1)
+            .set_gated(SimTime::ZERO, MemSelect::Mram, true)
+            .unwrap();
+        c.module_mut(0)
+            .preload(MemSelect::Mram, 0, &[1u8; 2])
+            .unwrap();
         let err = c
-            .for_selected(SimTime::ZERO, 0b11, |m, at| m.mac(at, MemSelect::Mram, 0, 2))
+            .for_selected(SimTime::ZERO, 0b11, |m, at| {
+                m.mac(at, MemSelect::Mram, 0, 2)
+            })
             .unwrap_err();
         assert_eq!(err.0, 1);
     }

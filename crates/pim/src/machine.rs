@@ -64,7 +64,10 @@ impl fmt::Display for MachineError {
             }
             MachineError::QueueFull(e) => write!(f, "{e}"),
             MachineError::NoSuchModule { mask, modules } => {
-                write!(f, "mask {mask:#010b} selects modules beyond the {modules} configured")
+                write!(
+                    f,
+                    "mask {mask:#010b} selects modules beyond the {modules} configured"
+                )
             }
         }
     }
@@ -185,7 +188,12 @@ impl PimMachine {
             )
         });
         let lp = (config.lp_modules > 0).then(|| {
-            Cluster::new(ClusterClass::LowPower, config.lp_modules, config.module, config.controller)
+            Cluster::new(
+                ClusterClass::LowPower,
+                config.lp_modules,
+                config.module,
+                config.controller,
+            )
         });
         PimMachine {
             config,
@@ -216,6 +224,18 @@ impl PimMachine {
     /// Whether a `halt` has been executed.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Advances the machine clock to `t` without dispatching work.
+    ///
+    /// Static energy accrues across the idle span (respecting each
+    /// bank's gating state) the next time the machine reports. Times
+    /// in the past are ignored, so callers may pass slice boundaries
+    /// unconditionally even when work overran them.
+    pub fn idle_until(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
     }
 
     fn locate(&self, global: usize) -> (ClusterClass, usize) {
@@ -249,9 +269,7 @@ impl PimMachine {
         assert!(global < self.module_count(), "module index out of range");
         let (class, local) = self.locate(global);
         match class {
-            ClusterClass::HighPerformance => {
-                self.hp.as_mut().expect("hp exists").module_mut(local)
-            }
+            ClusterClass::HighPerformance => self.hp.as_mut().expect("hp exists").module_mut(local),
             ClusterClass::LowPower => self.lp.as_mut().expect("lp exists").module_mut(local),
         }
     }
@@ -261,10 +279,19 @@ impl PimMachine {
     /// # Errors
     ///
     /// Propagates module range errors.
-    pub fn preload(&mut self, global: usize, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<(), MachineError> {
+    pub fn preload(
+        &mut self,
+        global: usize,
+        mem: MemSelect,
+        addr: usize,
+        bytes: &[u8],
+    ) -> Result<(), MachineError> {
         self.module_mut(global)
             .preload(mem, addr, bytes)
-            .map_err(|error| MachineError::Module { module: global, error })
+            .map_err(|error| MachineError::Module {
+                module: global,
+                error,
+            })
     }
 
     /// Host-side preload of activations into a module's SRAM activation
@@ -282,7 +309,10 @@ impl PimMachine {
         let bits = mask.bits();
         let total = self.module_count();
         if total < 8 && bits >> total != 0 {
-            return Err(MachineError::NoSuchModule { mask: bits, modules: total });
+            return Err(MachineError::NoSuchModule {
+                mask: bits,
+                modules: total,
+            });
         }
         let hp = self.config.hp_modules;
         let hp_bits = bits & (((1u16 << hp) - 1) as u8);
@@ -311,7 +341,10 @@ impl PimMachine {
             })?;
             let done = c
                 .for_selected(now, hp_bits, &mut op)
-                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+                .map_err(|(local, error)| MachineError::Module {
+                    module: local,
+                    error,
+                })?;
             latest = latest.max(done);
         }
         if lp_bits != 0 {
@@ -320,9 +353,12 @@ impl PimMachine {
                 mask: mask.bits(),
                 modules: offset,
             })?;
-            let done = c.for_selected(now, lp_bits, &mut op).map_err(|(local, error)| {
-                MachineError::Module { module: offset + local, error }
-            })?;
+            let done = c
+                .for_selected(now, lp_bits, &mut op)
+                .map_err(|(local, error)| MachineError::Module {
+                    module: offset + local,
+                    error,
+                })?;
             latest = latest.max(done);
         }
         Ok(latest)
@@ -342,8 +378,15 @@ impl PimMachine {
         use PimInstruction::*;
         self.instructions += 1;
         match inst {
-            Mac { modules, mem, addr, count } => {
-                self.run_on_clusters(modules, |m, at| m.mac(at, mem, addr as usize, count as usize))?;
+            Mac {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
+                self.run_on_clusters(modules, |m, at| {
+                    m.mac(at, mem, addr as usize, count as usize)
+                })?;
             }
             WriteBack { modules, mem, addr } => {
                 self.run_on_clusters(modules, |m, at| m.write_back(at, mem, addr as usize))?;
@@ -354,15 +397,30 @@ impl PimMachine {
                     Ok(at)
                 })?;
             }
-            MoveIntra { modules, mem, addr, count } => {
+            MoveIntra {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 self.run_on_clusters(modules, |m, at| {
                     m.move_intra(at, mem, addr as usize, count as usize)
                 })?;
             }
-            MoveInter { modules, mem, addr, count } => {
+            MoveInter {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 self.move_inter(modules, mem, addr as usize, count as usize)?;
             }
-            LoadExt { modules, mem, addr, count } => {
+            LoadExt {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 // External data arrives over the host interface; the
                 // machine charges the write burst into the bank.
                 self.run_on_clusters(modules, |m, at| {
@@ -370,9 +428,15 @@ impl PimMachine {
                     m.write_words(at, mem, addr as usize, &zeros)
                 })?;
             }
-            StoreExt { modules, mem, addr, count } => {
+            StoreExt {
+                modules,
+                mem,
+                addr,
+                count,
+            } => {
                 self.run_on_clusters(modules, |m, at| {
-                    m.read_words(at, mem, addr as usize, count as usize).map(|(t, _)| t)
+                    m.read_words(at, mem, addr as usize, count as usize)
+                        .map(|(t, _)| t)
                 })?;
             }
             GateOff { modules, mem } => {
@@ -402,34 +466,56 @@ impl PimMachine {
     /// Inter-cluster transfer through the Data Allocator: reads from the
     /// selected source modules (whichever cluster each belongs to),
     /// buffers chunks, and writes them into the *opposite* cluster.
-    fn move_inter(&mut self, modules: ModuleMask, mem: MemSelect, addr: usize, count: usize) -> Result<(), MachineError> {
+    fn move_inter(
+        &mut self,
+        modules: ModuleMask,
+        mem: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<(), MachineError> {
         let (hp_bits, lp_bits) = self.split_mask(modules)?;
         let now = self.now;
         // HP sources → LP destinations.
         if hp_bits != 0 {
             let (Some(hp), Some(lp)) = (self.hp.as_mut(), self.lp.as_mut()) else {
-                return Err(MachineError::NoSuchModule { mask: modules.bits(), modules: 0 });
+                return Err(MachineError::NoSuchModule {
+                    mask: modules.bits(),
+                    modules: 0,
+                });
             };
-            let chunks = hp
-                .export_chunks(now, hp_bits, mem, addr, count)
-                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+            let chunks =
+                hp.export_chunks(now, hp_bits, mem, addr, count)
+                    .map_err(|(local, error)| MachineError::Module {
+                        module: local,
+                        error,
+                    })?;
             let offset = self.config.hp_modules;
-            lp.import_chunks(&chunks, mem).map_err(|(local, error)| MachineError::Module {
-                module: offset + local,
-                error,
-            })?;
+            lp.import_chunks(&chunks, mem)
+                .map_err(|(local, error)| MachineError::Module {
+                    module: offset + local,
+                    error,
+                })?;
         }
         // LP sources → HP destinations.
         if lp_bits != 0 {
             let (Some(hp), Some(lp)) = (self.hp.as_mut(), self.lp.as_mut()) else {
-                return Err(MachineError::NoSuchModule { mask: modules.bits(), modules: 0 });
+                return Err(MachineError::NoSuchModule {
+                    mask: modules.bits(),
+                    modules: 0,
+                });
             };
             let offset = self.config.hp_modules;
-            let chunks = lp
-                .export_chunks(now, lp_bits, mem, addr, count)
-                .map_err(|(local, error)| MachineError::Module { module: offset + local, error })?;
+            let chunks =
+                lp.export_chunks(now, lp_bits, mem, addr, count)
+                    .map_err(|(local, error)| MachineError::Module {
+                        module: offset + local,
+                        error,
+                    })?;
             hp.import_chunks(&chunks, mem)
-                .map_err(|(local, error)| MachineError::Module { module: local, error })?;
+                .map_err(|(local, error)| MachineError::Module {
+                    module: local,
+                    error,
+                })?;
         }
         Ok(())
     }
@@ -444,7 +530,9 @@ impl PimMachine {
             self.queue.push(inst)?;
         }
         while !self.halted {
-            let Some(decoded) = self.queue.pop() else { break };
+            let Some(decoded) = self.queue.pop() else {
+                break;
+            };
             self.execute(decoded?)?;
         }
         // Drain: wait for everything in flight, then accrue statics.
@@ -469,13 +557,25 @@ impl PimMachine {
             for m in cluster.modules() {
                 if m.has_mram() {
                     let b = m.bank(MemSelect::Mram);
-                    energy.add(EnergyCat::MemDynamic(class, MemKind::Mram), b.dynamic_energy());
-                    energy.add(EnergyCat::MemStatic(class, MemKind::Mram), b.static_energy());
+                    energy.add(
+                        EnergyCat::MemDynamic(class, MemKind::Mram),
+                        b.dynamic_energy(),
+                    );
+                    energy.add(
+                        EnergyCat::MemStatic(class, MemKind::Mram),
+                        b.static_energy(),
+                    );
                     energy.add(EnergyCat::MemWake(class, MemKind::Mram), b.wake_energy());
                 }
                 let s = m.bank(MemSelect::Sram);
-                energy.add(EnergyCat::MemDynamic(class, MemKind::Sram), s.dynamic_energy());
-                energy.add(EnergyCat::MemStatic(class, MemKind::Sram), s.static_energy());
+                energy.add(
+                    EnergyCat::MemDynamic(class, MemKind::Sram),
+                    s.dynamic_energy(),
+                );
+                energy.add(
+                    EnergyCat::MemStatic(class, MemKind::Sram),
+                    s.static_energy(),
+                );
                 energy.add(EnergyCat::MemWake(class, MemKind::Sram), s.wake_energy());
                 energy.add(EnergyCat::PeDynamic(class), m.pe().dynamic_energy());
                 energy.add(EnergyCat::PeStatic(class), m.pe().static_energy());
@@ -486,7 +586,12 @@ impl PimMachine {
                 cluster.controller_dynamic_energy() + cluster.controller_static_energy(),
             );
         }
-        RunReport { finished_at: now, energy, instructions: self.instructions, macs }
+        RunReport {
+            finished_at: now,
+            energy,
+            instructions: self.instructions,
+            macs,
+        }
     }
 }
 
@@ -558,7 +663,10 @@ mod tests {
         let prog = assemble("movx m0 sram @32 x8\nbarrier\nhalt").unwrap();
         m.run_program(&prog).unwrap();
         // HP module 0 exports; LP module 0 (global 4) receives.
-        assert_eq!(m.module(4).read_back(MemSelect::Sram, 32, 8).unwrap(), &[42u8; 8]);
+        assert_eq!(
+            m.module(4).read_back(MemSelect::Sram, 32, 8).unwrap(),
+            &[42u8; 8]
+        );
     }
 
     #[test]
@@ -570,7 +678,7 @@ mod tests {
         b.run_program(&assemble("barrier\nhalt").unwrap()).unwrap();
         // Let both idle for 1 ms, then compare MRAM static energy.
         for mm in [&mut a, &mut b] {
-            mm.now = SimTime::from_ns(1_000_000);
+            mm.idle_until(SimTime::from_ns(1_000_000));
         }
         let ra = a.report();
         let rb = b.report();
@@ -580,10 +688,16 @@ mod tests {
 
     #[test]
     fn rejects_mask_beyond_configuration() {
-        let cfg = MachineConfig { hp_modules: 2, lp_modules: 2, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            hp_modules: 2,
+            lp_modules: 2,
+            ..MachineConfig::default()
+        };
         let mut m = PimMachine::new(cfg);
         let err = m
-            .execute(PimInstruction::ClearAcc { modules: ModuleMask::all() })
+            .execute(PimInstruction::ClearAcc {
+                modules: ModuleMask::all(),
+            })
             .unwrap_err();
         assert!(matches!(err, MachineError::NoSuchModule { .. }));
     }
@@ -594,7 +708,11 @@ mod tests {
         let cfg = MachineConfig {
             hp_modules: 8,
             lp_modules: 0,
-            module: ModuleConfig { mram_bytes: 0, sram_bytes: 128 * 1024, act_base: 96 * 1024 },
+            module: ModuleConfig {
+                mram_bytes: 0,
+                sram_bytes: 128 * 1024,
+                act_base: 96 * 1024,
+            },
             ..MachineConfig::default()
         };
         let mut m = PimMachine::new(cfg);
@@ -614,11 +732,41 @@ mod tests {
         let report = m.run_program(&prog).unwrap();
         use ClusterClass::*;
         use MemKind::*;
-        assert!(report.energy.get(EnergyCat::MemDynamic(HighPerformance, Mram)).as_pj() > 0.0);
-        assert!(report.energy.get(EnergyCat::MemDynamic(HighPerformance, Sram)).as_pj() > 0.0);
-        assert!(report.energy.get(EnergyCat::PeDynamic(HighPerformance)).as_pj() > 0.0);
-        assert!(report.energy.get(EnergyCat::Controller(HighPerformance)).as_pj() > 0.0);
-        assert!(report.energy.get(EnergyCat::MemStatic(HighPerformance, Sram)).as_pj() > 0.0);
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::MemDynamic(HighPerformance, Mram))
+                .as_pj()
+                > 0.0
+        );
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::MemDynamic(HighPerformance, Sram))
+                .as_pj()
+                > 0.0
+        );
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::PeDynamic(HighPerformance))
+                .as_pj()
+                > 0.0
+        );
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::Controller(HighPerformance))
+                .as_pj()
+                > 0.0
+        );
+        assert!(
+            report
+                .energy
+                .get(EnergyCat::MemStatic(HighPerformance, Sram))
+                .as_pj()
+                > 0.0
+        );
     }
 
     #[test]
@@ -637,6 +785,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most 8")]
     fn too_many_modules_rejected() {
-        PimMachine::new(MachineConfig { hp_modules: 6, lp_modules: 6, ..Default::default() });
+        PimMachine::new(MachineConfig {
+            hp_modules: 6,
+            lp_modules: 6,
+            ..Default::default()
+        });
     }
 }

@@ -104,7 +104,10 @@ impl PimModule {
     /// a module always needs SRAM for activations.
     pub fn new(class: ClusterClass, config: ModuleConfig) -> Self {
         assert!(config.sram_bytes > 0, "module requires SRAM");
-        assert!(config.act_base < config.sram_bytes, "activation base outside SRAM");
+        assert!(
+            config.act_base < config.sram_bytes,
+            "activation base outside SRAM"
+        );
         let mram = (config.mram_bytes > 0)
             .then(|| MemoryBank::new(tech_for(class, MemKind::Mram), config.mram_bytes));
         PimModule {
@@ -179,7 +182,11 @@ impl PimModule {
 
     /// Total energy (dynamic + static + wake) across banks and PE.
     pub fn total_energy(&self) -> Energy {
-        let mram = self.mram.as_ref().map(MemoryBank::total_energy).unwrap_or(Energy::ZERO);
+        let mram = self
+            .mram
+            .as_ref()
+            .map(MemoryBank::total_energy)
+            .unwrap_or(Energy::ZERO);
         mram + self.sram.total_energy() + self.pe.dynamic_energy() + self.pe.static_energy()
     }
 
@@ -189,7 +196,10 @@ impl PimModule {
             MemSelect::Sram => self.sram_data.len(),
         };
         if addr + len > capacity {
-            return Err(ModuleError::AddrOutOfRange { addr: addr + len, capacity });
+            return Err(ModuleError::AddrOutOfRange {
+                addr: addr + len,
+                capacity,
+            });
         }
         Ok(())
     }
@@ -214,7 +224,12 @@ impl PimModule {
     /// # Errors
     ///
     /// Returns [`ModuleError::AddrOutOfRange`] on overflow.
-    pub fn preload(&mut self, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<(), ModuleError> {
+    pub fn preload(
+        &mut self,
+        mem: MemSelect,
+        addr: usize,
+        bytes: &[u8],
+    ) -> Result<(), ModuleError> {
         self.check_range(mem, addr, bytes.len())?;
         let occupy = bytes.len();
         self.data_mut(mem)[addr..addr + occupy].copy_from_slice(bytes);
@@ -251,17 +266,29 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates bank errors (gated banks) and range errors.
-    pub fn mac(&mut self, at: SimTime, mem: MemSelect, addr: usize, count: usize) -> Result<SimTime, ModuleError> {
+    pub fn mac(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<SimTime, ModuleError> {
         let at = at.max(self.free_at);
         self.check_range(mem, addr, count)?;
         if self.act_ptr + count > self.sram_data.len() {
             return Err(ModuleError::ActivationOverrun);
         }
         // Weight burst from the selected bank.
-        let w_done = self.bank_mut(mem)?.access(at, AccessKind::Read, count as u64)?.done_at;
+        let w_done = self
+            .bank_mut(mem)?
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
         // Activation burst always from SRAM. When weights also come from
         // SRAM the single port serializes both bursts automatically.
-        let a_done = self.sram.access(at, AccessKind::Read, count as u64)?.done_at;
+        let a_done = self
+            .sram
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
         let operands_ready = w_done.max(a_done);
         let pairs: Vec<(i8, i8)> = (0..count)
             .map(|i| {
@@ -273,7 +300,8 @@ impl PimModule {
         let done = self.pe.mac_burst(operands_ready, &pairs);
         self.act_ptr += count;
         self.free_at = done;
-        self.mac_burst_latency.add(done.saturating_since(at).as_ns_f64());
+        self.mac_burst_latency
+            .add(done.saturating_since(at).as_ns_f64());
         Ok(done)
     }
 
@@ -283,11 +311,19 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates bank and range errors.
-    pub fn write_back(&mut self, at: SimTime, mem: MemSelect, addr: usize) -> Result<SimTime, ModuleError> {
+    pub fn write_back(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        addr: usize,
+    ) -> Result<SimTime, ModuleError> {
         let at = at.max(self.free_at);
         self.check_range(mem, addr, 4)?;
         let value = self.pe.accumulator().to_le_bytes();
-        let done = self.bank_mut(mem)?.access(at, AccessKind::Write, 4)?.done_at;
+        let done = self
+            .bank_mut(mem)?
+            .access(at, AccessKind::Write, 4)?
+            .done_at;
         self.data_mut(mem)[addr..addr + 4].copy_from_slice(&value);
         self.free_at = done;
         Ok(done)
@@ -300,7 +336,13 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates bank and range errors; fails on SRAM-only modules.
-    pub fn move_intra(&mut self, at: SimTime, from: MemSelect, addr: usize, count: usize) -> Result<SimTime, ModuleError> {
+    pub fn move_intra(
+        &mut self,
+        at: SimTime,
+        from: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<SimTime, ModuleError> {
         let at = at.max(self.free_at);
         let to = match from {
             MemSelect::Mram => MemSelect::Sram,
@@ -308,9 +350,14 @@ impl PimModule {
         };
         self.check_range(from, addr, count)?;
         self.check_range(to, addr, count)?;
-        let read_done = self.bank_mut(from)?.access(at, AccessKind::Read, count as u64)?.done_at;
-        let write_done =
-            self.bank_mut(to)?.access(read_done, AccessKind::Write, count as u64)?.done_at;
+        let read_done = self
+            .bank_mut(from)?
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
+        let write_done = self
+            .bank_mut(to)?
+            .access(read_done, AccessKind::Write, count as u64)?
+            .done_at;
         let bytes: Vec<u8> = self.data(from)[addr..addr + count].to_vec();
         self.data_mut(to)[addr..addr + count].copy_from_slice(&bytes);
         // Occupancy: data now live in both banks until explicitly freed.
@@ -327,10 +374,19 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates bank and range errors.
-    pub fn read_words(&mut self, at: SimTime, mem: MemSelect, addr: usize, count: usize) -> Result<(SimTime, Vec<u8>), ModuleError> {
+    pub fn read_words(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<(SimTime, Vec<u8>), ModuleError> {
         let at = at.max(self.free_at);
         self.check_range(mem, addr, count)?;
-        let done = self.bank_mut(mem)?.access(at, AccessKind::Read, count as u64)?.done_at;
+        let done = self
+            .bank_mut(mem)?
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
         let bytes = self.data(mem)[addr..addr + count].to_vec();
         self.free_at = done;
         Ok((done, bytes))
@@ -341,10 +397,19 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates bank and range errors.
-    pub fn write_words(&mut self, at: SimTime, mem: MemSelect, addr: usize, bytes: &[u8]) -> Result<SimTime, ModuleError> {
+    pub fn write_words(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        addr: usize,
+        bytes: &[u8],
+    ) -> Result<SimTime, ModuleError> {
         let at = at.max(self.free_at);
         self.check_range(mem, addr, bytes.len())?;
-        let done = self.bank_mut(mem)?.access(at, AccessKind::Write, bytes.len() as u64)?.done_at;
+        let done = self
+            .bank_mut(mem)?
+            .access(at, AccessKind::Write, bytes.len() as u64)?
+            .done_at;
         let n = bytes.len();
         self.data_mut(mem)[addr..addr + n].copy_from_slice(bytes);
         let bank = self.bank_mut(mem)?;
@@ -360,7 +425,12 @@ impl PimModule {
     /// # Errors
     ///
     /// Propagates [`BankError::WouldLoseData`] for live SRAM.
-    pub fn set_gated(&mut self, now: SimTime, mem: MemSelect, gated: bool) -> Result<SimTime, ModuleError> {
+    pub fn set_gated(
+        &mut self,
+        now: SimTime,
+        mem: MemSelect,
+        gated: bool,
+    ) -> Result<SimTime, ModuleError> {
         let bank = self.bank_mut(mem)?;
         if gated {
             bank.gate(now)?;
@@ -398,7 +468,8 @@ mod tests {
         let mut m = hp_module();
         m.preload(MemSelect::Mram, 0, &[2u8, 3, 0xFF]).unwrap(); // 2, 3, -1
         let act_base = ModuleConfig::default().act_base;
-        m.preload(MemSelect::Sram, act_base, &[10u8, 20, 30]).unwrap();
+        m.preload(MemSelect::Sram, act_base, &[10u8, 20, 30])
+            .unwrap();
         m.clear_acc();
         m.mac(SimTime::ZERO, MemSelect::Mram, 0, 3).unwrap();
         assert_eq!(m.pe().accumulator(), 2 * 10 + 3 * 20 - 30);
@@ -409,7 +480,8 @@ mod tests {
         let mut m = hp_module();
         m.preload(MemSelect::Sram, 0, &[1u8, 1, 1, 1]).unwrap();
         let act_base = ModuleConfig::default().act_base;
-        m.preload(MemSelect::Sram, act_base, &[1u8, 2, 3, 4]).unwrap();
+        m.preload(MemSelect::Sram, act_base, &[1u8, 2, 3, 4])
+            .unwrap();
         m.clear_acc();
         m.mac(SimTime::ZERO, MemSelect::Sram, 0, 2).unwrap();
         m.mac(SimTime::ZERO, MemSelect::Sram, 2, 2).unwrap();
@@ -463,7 +535,11 @@ mod tests {
 
     #[test]
     fn sram_only_module_rejects_mram_ops() {
-        let cfg = ModuleConfig { mram_bytes: 0, sram_bytes: 1024, act_base: 512 };
+        let cfg = ModuleConfig {
+            mram_bytes: 0,
+            sram_bytes: 1024,
+            act_base: 512,
+        };
         let mut m = PimModule::new(ClusterClass::HighPerformance, cfg);
         assert!(!m.has_mram());
         assert!(m.mac(SimTime::ZERO, MemSelect::Mram, 0, 1).is_err());
@@ -475,14 +551,21 @@ mod tests {
         let cap = 64 * 1024;
         assert_eq!(
             m.preload(MemSelect::Mram, cap - 1, &[0, 0]),
-            Err(ModuleError::AddrOutOfRange { addr: cap + 1, capacity: cap })
+            Err(ModuleError::AddrOutOfRange {
+                addr: cap + 1,
+                capacity: cap
+            })
         );
         assert!(m.read_back(MemSelect::Sram, cap, 1).is_err());
     }
 
     #[test]
     fn activation_overrun_detected() {
-        let cfg = ModuleConfig { mram_bytes: 1024, sram_bytes: 1024, act_base: 1020 };
+        let cfg = ModuleConfig {
+            mram_bytes: 1024,
+            sram_bytes: 1024,
+            act_base: 1020,
+        };
         let mut m = PimModule::new(ClusterClass::HighPerformance, cfg);
         m.preload(MemSelect::Mram, 0, &[1u8; 8]).unwrap();
         assert_eq!(
@@ -534,8 +617,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ModuleError::AddrOutOfRange { addr: 0x10, capacity: 8 };
+        let e = ModuleError::AddrOutOfRange {
+            addr: 0x10,
+            capacity: 8,
+        };
         assert!(e.to_string().contains("0x10"));
-        assert_eq!(ModuleError::ActivationOverrun.to_string(), "activation pointer overran SRAM");
+        assert_eq!(
+            ModuleError::ActivationOverrun.to_string(),
+            "activation pointer overran SRAM"
+        );
     }
 }

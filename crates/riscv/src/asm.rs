@@ -25,13 +25,20 @@ impl fmt::Display for RvAsmError {
 impl std::error::Error for RvAsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> RvAsmError {
-    RvAsmError { line, message: message.into() }
+    RvAsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<u32, RvAsmError> {
     let name = s.trim().trim_end_matches(',');
-    let body = name.strip_prefix('x').ok_or_else(|| err(line, format!("bad register `{name}`")))?;
-    let idx: u32 = body.parse().map_err(|_| err(line, format!("bad register `{name}`")))?;
+    let body = name
+        .strip_prefix('x')
+        .ok_or_else(|| err(line, format!("bad register `{name}`")))?;
+    let idx: u32 = body
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{name}`")))?;
     if idx >= 32 {
         return Err(err(line, format!("register {name} out of range")));
     }
@@ -56,9 +63,17 @@ fn parse_imm(s: &str, line: usize) -> Result<i64, RvAsmError> {
 /// `off(reg)` operand.
 fn parse_mem(s: &str, line: usize) -> Result<(i64, u32), RvAsmError> {
     let t = s.trim().trim_end_matches(',');
-    let open = t.find('(').ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
-    let close = t.rfind(')').ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
-    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
+    let close = t
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("bad memory operand `{t}`")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
     let reg = parse_reg(&t[open + 1..close], line)?;
     Ok((off, reg))
 }
@@ -73,7 +88,12 @@ fn i_type(imm: i64, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn s_type(imm: i64, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    ((imm >> 5 & 0x7F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
 }
 
 fn b_type(imm: i64, rs2: u32, rs1: u32, funct3: u32) -> u32 {
@@ -163,7 +183,11 @@ pub fn assemble_rv(source: &str) -> Result<Vec<u32>, RvAsmError> {
         }
         let mut parts = rest.split_whitespace();
         let mnemonic = parts.next().expect("non-empty");
-        let ops: Vec<&str> = rest[mnemonic.len()..].split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = rest[mnemonic.len()..]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         let here = out.len() as u32 * 4;
         let target = |name: &str| -> Result<i64, RvAsmError> {
             if let Some(&a) = labels.get(name) {
@@ -174,8 +198,14 @@ pub fn assemble_rv(source: &str) -> Result<Vec<u32>, RvAsmError> {
         };
         match mnemonic {
             "li" => {
-                let rd = parse_reg(ops.first().ok_or_else(|| err(line, "li needs rd, imm"))?, line)?;
-                let imm = parse_imm(ops.get(1).ok_or_else(|| err(line, "li needs rd, imm"))?, line)?;
+                let rd = parse_reg(
+                    ops.first().ok_or_else(|| err(line, "li needs rd, imm"))?,
+                    line,
+                )?;
+                let imm = parse_imm(
+                    ops.get(1).ok_or_else(|| err(line, "li needs rd, imm"))?,
+                    line,
+                )?;
                 let imm = imm as i32;
                 let lo = (imm << 20) >> 20; // sign-extended low 12
                 let hi = (imm.wrapping_sub(lo)) as u32; // upper 20 in place
@@ -239,7 +269,11 @@ pub fn assemble_rv(source: &str) -> Result<Vec<u32>, RvAsmError> {
             }
             "lw" | "lb" | "lbu" => {
                 let rd = parse_reg(ops[0], line)?;
-                let (off, rs1) = parse_mem(ops.get(1).ok_or_else(|| err(line, "load needs mem operand"))?, line)?;
+                let (off, rs1) = parse_mem(
+                    ops.get(1)
+                        .ok_or_else(|| err(line, "load needs mem operand"))?,
+                    line,
+                )?;
                 let funct3 = match mnemonic {
                     "lb" => 0,
                     "lw" => 2,
@@ -249,7 +283,11 @@ pub fn assemble_rv(source: &str) -> Result<Vec<u32>, RvAsmError> {
             }
             "sw" | "sb" => {
                 let rs2 = parse_reg(ops[0], line)?;
-                let (off, rs1) = parse_mem(ops.get(1).ok_or_else(|| err(line, "store needs mem operand"))?, line)?;
+                let (off, rs1) = parse_mem(
+                    ops.get(1)
+                        .ok_or_else(|| err(line, "store needs mem operand"))?,
+                    line,
+                )?;
                 let funct3 = if mnemonic == "sb" { 0 } else { 2 };
                 out.push(s_type(off, rs2, rs1, funct3, 0x23));
             }

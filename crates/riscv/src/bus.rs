@@ -45,7 +45,10 @@ impl SystemBus {
     ///
     /// Panics if `ram_bytes` is zero or not word-aligned.
     pub fn new(ram_bytes: usize) -> Self {
-        assert!(ram_bytes > 0 && ram_bytes % 4 == 0, "RAM must be non-empty and word-aligned");
+        assert!(
+            ram_bytes > 0 && ram_bytes.is_multiple_of(4),
+            "RAM must be non-empty and word-aligned"
+        );
         SystemBus {
             ram: vec![0; ram_bytes],
             pim: None,
@@ -94,7 +97,9 @@ impl SystemBus {
         match offset {
             REG_STATUS => {
                 let halted = self.pim.as_ref().map(|p| p.is_halted()).unwrap_or(true);
-                Ok((halted as u32) | (self.executed << 16) | ((self.pim_error.is_some() as u32) << 1))
+                Ok((halted as u32)
+                    | (self.executed << 16)
+                    | ((self.pim_error.is_some() as u32) << 1))
             }
             REG_ACC => {
                 let sel = self.acc_sel as usize;
@@ -108,7 +113,9 @@ impl SystemBus {
             }
             REG_QUEUE_LO => Ok(self.queue_lo),
             REG_ACC_SEL => Ok(self.acc_sel),
-            _ => Err(BusFault { addr: PIM_BASE + offset }),
+            _ => Err(BusFault {
+                addr: PIM_BASE + offset,
+            }),
         }
     }
 
@@ -121,7 +128,9 @@ impl SystemBus {
             REG_QUEUE_HI => {
                 let word = ((value as u64) << 32) | self.queue_lo as u64;
                 let Some(pim) = self.pim.as_mut() else {
-                    return Err(BusFault { addr: PIM_BASE + offset });
+                    return Err(BusFault {
+                        addr: PIM_BASE + offset,
+                    });
                 };
                 match hhpim_isa::decode(word) {
                     Ok(inst) => {
@@ -150,14 +159,16 @@ impl SystemBus {
                 self.acc_sel = value;
                 Ok(())
             }
-            _ => Err(BusFault { addr: PIM_BASE + offset }),
+            _ => Err(BusFault {
+                addr: PIM_BASE + offset,
+            }),
         }
     }
 }
 
 impl Bus for SystemBus {
     fn load32(&mut self, addr: u32) -> Result<u32, BusFault> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(BusFault { addr });
         }
         if (PIM_BASE..PIM_BASE + PIM_WINDOW).contains(&addr) {
@@ -167,11 +178,13 @@ impl Bus for SystemBus {
         if a + 4 > self.ram.len() {
             return Err(BusFault { addr });
         }
-        Ok(u32::from_le_bytes(self.ram[a..a + 4].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.ram[a..a + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(BusFault { addr });
         }
         if (PIM_BASE..PIM_BASE + PIM_WINDOW).contains(&addr) {
@@ -202,16 +215,27 @@ mod tests {
     fn push(bus: &mut SystemBus, inst: PimInstruction) {
         let w = encode(inst);
         bus.store32(PIM_BASE + REG_QUEUE_LO, w as u32).unwrap();
-        bus.store32(PIM_BASE + REG_QUEUE_HI, (w >> 32) as u32).unwrap();
+        bus.store32(PIM_BASE + REG_QUEUE_HI, (w >> 32) as u32)
+            .unwrap();
     }
 
     #[test]
     fn mmio_push_and_readback() {
         let mut bus = bus_with_pim();
-        push(&mut bus, PimInstruction::ClearAcc { modules: ModuleMask::single(0) });
         push(
             &mut bus,
-            PimInstruction::Mac { modules: ModuleMask::single(0), mem: MemSelect::Mram, addr: 0, count: 2 },
+            PimInstruction::ClearAcc {
+                modules: ModuleMask::single(0),
+            },
+        );
+        push(
+            &mut bus,
+            PimInstruction::Mac {
+                modules: ModuleMask::single(0),
+                mem: MemSelect::Mram,
+                addr: 0,
+                count: 2,
+            },
         );
         bus.store32(PIM_BASE + REG_DOORBELL, 1).unwrap();
         bus.store32(PIM_BASE + REG_ACC_SEL, 0).unwrap();

@@ -118,7 +118,11 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a hart with cleared registers at PC 0.
     pub fn new() -> Self {
-        Cpu { regs: [0; 32], pc: 0, retired: 0 }
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            retired: 0,
+        }
     }
 
     /// Reads register `x{i}`.
@@ -200,7 +204,7 @@ impl Cpu {
             0x6F => {
                 // jal
                 let target = pc.wrapping_add(imm_j as u32);
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Err(CpuError::MisalignedPc { target });
                 }
                 self.set_reg(rd, next_pc);
@@ -209,7 +213,7 @@ impl Cpu {
             0x67 => {
                 // jalr
                 let target = x(rs1).wrapping_add(imm_i as u32) & !1;
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Err(CpuError::MisalignedPc { target });
                 }
                 self.set_reg(rd, next_pc);
@@ -217,17 +221,17 @@ impl Cpu {
             }
             0x63 => {
                 let taken = match funct3 {
-                    0 => x(rs1) == x(rs2),                       // beq
-                    1 => x(rs1) != x(rs2),                       // bne
-                    4 => (x(rs1) as i32) < (x(rs2) as i32),      // blt
-                    5 => (x(rs1) as i32) >= (x(rs2) as i32),     // bge
-                    6 => x(rs1) < x(rs2),                        // bltu
-                    7 => x(rs1) >= x(rs2),                       // bgeu
+                    0 => x(rs1) == x(rs2),                   // beq
+                    1 => x(rs1) != x(rs2),                   // bne
+                    4 => (x(rs1) as i32) < (x(rs2) as i32),  // blt
+                    5 => (x(rs1) as i32) >= (x(rs2) as i32), // bge
+                    6 => x(rs1) < x(rs2),                    // bltu
+                    7 => x(rs1) >= x(rs2),                   // bgeu
                     _ => return Err(CpuError::IllegalInstruction { pc, word }),
                 };
                 if taken {
                     let target = pc.wrapping_add(imm_b as u32);
-                    if target % 4 != 0 {
+                    if !target.is_multiple_of(4) {
                         return Err(CpuError::MisalignedPc { target });
                     }
                     next_pc = target;
@@ -255,13 +259,13 @@ impl Cpu {
                 let a = x(rs1);
                 let shamt = (imm_i & 0x1F) as u32;
                 let value = match funct3 {
-                    0 => a.wrapping_add(imm_i as u32),                  // addi
-                    2 => ((a as i32) < imm_i) as u32,                   // slti
-                    3 => (a < imm_i as u32) as u32,                     // sltiu
-                    4 => a ^ imm_i as u32,                              // xori
-                    6 => a | imm_i as u32,                              // ori
-                    7 => a & imm_i as u32,                              // andi
-                    1 => a << shamt,                                    // slli
+                    0 => a.wrapping_add(imm_i as u32), // addi
+                    2 => ((a as i32) < imm_i) as u32,  // slti
+                    3 => (a < imm_i as u32) as u32,    // sltiu
+                    4 => a ^ imm_i as u32,             // xori
+                    6 => a | imm_i as u32,             // ori
+                    7 => a & imm_i as u32,             // andi
+                    1 => a << shamt,                   // slli
                     5 => {
                         if funct7 & 0x20 != 0 {
                             ((a as i32) >> shamt) as u32 // srai
@@ -278,10 +282,10 @@ impl Cpu {
                 let value = if funct7 == 1 {
                     // M extension.
                     match funct3 {
-                        0 => a.wrapping_mul(b),                                         // mul
-                        1 => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,    // mulh
-                        2 => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,    // mulhsu
-                        3 => (((a as u64) * (b as u64)) >> 32) as u32,                  // mulhu
+                        0 => a.wrapping_mul(b),                                      // mul
+                        1 => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32, // mulh
+                        2 => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32, // mulhsu
+                        3 => (((a as u64) * (b as u64)) >> 32) as u32,               // mulhu
                         4 => {
                             // div
                             if b == 0 {
@@ -292,7 +296,7 @@ impl Cpu {
                                 ((a as i32) / (b as i32)) as u32
                             }
                         }
-                        5 => if b == 0 { u32::MAX } else { a / b }, // divu
+                        5 => a.checked_div(b).unwrap_or(u32::MAX), // divu
                         6 => {
                             // rem
                             if b == 0 {
@@ -303,7 +307,13 @@ impl Cpu {
                                 ((a as i32) % (b as i32)) as u32
                             }
                         }
-                        7 => if b == 0 { a } else { a % b }, // remu
+                        7 => {
+                            if b == 0 {
+                                a
+                            } else {
+                                a % b
+                            }
+                        } // remu
                         _ => return Err(CpuError::IllegalInstruction { pc, word }),
                     }
                 } else {
@@ -326,7 +336,11 @@ impl Cpu {
             0x73 => {
                 self.retired += 1;
                 self.pc = next_pc;
-                return Ok(Some(if imm_i == 1 { Halt::Ebreak } else { Halt::Ecall }));
+                return Ok(Some(if imm_i == 1 {
+                    Halt::Ebreak
+                } else {
+                    Halt::Ecall
+                }));
             }
             0x0F => {} // fence: no-op for a single hart
             _ => return Err(CpuError::IllegalInstruction { pc, word }),

@@ -107,7 +107,12 @@ impl<'a, E> Context<'a, E> {
 impl<S, E> Simulation<S, E> {
     /// Creates a simulation owning `state`, with an empty queue at time 0.
     pub fn new(state: S) -> Self {
-        Simulation { queue: EventQueue::new(), state, horizon: None, step_budget: None }
+        Simulation {
+            queue: EventQueue::new(),
+            state,
+            horizon: None,
+            step_budget: None,
+        }
     }
 
     /// Limits the run to events at or before `horizon`.
@@ -195,7 +200,9 @@ impl<S, E> Simulation<S, E> {
             if let Some(r) = remaining.as_mut() {
                 *r -= 1;
             }
-            let mut ctx = Context { queue: &mut self.queue };
+            let mut ctx = Context {
+                queue: &mut self.queue,
+            };
             match handler(&mut self.state, &mut ctx, payload) {
                 Control::Continue => {}
                 Control::Stop => return RunOutcome::Stopped,
@@ -232,7 +239,13 @@ mod tests {
         let mut sim = Simulation::new(());
         sim.schedule(SimTime::from_ns(1), 1).unwrap();
         sim.schedule(SimTime::from_ns(2), 2).unwrap();
-        let outcome = sim.run(|_, _, n| if n == 1 { Control::Stop } else { Control::Continue });
+        let outcome = sim.run(|_, _, n| {
+            if n == 1 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
         assert_eq!(outcome, RunOutcome::Stopped);
         assert_eq!(sim.processed(), 1);
     }

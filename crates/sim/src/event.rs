@@ -122,7 +122,10 @@ impl<E> EventQueue<E> {
     /// Returns [`ScheduleInPastError`] if `at` is before [`Self::now`].
     pub fn schedule(&mut self, at: SimTime, payload: E) -> Result<EventKey, ScheduleInPastError> {
         if at < self.now {
-            return Err(ScheduleInPastError { now: self.now, requested: at });
+            return Err(ScheduleInPastError {
+                now: self.now,
+                requested: at,
+            });
         }
         let seq = self.next_seq;
         self.next_seq += 1;

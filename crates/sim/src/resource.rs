@@ -100,7 +100,9 @@ impl ResourcePool {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "resource pool must have at least one server");
-        ResourcePool { servers: vec![BusyResource::new(); n] }
+        ResourcePool {
+            servers: vec![BusyResource::new(); n],
+        }
     }
 
     /// Number of servers in the pool.
@@ -129,7 +131,11 @@ impl ResourcePool {
 
     /// The earliest instant at which all servers are simultaneously free.
     pub fn all_free_at(&self) -> SimTime {
-        self.servers.iter().map(BusyResource::free_at).max().unwrap_or(SimTime::ZERO)
+        self.servers
+            .iter()
+            .map(BusyResource::free_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Sum of busy time across servers.

@@ -111,7 +111,10 @@ impl SimDuration {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((ns * 1e3).round() as u64)
     }
 
@@ -122,7 +125,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e12).round() as u64)
     }
 
@@ -163,7 +169,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -439,8 +448,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&n| SimDuration::from_ns(n)).sum();
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&n| SimDuration::from_ns(n)).sum();
         assert_eq!(total, SimDuration::from_ns(6));
     }
 

@@ -55,13 +55,23 @@ impl TraceBuffer {
     /// Panics if `cap` is zero.
     pub fn with_capacity(cap: usize) -> Self {
         assert!(cap > 0, "trace capacity must be non-zero");
-        TraceBuffer { records: VecDeque::with_capacity(cap.min(4096)), cap, enabled: true, dropped: 0 }
+        TraceBuffer {
+            records: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            enabled: true,
+            dropped: 0,
+        }
     }
 
     /// Creates a disabled buffer that drops everything (zero overhead in
     /// hot loops beyond a branch).
     pub fn disabled() -> Self {
-        TraceBuffer { records: VecDeque::new(), cap: 1, enabled: false, dropped: 0 }
+        TraceBuffer {
+            records: VecDeque::new(),
+            cap: 1,
+            enabled: false,
+            dropped: 0,
+        }
     }
 
     /// Whether recording is enabled.
@@ -83,7 +93,11 @@ impl TraceBuffer {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back(TraceRecord { at, tag, message: message.into() });
+        self.records.push_back(TraceRecord {
+            at,
+            tag,
+            message: message.into(),
+        });
     }
 
     /// Number of retained records.
@@ -138,7 +152,11 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let r = TraceRecord { at: SimTime::from_ns(5), tag: "pe", message: "go".into() };
+        let r = TraceRecord {
+            at: SimTime::from_ns(5),
+            tag: "pe",
+            message: "go".into(),
+        };
         assert_eq!(r.to_string(), "[5.000ns] pe: go");
     }
 

@@ -25,7 +25,13 @@ pub struct ObjectStreamParams {
 
 impl Default for ObjectStreamParams {
     fn default() -> Self {
-        ObjectStreamParams { slices: 50, max_objects: 10, initial_objects: 2, max_delta: 2, seed: 42 }
+        ObjectStreamParams {
+            slices: 50,
+            max_objects: 10,
+            initial_objects: 2,
+            max_delta: 2,
+            seed: 42,
+        }
     }
 }
 
@@ -76,13 +82,19 @@ mod tests {
         let a = object_loads(ObjectStreamParams::default());
         let b = object_loads(ObjectStreamParams::default());
         assert_eq!(a, b);
-        let c = object_loads(ObjectStreamParams { seed: 7, ..ObjectStreamParams::default() });
+        let c = object_loads(ObjectStreamParams {
+            seed: 7,
+            ..ObjectStreamParams::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn loads_bounded_and_correlated() {
-        let params = ObjectStreamParams { slices: 200, ..ObjectStreamParams::default() };
+        let params = ObjectStreamParams {
+            slices: 200,
+            ..ObjectStreamParams::default()
+        };
         let loads = object_loads(params);
         assert!(loads.iter().all(|&l| (0.0..=1.0).contains(&l)));
         // Random walk: successive deltas bounded by max_delta / max_objects.
@@ -102,6 +114,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slice")]
     fn zero_slices_rejected() {
-        object_loads(ObjectStreamParams { slices: 0, ..ObjectStreamParams::default() });
+        object_loads(ObjectStreamParams {
+            slices: 0,
+            ..ObjectStreamParams::default()
+        });
     }
 }

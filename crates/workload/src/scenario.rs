@@ -40,7 +40,11 @@ impl Scenario {
 
     /// The 1-based case number used in the paper.
     pub fn case_number(self) -> usize {
-        Scenario::ALL.iter().position(|&s| s == self).expect("scenario in ALL") + 1
+        Scenario::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("scenario in ALL")
+            + 1
     }
 
     /// The paper's label for this case.
@@ -137,7 +141,7 @@ impl LoadTrace {
                 }
                 Scenario::HighLowPulsing => {
                     let half = params.pulse_half_period.max(1);
-                    if (i / half) % 2 == 0 {
+                    if (i / half).is_multiple_of(2) {
                         params.high
                     } else {
                         params.low
@@ -175,7 +179,9 @@ impl LoadTrace {
     pub fn task_counts(&self, max_tasks_per_slice: u32) -> Vec<u32> {
         self.loads
             .iter()
-            .map(|&l| ((l * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice))
+            .map(|&l| {
+                ((l * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
+            })
             .collect()
     }
 
@@ -238,7 +244,13 @@ mod tests {
         let a = LoadTrace::generate(Scenario::Random, params());
         let b = LoadTrace::generate(Scenario::Random, params());
         assert_eq!(a, b, "same seed, same trace");
-        let c = LoadTrace::generate(Scenario::Random, ScenarioParams { seed: 1, ..params() });
+        let c = LoadTrace::generate(
+            Scenario::Random,
+            ScenarioParams {
+                seed: 1,
+                ..params()
+            },
+        );
         assert_ne!(a, c, "different seed, different trace");
         assert!(a.loads().iter().all(|&l| (0.2..=1.0).contains(&l)));
     }
@@ -250,7 +262,10 @@ mod tests {
         // A zero-load trace still issues one task per slice.
         let z = LoadTrace::generate(
             Scenario::LowConstant,
-            ScenarioParams { low: 0.0, ..params() },
+            ScenarioParams {
+                low: 0.0,
+                ..params()
+            },
         );
         assert!(z.task_counts(10).iter().all(|&n| n == 1));
         let h = LoadTrace::generate(Scenario::HighConstant, params());
@@ -287,7 +302,11 @@ mod tests {
     fn inverted_levels_rejected() {
         LoadTrace::generate(
             Scenario::LowConstant,
-            ScenarioParams { low: 0.9, high: 0.1, ..ScenarioParams::default() },
+            ScenarioParams {
+                low: 0.9,
+                high: 0.1,
+                ..ScenarioParams::default()
+            },
         );
     }
 }

@@ -19,7 +19,12 @@ fn main() {
 
     let processors: Vec<(Architecture, Processor)> = Architecture::ALL
         .iter()
-        .map(|&a| (a, Processor::new(a, model).expect("model fits all architectures")))
+        .map(|&a| {
+            (
+                a,
+                Processor::new(a, model).expect("model fits all architectures"),
+            )
+        })
         .collect();
 
     println!(

@@ -15,16 +15,23 @@ fn main() {
     // Weights and activations preloaded into HP module 0 (host DMA).
     let weights: Vec<u8> = vec![1, 2, 3, 4, 5, 6, 7, 8];
     let acts: Vec<u8> = vec![8, 7, 6, 5, 4, 3, 2, 1];
-    let expected: i32 =
-        weights.iter().zip(&acts).map(|(&w, &a)| (w as i8 as i32) * (a as i8 as i32)).sum();
+    let expected: i32 = weights
+        .iter()
+        .zip(&acts)
+        .map(|(&w, &a)| (w as i8 as i32) * (a as i8 as i32))
+        .sum();
 
     let mut pim = PimMachine::new(MachineConfig::default());
-    pim.preload(0, MemSelect::Mram, 0, &weights).expect("preload weights");
-    pim.preload_activations(0, &acts).expect("preload activations");
+    pim.preload(0, MemSelect::Mram, 0, &weights)
+        .expect("preload weights");
+    pim.preload_activations(0, &acts)
+        .expect("preload activations");
 
     // The driver program pushes CLR then MAC x8 then BARRIER through the
     // queue registers, rings the doorbell and reads the accumulator.
-    let clr = encode(PimInstruction::ClearAcc { modules: ModuleMask::single(0) });
+    let clr = encode(PimInstruction::ClearAcc {
+        modules: ModuleMask::single(0),
+    });
     let mac = encode(PimInstruction::Mac {
         modules: ModuleMask::single(0),
         mem: MemSelect::Mram,
@@ -63,10 +70,17 @@ fn main() {
     let mut cpu = Cpu::new();
     let halt = cpu.run(&mut bus, 100_000).expect("driver runs to ecall");
 
-    println!("driver halted via {halt:?} after {} instructions", cpu.retired());
+    println!(
+        "driver halted via {halt:?} after {} instructions",
+        cpu.retired()
+    );
     println!("expected dot product : {expected}");
     println!("accumulator via MMIO : {}", cpu.reg(10) as i32);
-    assert_eq!(cpu.reg(10) as i32, expected, "PIM result must match the CPU-side reference");
+    assert_eq!(
+        cpu.reg(10) as i32,
+        expected,
+        "PIM result must match the CPU-side reference"
+    );
 
     let report = bus.pim_mut().expect("pim attached").report();
     println!("\nPIM machine report:");

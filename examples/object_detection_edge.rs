@@ -34,7 +34,10 @@ fn main() {
     // Drive the standard scenario machinery with a custom load by
     // matching the random scenario's shape: we re-use LoadTrace's task
     // conversion through a synthetic generator.
-    let params = ScenarioParams { slices, ..ScenarioParams::default() };
+    let params = ScenarioParams {
+        slices,
+        ..ScenarioParams::default()
+    };
     let base = LoadTrace::generate(Scenario::Random, params);
     println!("detector model  : {}", model.spec());
     println!("synthetic stream ({} segments):", slices);
@@ -45,7 +48,10 @@ fn main() {
     println!("  objects/frame : {spark}");
     let _ = base; // the object trace below replaces the canned scenario
 
-    println!("\n{:<20} {:>14} {:>10} {:>8}", "architecture", "energy", "vs HH-PIM", "misses");
+    println!(
+        "\n{:<20} {:>14} {:>10} {:>8}",
+        "architecture", "energy", "vs HH-PIM", "misses"
+    );
     let mut hh_energy = None;
     for arch in [
         Architecture::HhPim,
@@ -58,9 +64,8 @@ fn main() {
         let max = proc.runtime().max_tasks;
         let mut total = hhpim_mem::Energy::ZERO;
         let mut misses = 0usize;
-        let mut prev = proc.placement_for_tasks(
-            ((loads[0] * max as f64).round() as u32).clamp(1, max),
-        );
+        let mut prev =
+            proc.placement_for_tasks(((loads[0] * max as f64).round() as u32).clamp(1, max));
         // Mirror Processor::run_trace but with the custom load series.
         for &l in &loads {
             let n = ((l * max as f64).round() as u32).clamp(1, max);
@@ -81,7 +86,13 @@ fn main() {
             }
             Some(hh) => format!("{:+.1}%", (total / hh - 1.0) * 100.0),
         };
-        println!("{:<20} {:>14} {:>10} {:>8}", arch.to_string(), total.to_string(), vs, misses);
+        println!(
+            "{:<20} {:>14} {:>10} {:>8}",
+            arch.to_string(),
+            total.to_string(),
+            vs,
+            misses
+        );
     }
     println!("\nHH-PIM adapts placement as the scene load moves; the fixed");
     println!("architectures pay either SRAM leakage (Baseline/Hetero) or");

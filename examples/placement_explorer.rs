@@ -27,29 +27,42 @@ fn main() {
     let times = inference_times(&cost);
     println!("model            : {}", model.spec());
     println!("peak (green dot) : {} (SRAM-mixed weights)", times.peak);
-    println!("MRAM-only peak   : {} (purple dot, H-PIM style)", times.mram_only);
+    println!(
+        "MRAM-only peak   : {} (purple dot, H-PIM style)",
+        times.mram_only
+    );
 
     let max_t = times.peak * 11;
     let sweep = placement_sweep(&cost, OptimizerConfig::default(), max_t, 48);
 
-    println!("\n{:>12}  {:>7}  {:<46} {}", "t_constraint", "E_task", "utilization [HPM HPS LPM LPS] %", "placement");
+    println!(
+        "\n{:>12}  {:>7}  {:<46} placement",
+        "t_constraint", "E_task", "utilization [HPM HPS LPM LPS] %"
+    );
     for p in &sweep.points {
         match &p.placement {
-            None => println!("{:>12}  {:>7}  (infeasible — gray region)", p.t_constraint.to_string(), "—"),
+            None => println!(
+                "{:>12}  {:>7}  (infeasible — gray region)",
+                p.t_constraint.to_string(),
+                "—"
+            ),
             Some(pl) => {
                 let u = p.utilization;
                 let bar: String = [u[0], u[1], u[2], u[3]]
                     .iter()
                     .flat_map(|&pct| {
                         let n = (pct / 10.0).round() as usize;
-                        std::iter::repeat('█').take(n).chain(std::iter::once('|'))
+                        std::iter::repeat_n('█', n).chain(std::iter::once('|'))
                     })
                     .collect();
                 println!(
                     "{:>12}  {:>7.3}  [{:>3.0} {:>3.0} {:>3.0} {:>3.0}] {:<24} {}",
                     p.t_constraint.to_string(),
                     p.e_task_norm,
-                    u[0], u[1], u[2], u[3],
+                    u[0],
+                    u[1],
+                    u[2],
+                    u[3],
                     bar,
                     pl
                 );
@@ -62,6 +75,8 @@ fn main() {
         println!("  from {:>12}: {}", t.to_string(), pl);
     }
     let red = sweep.relaxed_reduction_vs_unoptimized(&cost, OptimizerConfig::default());
-    println!("\nenergy reduction vs unoptimized allocation at the most relaxed deadline: {red:.2}%");
+    println!(
+        "\nenergy reduction vs unoptimized allocation at the most relaxed deadline: {red:.2}%"
+    );
     println!("(paper reports up to 43.17% in the highly-efficient region)");
 }

@@ -1,18 +1,20 @@
-//! Quickstart: build an HH-PIM processor, run one workload scenario and
-//! print the energy report.
+//! Quickstart: run one workload scenario through the unified
+//! `ExecutionBackend` layer — analytically for the full report, then
+//! cycle-accurately on the structural machine for cross-checking.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use hhpim::{Architecture, Processor};
+use hhpim::{AnalyticBackend, Architecture, CycleBackend, ExecutionBackend};
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 
 fn main() {
     // 1. Pick a Table I architecture and a Table IV model.
-    let processor = Processor::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
+    let mut analytic = AnalyticBackend::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
         .expect("EfficientNet-B0 fits HH-PIM");
+    let processor = analytic.processor();
     println!("architecture : {}", processor.arch());
     println!(
         "slice        : {} ({} inferences max)",
@@ -26,7 +28,7 @@ fn main() {
     println!("load profile : {}", trace.sparkline());
 
     // 3. Run the 50-slice trace and inspect the outcome.
-    let report = processor.run_trace(&trace);
+    let report = analytic.execute(&trace).expect("analytic execution");
     println!("\nper-slice placements (first 12 slices):");
     for r in report.records.iter().take(12) {
         println!(
@@ -36,14 +38,30 @@ fn main() {
             if r.deadline_met { "ok  " } else { "MISS" },
             r.task_time,
             r.groups_moved,
-            r.placement,
+            r.placement.map(|p| p.to_string()).unwrap_or_default(),
         );
     }
 
-    println!("\nenergy breakdown:");
-    for (cat, e) in report.ledger.iter() {
+    println!("\nenergy breakdown ({} backend):", report.backend);
+    for (cat, e) in report.energy.iter() {
         println!("  {cat:?}: {e}");
     }
-    println!("\ntotal: {} over {} slices ({} deadline misses)",
-        report.total_energy(), report.records.len(), report.deadline_misses);
+    println!(
+        "\ntotal: {} over {} slices ({} deadline misses)",
+        report.total_energy(),
+        report.records.len(),
+        report.deadline_misses
+    );
+
+    // 4. Cross-check schedulability on the cycle-level machine: same
+    //    trace, same report type, per-access timing and energy.
+    let mut cycle = CycleBackend::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
+        .expect("classifier head fits the machine");
+    let cycle_report = cycle.execute(&trace).expect("cycle execution");
+    println!("\ncycle backend: {}", cycle_report);
+    println!(
+        "  {} PIM instructions, {} MACs retired on the structural machine",
+        cycle_report.instructions, cycle_report.macs
+    );
+    assert_eq!(report.deadline_misses, cycle_report.deadline_misses);
 }

@@ -1,0 +1,112 @@
+//! The `ExecutionBackend` contract across implementations: the
+//! analytic and cycle-level backends consume the same `LoadTrace` and
+//! must produce structurally identical `ExecutionReport`s that agree
+//! on schedulability (deadline misses).
+
+use hhpim::{
+    AnalyticBackend, Architecture, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
+};
+use hhpim_mem::ClusterClass;
+use hhpim_sim::SimTime;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use proptest::prelude::*;
+
+fn trace(scenario: Scenario, slices: usize, seed: u64) -> LoadTrace {
+    LoadTrace::generate(
+        scenario,
+        ScenarioParams {
+            slices,
+            seed,
+            ..ScenarioParams::default()
+        },
+    )
+}
+
+/// The acceptance shape: both backends, one trace, one report type.
+#[test]
+fn both_backends_execute_the_same_trace() {
+    let trace = trace(Scenario::PeriodicSpike, 6, 1);
+    let mut analytic =
+        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+    let mut cycle =
+        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+
+    let a = analytic.execute(&trace).unwrap();
+    let c = cycle.execute(&trace).unwrap();
+
+    assert_eq!(a.backend, BackendKind::Analytic);
+    assert_eq!(c.backend, BackendKind::Cycle);
+    for report in [&a, &c] {
+        assert_eq!(report.arch, Architecture::HhPim);
+        assert_eq!(report.records.len(), trace.len());
+        assert!(report.total_energy().as_pj() > 0.0);
+        assert!(report.elapsed > SimTime::ZERO);
+        // Slice energies must sum to the ledger total on every backend.
+        let slice_sum: f64 = report.records.iter().map(|r| r.energy.as_pj()).sum();
+        let total = report.total_energy().as_pj();
+        assert!(
+            (slice_sum - total).abs() / total < 1e-6,
+            "{}: slices {slice_sum} vs ledger {total}",
+            report.backend
+        );
+        // Task counts derive from the same trace on both sides.
+        let tasks: Vec<u32> = report.records.iter().map(|r| r.n_tasks).collect();
+        assert_eq!(tasks, trace.task_counts(10), "{}", report.backend);
+    }
+    assert_eq!(
+        a.deadline_misses, c.deadline_misses,
+        "backends disagree on schedulability"
+    );
+}
+
+#[test]
+fn analytic_and_cycle_reports_use_the_shared_energy_vocabulary() {
+    let trace = trace(Scenario::HighConstant, 4, 2);
+    let mut analytic =
+        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+    let mut cycle =
+        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+    let a = analytic.execute(&trace).unwrap();
+    let c = cycle.execute(&trace).unwrap();
+    // Both ledgers key the same enum, so breakdowns compare directly.
+    for report in [&a, &c] {
+        let hp_sram = report.energy.get(EnergyCat::MemDynamic(
+            ClusterClass::HighPerformance,
+            hhpim_mem::MemKind::Sram,
+        ));
+        assert!(
+            hp_sram.as_pj() > 0.0,
+            "{}: HP-SRAM traffic missing",
+            report.backend
+        );
+        assert!(
+            report.energy.get(EnergyCat::Controller).as_pj() > 0.0,
+            "{}",
+            report.backend
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The satellite invariant: on small PeriodicSpike traces the two
+    /// backends agree on the deadline-miss count (HH-PIM schedules the
+    /// paper's scenarios without misses on either machine model).
+    #[test]
+    fn backends_agree_on_deadline_misses(slices in 3usize..8, seed in 0u64..100) {
+        let trace = trace(Scenario::PeriodicSpike, slices, seed);
+        let mut analytic =
+            AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+        let mut cycle =
+            CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+        let a = analytic.execute(&trace).unwrap();
+        let c = cycle.execute(&trace).unwrap();
+        prop_assert_eq!(a.deadline_misses, c.deadline_misses);
+        prop_assert_eq!(a.deadline_misses, 0);
+        // Per-slice schedulability agrees too, not just the total.
+        for (ra, rc) in a.records.iter().zip(&c.records) {
+            prop_assert_eq!(ra.deadline_met, rc.deadline_met, "slice {}", ra.slice);
+        }
+    }
+}

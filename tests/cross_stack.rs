@@ -20,7 +20,7 @@ fn pim_machine_matches_nn_reference_on_linear_layer() {
         vec![hhpim_nn::Layer::Linear { out_features }],
     )
     .unwrap();
-    let mut qm = QuantizedModel::random(model, 123);
+    let qm = QuantizedModel::random(model, 123);
     // Shift 0 so the PIM accumulator (no requantization) is comparable.
     let lw = qm.layer_weights(0).unwrap().clone();
     let raw = LayerWeights { shift: 0, ..lw };
@@ -47,13 +47,12 @@ fn pim_machine_matches_nn_reference_on_linear_layer() {
     let acts: Vec<u8> = input.as_slice().iter().map(|&v| v as u8).collect();
     machine.preload_activations(0, &acts).unwrap();
     for (o, expected) in reference.iter().enumerate() {
-        let row: Vec<u8> =
-            weights[o * in_features..(o + 1) * in_features].iter().map(|&w| w as u8).collect();
+        let row: Vec<u8> = weights[o * in_features..(o + 1) * in_features]
+            .iter()
+            .map(|&w| w as u8)
+            .collect();
         machine.preload(0, MemSelect::Mram, 0, &row).unwrap();
-        let program = assemble(&format!(
-            "clr m0\nmac m0 mram @0 x{in_features}\nbarrier"
-        ))
-        .unwrap();
+        let program = assemble(&format!("clr m0\nmac m0 mram @0 x{in_features}\nbarrier")).unwrap();
         for inst in program {
             machine.execute(inst).unwrap();
         }
@@ -78,7 +77,9 @@ fn riscv_driver_runs_pim_dot_product() {
     pim.preload(0, MemSelect::Mram, 0, &weights).unwrap();
     pim.preload_activations(0, &acts).unwrap();
 
-    let clr = encode(PimInstruction::ClearAcc { modules: ModuleMask::single(0) });
+    let clr = encode(PimInstruction::ClearAcc {
+        modules: ModuleMask::single(0),
+    });
     let mac = encode(PimInstruction::Mac {
         modules: ModuleMask::single(0),
         mem: MemSelect::Mram,
@@ -118,7 +119,10 @@ fn inter_cluster_movement_preserves_weights() {
     machine.run_program(&program).unwrap();
     // HP module 1 exports to LP module 1 (global index 5).
     assert_eq!(
-        machine.module(5).read_back(MemSelect::Sram, 128, 64).unwrap(),
+        machine
+            .module(5)
+            .read_back(MemSelect::Sram, 128, 64)
+            .unwrap(),
         payload.as_slice()
     );
 }
@@ -142,8 +146,9 @@ fn gate_cycle_through_isa() {
     let report = machine.run_program(&program).unwrap();
     assert_eq!(machine.module(0).pe().accumulator(), 2);
     use hhpim_mem::{ClusterClass, MemKind};
-    let wake = report
-        .energy
-        .get(hhpim_pim::EnergyCat::MemWake(ClusterClass::HighPerformance, MemKind::Mram));
+    let wake = report.energy.get(hhpim_pim::EnergyCat::MemWake(
+        ClusterClass::HighPerformance,
+        MemKind::Mram,
+    ));
     assert!(wake.as_pj() > 0.0, "wake-up energy must be charged");
 }

@@ -1,13 +1,15 @@
 //! Cross-crate property tests on core invariants: the DP optimizer's
 //! placements are always valid and deadline-respecting, energy
-//! accounting is conserved, and workload traces stay in range.
+//! accounting is conserved, unit arithmetic behaves algebraically, and
+//! workload traces stay in range.
 
 use hhpim::{
     Architecture, CostModel, CostParams, OptimizerConfig, PlacementOptimizer, Processor,
     WorkloadProfile,
 };
+use hhpim_mem::{Energy, Power};
 use hhpim_nn::TinyMlModel;
-use hhpim_sim::SimDuration;
+use hhpim_sim::{SimDuration, SimTime};
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use proptest::prelude::*;
 
@@ -74,7 +76,7 @@ proptest! {
         );
         let report = proc.run_trace(&trace);
         let slice_sum: f64 = report.records.iter().map(|r| r.energy.as_pj()).sum();
-        let ledger_total = report.ledger.total().as_pj();
+        let ledger_total = report.energy.total().as_pj();
         prop_assert!(
             (slice_sum - ledger_total).abs() / ledger_total.max(1.0) < 1e-9,
             "slice sum {slice_sum} vs ledger {ledger_total}"
@@ -113,5 +115,61 @@ proptest! {
         } else {
             prop_assert!(m_ab > 0);
         }
+    }
+
+    /// SimTime/SimDuration arithmetic: additive identity, commutative
+    /// accumulation, order compatibility and exact round trips at
+    /// picosecond resolution.
+    #[test]
+    fn sim_time_arithmetic_invariants(
+        a_ps in 0u64..1u64 << 40,
+        b_ps in 0u64..1u64 << 40,
+        t_ps in 0u64..1u64 << 40,
+        n in 1u64..1000,
+    ) {
+        let a = SimDuration::from_ps(a_ps);
+        let b = SimDuration::from_ps(b_ps);
+        let t = SimTime::from_ps(t_ps);
+        prop_assert_eq!(a + SimDuration::ZERO, a);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - t, a);
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!(a * n, SimDuration::from_ps(a_ps * n));
+        prop_assert_eq!((a * n) / n, a);
+        prop_assert_eq!(a.saturating_sub(a), SimDuration::ZERO);
+        prop_assert_eq!(SimDuration::ZERO.saturating_sub(a), SimDuration::ZERO);
+        // Order is translation-invariant.
+        prop_assert_eq!(a <= b, t + a <= t + b);
+        // Round trip through ps is exact.
+        prop_assert_eq!(SimDuration::from_ps(a.as_ps()), a);
+    }
+
+    /// Energy/Power arithmetic: conservation under splitting, identity,
+    /// commutativity and Power × time = Energy consistency.
+    #[test]
+    fn energy_arithmetic_invariants(
+        x_pj in 0.0f64..1e9,
+        y_pj in 0.0f64..1e9,
+        mw in 0.0f64..1e4,
+        dur_ns in 0u64..1_000_000,
+    ) {
+        let x = Energy::from_pj(x_pj);
+        let y = Energy::from_pj(y_pj);
+        prop_assert_eq!(x + Energy::ZERO, x);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!((((x + y) - y).as_pj() - x.as_pj()).abs() <= 1e-9 * x.as_pj().max(1.0));
+        prop_assert_eq!(x.saturating_sub(x), Energy::ZERO);
+        prop_assert_eq!(Energy::ZERO.saturating_sub(x), Energy::ZERO);
+        // Halving then doubling conserves.
+        let half = x / 2.0;
+        prop_assert!(((half + half).as_pj() - x.as_pj()).abs() <= 1e-9 * x.as_pj());
+        // mW × ns = pJ, and power scales linearly in time.
+        let p = Power::from_mw(mw);
+        let d = SimDuration::from_ns(dur_ns);
+        let e = p * d;
+        prop_assert!((e.as_pj() - mw * dur_ns as f64).abs() <= 1e-9 * e.as_pj().max(1.0));
+        let twice = p * (d * 2);
+        prop_assert!((twice.as_pj() - 2.0 * e.as_pj()).abs() <= 1e-9 * twice.as_pj().max(1.0));
     }
 }

@@ -11,8 +11,14 @@ use hhpim_workload::{Scenario, ScenarioParams};
 
 fn quick_config() -> ExperimentConfig {
     ExperimentConfig {
-        scenario_params: ScenarioParams { slices: 10, ..ScenarioParams::default() },
-        optimizer: OptimizerConfig { time_buckets: 400, ..OptimizerConfig::default() },
+        scenario_params: ScenarioParams {
+            slices: 10,
+            ..ScenarioParams::default()
+        },
+        optimizer: OptimizerConfig {
+            time_buckets: 400,
+            ..OptimizerConfig::default()
+        },
         ..ExperimentConfig::default()
     }
 }
@@ -24,8 +30,16 @@ fn fig5_shape_holds_for_all_models() {
         let case1 = matrix.cell(Scenario::LowConstant, model).unwrap();
         let case2 = matrix.cell(Scenario::HighConstant, model).unwrap();
         // Case 1 (low load) is HH-PIM's best case against every group.
-        assert!(case1.vs_baseline > 60.0, "{model}: case1 vs baseline {:.1}", case1.vs_baseline);
-        assert!(case1.vs_heterogeneous > 40.0, "{model}: {:.1}", case1.vs_heterogeneous);
+        assert!(
+            case1.vs_baseline > 60.0,
+            "{model}: case1 vs baseline {:.1}",
+            case1.vs_baseline
+        );
+        assert!(
+            case1.vs_heterogeneous > 40.0,
+            "{model}: {:.1}",
+            case1.vs_heterogeneous
+        );
         assert!(case1.vs_hybrid > 25.0, "{model}: {:.1}", case1.vs_hybrid);
         // Case 2 (high load): the Hetero gap collapses (paper: 3.72 %).
         assert!(
@@ -66,7 +80,11 @@ fn inference_times_match_calibration_and_ratios() {
     let expected_peak = [31.06, 25.71, 320.87];
     let tolerance = [0.15, 0.25, 0.30];
     let mut peaks = Vec::new();
-    for ((model, expect), tol) in TinyMlModel::ALL.into_iter().zip(expected_peak).zip(tolerance) {
+    for ((model, expect), tol) in TinyMlModel::ALL
+        .into_iter()
+        .zip(expected_peak)
+        .zip(tolerance)
+    {
         let cost = CostModel::new(
             Architecture::HhPim.spec(),
             WorkloadProfile::from_spec(&model.spec()),
@@ -99,13 +117,19 @@ fn gating_ablation_baseline_policy_costs_energy() {
     use hhpim_workload::LoadTrace;
     let trace = LoadTrace::generate(
         Scenario::LowConstant,
-        ScenarioParams { slices: 10, ..ScenarioParams::default() },
+        ScenarioParams {
+            slices: 10,
+            ..ScenarioParams::default()
+        },
     );
     let gated = Processor::new(Architecture::HhPim, TinyMlModel::EfficientNetB0).unwrap();
     let baseline = Processor::new(Architecture::Baseline, TinyMlModel::EfficientNetB0).unwrap();
     let e_gated = gated.run_trace(&trace).total_energy();
     let e_base = baseline.run_trace(&trace).total_energy();
-    assert!(e_gated.as_mj() < e_base.as_mj() * 0.5, "gating should halve low-load energy");
+    assert!(
+        e_gated.as_mj() < e_base.as_mj() * 0.5,
+        "gating should halve low-load energy"
+    );
 }
 
 #[test]
@@ -119,7 +143,11 @@ fn dp_off_ablation_degrades_low_load_savings() {
     // dynamic-greedy choice (LP-SRAM).
     let trace = LoadTrace::generate(
         Scenario::LowConstant,
-        ScenarioParams { slices: 10, low: 0.05, ..ScenarioParams::default() },
+        ScenarioParams {
+            slices: 10,
+            low: 0.05,
+            ..ScenarioParams::default()
+        },
     );
     // ResNet-18 has the largest weight footprint and the longest
     // slice, making the retention-vs-access trade-off decisive at idle.
@@ -134,7 +162,10 @@ fn dp_off_ablation_degrades_low_load_savings() {
         Architecture::HhPim,
         TinyMlModel::ResNet18,
         CostParams::default(),
-        OptimizerConfig { amortize_static: false, ..OptimizerConfig::default() },
+        OptimizerConfig {
+            amortize_static: false,
+            ..OptimizerConfig::default()
+        },
     )
     .unwrap();
     let e_full = full.run_trace(&trace).total_energy();
