@@ -18,12 +18,13 @@
 //! | backend              | wraps                              | fidelity |
 //! |----------------------|------------------------------------|----------|
 //! | [`AnalyticBackend`]  | `Processor` + `CostModel`          | closed-form slice accounting |
-//! | [`CycleBackend`]     | `PimMachine` + `sim::Simulation`   | per-access timing/energy of the PIM-resident work |
+//! | [`CycleBackend`]     | `PimMachine` + `sim::Simulation`   | per-access timing/energy of the full multi-layer program |
 //!
-//! Energy breakdowns, per-slice records and deadline misses compare
-//! directly; the `instructions`/`macs` counters keep each backend's
-//! native basis (modelled full-network MACs vs physically retired
-//! head MACs — see [`ExecutionReport::macs`]).
+//! Energy breakdowns, per-slice records, per-layer records, migration
+//! ledgers and deadline misses all compare directly: both backends
+//! account the same per-task PIM MACs (the cycle backend physically
+//! retires them — see [`ExecutionReport::macs`]), consult the same
+//! allocation LUT, and move the same re-placement traffic.
 //!
 //! # Examples
 //!
@@ -44,18 +45,20 @@
 //! assert_eq!(a.deadline_misses, c.deadline_misses);
 //! ```
 
-use crate::arch::Architecture;
-use crate::compile::{compile_linear, run_linear, CompileError, CompiledLinear, WeightHome};
+use crate::arch::{Architecture, GatingPolicy, PlacementPolicy};
+use crate::compile::{compile_model, CompileError, CompiledProgram, LayerOp, WeightHome};
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
-use crate::runtime::{Processor, RuntimeConfig};
-use crate::space::Placement;
+use crate::runtime::Processor;
+use crate::space::{movement_legs, MovementLeg, Placement, StorageSpace};
+use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind};
-use hhpim_nn::{Layer, QuantizedModel, TinyMlModel};
+use hhpim_nn::{QuantizedModel, TinyMlModel};
 use hhpim_pim::{MachineConfig, MachineError, ModuleConfig, PimMachine};
 use hhpim_sim::{Control, SimDuration, SimTime, Simulation};
 use hhpim_workload::LoadTrace;
 use std::fmt;
+use std::ops::Range;
 
 /// Which execution backend produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,7 +118,7 @@ pub struct SliceRecord {
     /// Tasks processed this slice.
     pub n_tasks: u32,
     /// Placement in effect (`None` for backends without a placement
-    /// notion, e.g. the cycle machine's fixed weight home).
+    /// notion).
     pub placement: Option<Placement>,
     /// Per-task deadline after movement overhead.
     pub t_constraint: SimDuration,
@@ -131,6 +134,48 @@ pub struct SliceRecord {
     pub energy: Energy,
 }
 
+/// Per-model-layer accounting aggregated over a whole trace, so the
+/// analytic and cycle backends compare layer-by-layer.
+///
+/// Semantics differ by fidelity: the cycle backend *measures* each
+/// layer's execution window and the energy spent inside it, while the
+/// analytic backend *apportions* its per-task latency and dynamic
+/// energy across PIM layers by MAC share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    /// Index of the layer in the source model.
+    pub layer: usize,
+    /// Human-readable layer label.
+    pub label: String,
+    /// MAC operations attributed to the layer over the trace.
+    pub macs: u64,
+    /// Execution time attributed to the layer over the trace.
+    pub time: SimDuration,
+    /// Energy attributed to the layer over the trace.
+    pub energy: Energy,
+}
+
+/// One re-placement event: the weight migration paid at a slice
+/// boundary when the task-queue length changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Slice whose start paid the migration.
+    pub slice: usize,
+    /// Placement before the move.
+    pub from: Placement,
+    /// Placement after the move.
+    pub to: Placement,
+    /// Weight groups moved.
+    pub groups: usize,
+    /// Bytes moved (`groups × group_size`).
+    pub bytes: usize,
+    /// Wall time of the migration.
+    pub time: SimDuration,
+    /// Energy of the migration traffic (reported under
+    /// [`EnergyCat::Movement`]).
+    pub energy: Energy,
+}
+
 /// The unified outcome of running one [`LoadTrace`] on any backend.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
@@ -140,6 +185,12 @@ pub struct ExecutionReport {
     pub arch: Architecture,
     /// Per-slice records.
     pub records: Vec<SliceRecord>,
+    /// Per-layer accounting over the whole trace (PIM layers only, in
+    /// model order).
+    pub layers: Vec<LayerRecord>,
+    /// Re-placement events, in slice order (empty for architectures
+    /// with a static placement).
+    pub migrations: Vec<MigrationRecord>,
     /// Energy breakdown over the whole trace.
     pub energy: EnergyLedger<EnergyCat>,
     /// Instant the trace finished (nominal end of the last slice, or
@@ -149,11 +200,11 @@ pub struct ExecutionReport {
     pub deadline_misses: usize,
     /// PIM instructions executed (0 for backends that do not count).
     pub instructions: u64,
-    /// MAC operations accounted for. The basis differs by fidelity
-    /// and is **not comparable across backends**: the analytic
-    /// backend counts the full model's PIM MACs per task from its
-    /// workload profile, while the cycle backend counts only the MACs
-    /// it physically retired (the compiled classifier layer).
+    /// MAC operations accounted for. Both backends now share one basis
+    /// — the workload profile's PIM MACs per task: the analytic backend
+    /// counts them from the profile, the cycle backend physically
+    /// retires them (per-layer schedules plus the bit-exact head), so
+    /// the counts agree to within per-layer rounding.
     pub macs: u64,
 }
 
@@ -201,6 +252,12 @@ pub enum BackendError {
         /// The model that could not be lowered.
         model: TinyMlModel,
     },
+    /// A caller-supplied placement violates the architecture's
+    /// capacities or does not place all weight groups.
+    InvalidPlacement {
+        /// The offending placement.
+        placement: Placement,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -211,6 +268,9 @@ impl fmt::Display for BackendError {
             BackendError::Machine(e) => write!(f, "machine: {e}"),
             BackendError::NoPimLayer { model } => {
                 write!(f, "{model} has no linear layer the PIM machine can execute")
+            }
+            BackendError::InvalidPlacement { placement } => {
+                write!(f, "placement {placement} is invalid for this architecture")
             }
         }
     }
@@ -315,24 +375,46 @@ impl ExecutionBackend for AnalyticBackend {
     }
 }
 
-/// The structural backend: wraps [`PimMachine`] and drives slice
-/// execution through the `hhpim_sim` event engine.
+/// The structural backend: executes whole multi-layer programs on the
+/// [`PimMachine`], driven slice-by-slice through the `hhpim_sim` event
+/// engine.
 ///
-/// Each inference task executes the model's PIM-resident classifier
-/// layer as real INT8 MAC bursts on the machine (host-side layers are
-/// outside the machine, exactly as in the paper's prototype), so
-/// timing and energy come from per-access bank/PE metering rather than
-/// closed-form costs. Weights live in one fixed [`WeightHome`] — the
-/// cycle machine does not model dynamic re-placement.
+/// Every inference task runs the model's complete PIM layer stack
+/// (lowered once into a [`CompiledProgram`]): convolutions and wide
+/// linears as traffic-accurate MAC streams split across storage spaces
+/// according to the placement in effect, and the narrow classifier
+/// head as bit-exact INT8 MAC bursts. On architectures with the
+/// paper's dynamic placement policy the backend replays the runtime's
+/// re-placement step at every queue-length change — it consults the
+/// same [`crate::AllocationLut`] the analytic runtime built, issues the
+/// actual weight-migration traffic between HP/LP modules and MRAM/SRAM
+/// banks on the machine, and reports that traffic under
+/// [`EnergyCat::Movement`] with one [`MigrationRecord`] per event.
+///
+/// Bank gating mirrors the architecture's [`GatingPolicy`]: under
+/// `BankLevel`, MRAM banks and idle PEs power down between the busy
+/// window and the next slice, SRAM banks holding weights stay on, and
+/// weight-free SRAM act buffers are only powered while computing —
+/// the same accounting the analytic runtime applies in closed form.
+///
+/// All reported times and energies are calibrated by the cost model's
+/// `time_scale` (the knob that maps ASIC-scale access latencies onto
+/// the paper's measured FPGA wall clock), so reports compare directly
+/// against [`AnalyticBackend`] — including total energy, which the
+/// parity suite bounds within a stated relative error.
 #[derive(Debug)]
 pub struct CycleBackend {
     arch: Architecture,
     machine: PimMachine,
-    compiled: CompiledLinear,
+    processor: Processor,
+    program: CompiledProgram,
     input: Vec<i8>,
-    slice_duration: SimDuration,
-    max_tasks: u32,
-    home: WeightHome,
+    placement: Placement,
+    head_home: WeightHome,
+    head_override: Option<WeightHome>,
+    head_modules: Vec<usize>,
+    fixed: Option<Placement>,
+    time_scale: f64,
 }
 
 /// A slice's worth of work scheduled on the event engine.
@@ -342,54 +424,104 @@ struct SliceJob {
     n_tasks: u32,
 }
 
+/// Per-layer accumulator (native machine units, scaled at report time).
+#[derive(Debug, Clone, Copy, Default)]
+struct LayerAcc {
+    macs: u64,
+    time: SimDuration,
+    energy_pj: f64,
+}
+
+/// Mutable run state threaded through the event engine.
+#[derive(Debug)]
+struct RunState {
+    records: Vec<SliceRecord>,
+    migrations: Vec<MigrationRecord>,
+    accs: Vec<LayerAcc>,
+    migration_dyn: EnergyLedger<hhpim_pim::EnergyCat>,
+    prev_total: Energy,
+    failure: Option<BackendError>,
+}
+
+fn mem_select(kind: MemKind) -> MemSelect {
+    match kind {
+        MemKind::Mram => MemSelect::Mram,
+        MemKind::Sram => MemSelect::Sram,
+    }
+}
+
 impl CycleBackend {
     /// Builds the backend: shapes the machine after the architecture's
-    /// Table I row, lowers the model's classifier layer onto it, and
-    /// adopts the analytic runtime's slice timing so deadlines are
-    /// comparable across backends.
-    ///
-    /// Weights default to the home of the analytic runtime's fixed
-    /// placement: MRAM for Hybrid-PIM (whose weights live in MRAM by
-    /// design), SRAM for everything else (the peak-performance
-    /// choice). Override with [`CycleBackend::with_weight_home`].
+    /// Table I row, lowers the whole model into a [`CompiledProgram`],
+    /// and adopts the analytic runtime's slice timing and allocation
+    /// LUT so deadlines and placements mean the same thing on both
+    /// backends.
     ///
     /// # Errors
     ///
     /// Fails if the model does not fit the architecture or has no
-    /// machine-executable linear layer.
+    /// machine-executable layer.
     pub fn new(arch: Architecture, model: TinyMlModel) -> Result<Self, BackendError> {
-        let home = if arch == Architecture::Hybrid {
-            WeightHome::Mram
-        } else {
-            WeightHome::Sram
-        };
-        Self::with_weight_home(arch, model, home)
+        Self::build(arch, model, None, None)
     }
 
-    /// Builds the backend with an explicit weight home.
+    /// Builds the backend with an explicit home for the bit-exact head
+    /// (schedule layers still follow the placement).
     ///
     /// # Errors
     ///
     /// Fails if the model does not fit the architecture or has no
-    /// machine-executable linear layer.
+    /// machine-executable layer.
     pub fn with_weight_home(
         arch: Architecture,
         model: TinyMlModel,
         home: WeightHome,
     ) -> Result<Self, BackendError> {
-        // Slice timing comes from the shared runtime reference so
-        // t_constraint means the same thing on both backends (without
-        // paying for a Processor's allocation LUT).
-        let params = CostParams::default();
-        let runtime = RuntimeConfig::reference(model, params)?;
+        Self::build(arch, model, Some(home), None)
+    }
 
+    /// Builds the backend pinned to one placement forever: the LUT is
+    /// never consulted and no migration traffic is issued. This is the
+    /// fixed-home comparison point the paper measures HH-PIM against.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `placement` is invalid for the architecture or the
+    /// model cannot be lowered.
+    pub fn with_fixed_placement(
+        arch: Architecture,
+        model: TinyMlModel,
+        placement: Placement,
+    ) -> Result<Self, BackendError> {
+        Self::build(arch, model, None, Some(placement))
+    }
+
+    fn build(
+        arch: Architecture,
+        model: TinyMlModel,
+        head_override: Option<WeightHome>,
+        fixed: Option<Placement>,
+    ) -> Result<Self, BackendError> {
+        // A pinned backend never consults the LUT, so skip its DP
+        // solves at construction.
+        let processor = if fixed.is_some() {
+            Processor::new_static(arch, model)?
+        } else {
+            Processor::new(arch, model)?
+        };
+        if let Some(p) = &fixed {
+            if !processor.cost().is_valid(p) {
+                return Err(BackendError::InvalidPlacement { placement: *p });
+            }
+        }
+        let params = *processor.cost().params();
         let spec = arch.spec();
         // Reserve the same per-module SRAM activation region the
         // analytic cost model assumes.
         let act_base = spec
             .sram_per_module
             .saturating_sub(params.act_reserve_per_module);
-        let mut machine = PimMachine::new(MachineConfig {
+        let machine = PimMachine::new(MachineConfig {
             hp_modules: spec.hp_modules,
             lp_modules: spec.lp_modules,
             module: ModuleConfig {
@@ -401,25 +533,45 @@ impl CycleBackend {
         });
 
         let qm = QuantizedModel::random(model.build(), 0xDAC);
-        let layer_idx = pim_layer_index(&qm).ok_or(BackendError::NoPimLayer { model })?;
-        let compiled = compile_linear(&qm, layer_idx, &mut machine, home)?;
-        let (c, h, w) = qm.model().layers()[layer_idx].input;
-        let in_features = c * h * w;
-        // A fixed, value-diverse activation vector; the machine's
-        // timing/energy is data-independent, so any input serves.
-        let input: Vec<i8> = (0..in_features)
-            .map(|i| ((i * 37 + 11) % 256) as u8 as i8)
-            .collect();
+        let program =
+            compile_model(&qm, processor.cost().profile().pim_macs).map_err(|e| match e {
+                CompileError::NotLinear { .. } => BackendError::NoPimLayer { model },
+                other => BackendError::Compile(other),
+            })?;
+        // A fixed, value-diverse activation vector for the head; the
+        // machine's timing/energy is data-independent, so any input
+        // serves.
+        let input: Vec<i8> = program
+            .head()
+            .map(|h| {
+                (0..h.in_features())
+                    .map(|i| ((i * 37 + 11) % 256) as u8 as i8)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let initial = fixed.unwrap_or(match spec.placement {
+            // The dynamic machine powers up at its peak configuration;
+            // the first slice then re-places for the actual load.
+            PlacementPolicy::DynamicDp => processor.cost().fastest_placement(),
+            PlacementPolicy::Static => processor.placement_for_tasks(1),
+        });
 
-        Ok(CycleBackend {
+        let mut backend = CycleBackend {
             arch,
             machine,
-            compiled,
+            processor,
+            program,
             input,
-            slice_duration: runtime.slice_duration,
-            max_tasks: runtime.max_tasks,
-            home,
-        })
+            placement: initial,
+            head_home: WeightHome::Sram,
+            head_override,
+            head_modules: Vec::new(),
+            fixed,
+            time_scale: params.time_scale,
+        };
+        backend.refresh_head()?;
+        backend.enter_idle()?;
+        Ok(backend)
     }
 
     /// The wrapped machine.
@@ -427,32 +579,431 @@ impl CycleBackend {
         &self.machine
     }
 
-    /// Where the compiled weights live.
+    /// The analytic twin providing slice timing, cost model and LUT.
+    pub fn processor(&self) -> &Processor {
+        &self.processor
+    }
+
+    /// The lowered program executed once per task.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Where the bit-exact head currently lives.
     pub fn weight_home(&self) -> WeightHome {
-        self.home
+        self.head_home
+    }
+
+    /// The placement currently realized on the machine.
+    pub fn placement(&self) -> Placement {
+        self.placement
     }
 
     /// The slice duration adopted from the analytic runtime.
     pub fn slice_duration(&self) -> SimDuration {
-        self.slice_duration
+        self.processor.runtime().slice_duration
     }
-}
 
-/// Finds the last linear layer a single MAC burst can execute.
-fn pim_layer_index(qm: &QuantizedModel) -> Option<usize> {
-    qm.model()
-        .layers()
-        .iter()
-        .enumerate()
-        .rev()
-        .find_map(|(i, info)| {
-            let Layer::Linear { .. } = info.layer else {
-                return None;
-            };
-            let (c, h, w) = info.input;
-            let in_features = c * h * w;
-            (1..=255).contains(&in_features).then_some(i)
+    /// Migrates the machine to `target` outside any trace, returning
+    /// the migration's measured traffic (calibrated units). Useful for
+    /// probing re-placement costs in isolation; during `execute` the
+    /// backend migrates on its own at slice boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` is invalid for the architecture or the
+    /// machine rejects the traffic.
+    pub fn migrate_to(&mut self, target: Placement) -> Result<MigrationRecord, BackendError> {
+        if !self.processor.cost().is_valid(&target) {
+            return Err(BackendError::InvalidPlacement { placement: target });
+        }
+        self.wake_for(self.placement, target)?;
+        let mut scratch = EnergyLedger::new();
+        let record = self.migrate(0, target, &mut scratch)?;
+        self.enter_idle()?;
+        Ok(record)
+    }
+
+    fn placement_for(&self, n_tasks: u32) -> Placement {
+        self.fixed
+            .unwrap_or_else(|| self.processor.placement_for_tasks(n_tasks))
+    }
+
+    fn gating_enabled(&self) -> bool {
+        self.processor.arch().gating == GatingPolicy::BankLevel
+    }
+
+    fn cluster_modules(&self, cluster: ClusterClass) -> Range<usize> {
+        let spec = self.processor.arch();
+        match cluster {
+            ClusterClass::HighPerformance => 0..spec.hp_modules,
+            ClusterClass::LowPower => spec.hp_modules..spec.hp_modules + spec.lp_modules,
+        }
+    }
+
+    /// Global indices of the modules in clusters the placement keeps
+    /// busy (every machine has at least one occupied cluster).
+    fn active_modules(&self) -> Vec<usize> {
+        let mut modules = Vec::new();
+        for class in ClusterClass::ALL {
+            if self.placement.cluster_total(class) > 0 {
+                modules.extend(self.cluster_modules(class));
+            }
+        }
+        if modules.is_empty() {
+            modules.extend(0..self.machine.module_count());
+        }
+        modules
+    }
+
+    /// The head follows the bulk of the weights: it stays in SRAM while
+    /// any SRAM space is occupied (those banks are powered anyway) and
+    /// retreats into non-volatile MRAM when the placement is MRAM-only,
+    /// so idle gating never strands it in a dark bank.
+    fn head_home_for(&self, placement: &Placement) -> WeightHome {
+        let sram = placement.get(StorageSpace::HpSram) + placement.get(StorageSpace::LpSram);
+        if sram > 0 {
+            WeightHome::Sram
+        } else {
+            WeightHome::Mram
+        }
+    }
+
+    /// Recomputes the head's residency for the current placement and
+    /// re-installs its rows (the runtime's data allocator re-homes the
+    /// whole network; the ~1 kB head rides along with the bulk
+    /// migration whose traffic is metered separately).
+    fn refresh_head(&mut self) -> Result<(), BackendError> {
+        self.head_modules = self.active_modules();
+        self.head_home = self
+            .head_override
+            .unwrap_or_else(|| self.head_home_for(&self.placement));
+        if let Some(head) = self.program.head() {
+            head.install(&mut self.machine, &self.head_modules, self.head_home)
+                .map_err(BackendError::Compile)?;
+        }
+        Ok(())
+    }
+
+    fn module_err(global: usize, error: hhpim_pim::ModuleError) -> BackendError {
+        BackendError::Machine(MachineError::Module {
+            module: global,
+            error,
         })
+    }
+
+    /// Powers up everything the coming busy window needs: banks and PEs
+    /// of every cluster occupied by either placement (migration legs
+    /// only ever touch those).
+    fn wake_for(&mut self, from: Placement, to: Placement) -> Result<(), BackendError> {
+        if !self.gating_enabled() {
+            return Ok(());
+        }
+        let now = self.machine.now();
+        for class in ClusterClass::ALL {
+            if from.cluster_total(class) == 0 && to.cluster_total(class) == 0 {
+                continue;
+            }
+            for g in self.cluster_modules(class) {
+                if self.machine.module(g).has_mram() {
+                    self.machine
+                        .module_mut(g)
+                        .set_gated(now, MemSelect::Mram, false)
+                        .map_err(|e| Self::module_err(g, e))?;
+                }
+                self.machine
+                    .module_mut(g)
+                    .set_gated(now, MemSelect::Sram, false)
+                    .map_err(|e| Self::module_err(g, e))?;
+                self.machine.module_mut(g).set_pe_powered(now, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the architecture's idle gating: MRAM banks and PEs power
+    /// down, SRAM banks without resident weights release their buffers
+    /// and gate; SRAM weight banks stay on (volatile retention), as the
+    /// analytic runtime charges them.
+    fn enter_idle(&mut self) -> Result<(), BackendError> {
+        if !self.gating_enabled() {
+            return Ok(());
+        }
+        let now = self.machine.now();
+        for class in ClusterClass::ALL {
+            let modules: Vec<usize> = self.cluster_modules(class).collect();
+            if modules.is_empty() {
+                continue;
+            }
+            let sram_space = StorageSpace::of_cluster(class)[1];
+            let weight_banks = self.placement.get(sram_space).min(modules.len());
+            for (local, &g) in modules.iter().enumerate() {
+                if self.machine.module(g).has_mram() {
+                    self.machine
+                        .module_mut(g)
+                        .set_gated(now, MemSelect::Mram, true)
+                        .map_err(|e| Self::module_err(g, e))?;
+                }
+                if local >= weight_banks {
+                    let live = self.machine.module(g).bank(MemSelect::Sram).live_bytes();
+                    if live > 0 {
+                        self.machine
+                            .module_mut(g)
+                            .free_bytes(MemSelect::Sram, live)
+                            .map_err(|e| Self::module_err(g, e))?;
+                    }
+                    self.machine
+                        .module_mut(g)
+                        .set_gated(now, MemSelect::Sram, true)
+                        .map_err(|e| Self::module_err(g, e))?;
+                }
+                self.machine.module_mut(g).set_pe_powered(now, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts `target` without traffic (the analytic runtime's first
+    /// slice is likewise free), refreshing head residency and gating.
+    fn apply_placement_free(&mut self, target: Placement) -> Result<(), BackendError> {
+        self.placement = target;
+        self.refresh_head()?;
+        self.enter_idle()
+    }
+
+    /// Executes the weight migration from the current placement to
+    /// `target` on the machine and accounts its dynamic traffic into
+    /// `migration_dyn` (reclassified as [`EnergyCat::Movement`] at
+    /// report time).
+    fn migrate(
+        &mut self,
+        slice: usize,
+        target: Placement,
+        migration_dyn: &mut EnergyLedger<hhpim_pim::EnergyCat>,
+    ) -> Result<MigrationRecord, BackendError> {
+        let from = self.placement;
+        let start = self.machine.now();
+        let before = self.machine.report();
+        let group = self.processor.cost().params().group_size;
+        let mut groups = 0usize;
+        for leg in movement_legs(&from, &target) {
+            groups += leg.groups;
+            self.transfer_leg(leg, leg.groups * group)?;
+        }
+        self.machine.execute(PimInstruction::Barrier)?;
+        let after = self.machine.report();
+        let mut moved_energy = Energy::ZERO;
+        for (&cat, e) in after.energy.iter() {
+            if let hhpim_pim::EnergyCat::MemDynamic(..) = cat {
+                let delta = e.saturating_sub(before.energy.get(cat));
+                if delta.as_pj() > 0.0 {
+                    migration_dyn.add(cat, delta);
+                    moved_energy += delta;
+                }
+            }
+        }
+        self.placement = target;
+        self.refresh_head()?;
+        Ok(MigrationRecord {
+            slice,
+            from,
+            to: target,
+            groups,
+            bytes: groups * group,
+            time: self
+                .machine
+                .now()
+                .saturating_since(start)
+                .mul_f64(self.time_scale),
+            energy: moved_energy * self.time_scale,
+        })
+    }
+
+    /// Moves `bytes` of one migration leg: lanes pair source and
+    /// destination modules (one group stream per module pair, exactly
+    /// the parallelism the analytic movement model assumes); same-module
+    /// legs use the module interface's MRAM↔SRAM path, cross-cluster
+    /// legs read on one side and write on the other through the Data
+    /// Allocator's MEM interface.
+    fn transfer_leg(&mut self, leg: MovementLeg, bytes: usize) -> Result<(), BackendError> {
+        let src_mods: Vec<usize> = self.cluster_modules(leg.src.cluster()).collect();
+        let dst_mods: Vec<usize> = self.cluster_modules(leg.dst.cluster()).collect();
+        if src_mods.is_empty() || dst_mods.is_empty() {
+            return Ok(());
+        }
+        let src_mem = mem_select(leg.src.kind());
+        let dst_mem = mem_select(leg.dst.kind());
+        let cfg = self.machine.config().module;
+        let region = |kind: MemKind| match kind {
+            MemKind::Mram => cfg.mram_bytes,
+            MemKind::Sram => cfg.act_base,
+        };
+        let chunk_max = 1.max(
+            region(leg.src.kind())
+                .min(region(leg.dst.kind()))
+                .min(16 * 1024),
+        );
+        let lanes = src_mods.len();
+        let base = bytes / lanes;
+        let rem = bytes % lanes;
+        let at = self.machine.now();
+        for (i, &src_g) in src_mods.iter().enumerate() {
+            let dst_g = dst_mods[i % dst_mods.len()];
+            let mut remaining = base + usize::from(i < rem);
+            while remaining > 0 {
+                let chunk = remaining.min(chunk_max);
+                if src_g == dst_g {
+                    self.machine
+                        .module_mut(src_g)
+                        .move_intra(at, src_mem, 0, chunk)
+                        .map_err(|e| Self::module_err(src_g, e))?;
+                } else {
+                    let (done, data) = self
+                        .machine
+                        .module_mut(src_g)
+                        .read_words(at, src_mem, 0, chunk)
+                        .map_err(|e| Self::module_err(src_g, e))?;
+                    self.machine
+                        .module_mut(dst_g)
+                        .write_words(done, dst_mem, 0, &data)
+                        .map_err(|e| Self::module_err(dst_g, e))?;
+                }
+                remaining -= chunk;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one inference task: every schedule layer splits across
+    /// the occupied spaces by group share and streams on that cluster's
+    /// modules in parallel; the head runs bit-exactly; a barrier closes
+    /// each layer (layers depend on their predecessor's outputs).
+    #[allow(clippy::too_many_arguments)]
+    fn run_task(
+        machine: &mut PimMachine,
+        program: &CompiledProgram,
+        placement: &Placement,
+        head_modules: &[usize],
+        head_home: WeightHome,
+        input: &[i8],
+        spec: &crate::arch::ArchSpec,
+        accs: &mut [LayerAcc],
+    ) -> Result<(), BackendError> {
+        let k = placement.total().max(1);
+        let mut probe = machine.report();
+        for (i, layer) in program.layers().iter().enumerate() {
+            let t0 = machine.now();
+            match &layer.op {
+                LayerOp::Schedule { macs_per_task } => {
+                    for (space, groups) in placement.occupied() {
+                        let cluster = space.cluster();
+                        let modules = spec.modules_in(cluster);
+                        if modules == 0 {
+                            continue;
+                        }
+                        let share = *macs_per_task as f64 * groups as f64 / k as f64;
+                        let per_module = (share / modules as f64).ceil() as usize;
+                        if per_module == 0 {
+                            continue;
+                        }
+                        let lo = match cluster {
+                            ClusterClass::HighPerformance => 0,
+                            ClusterClass::LowPower => spec.hp_modules,
+                        };
+                        let mask = ModuleMask::range(lo as u8, (lo + modules - 1) as u8);
+                        machine.mac_stream(mask, mem_select(space.kind()), 0, per_module)?;
+                    }
+                }
+                LayerOp::Head(plan) => {
+                    plan.run(machine, head_modules, head_home, input)
+                        .map_err(BackendError::Compile)?;
+                }
+            }
+            machine.execute(PimInstruction::Barrier)?;
+            let done = machine.report();
+            accs[i].macs += done.macs - probe.macs;
+            accs[i].time += machine.now().saturating_since(t0);
+            accs[i].energy_pj += done.total_energy().as_pj() - probe.total_energy().as_pj();
+            probe = done;
+        }
+        Ok(())
+    }
+
+    /// One slice on the machine: re-place if the queue length changed,
+    /// run the tasks, then gate down for the idle remainder.
+    fn do_slice(
+        &mut self,
+        st: &mut RunState,
+        event_now: SimTime,
+        native_slice: SimDuration,
+        job: SliceJob,
+    ) -> Result<(), BackendError> {
+        // Work may overrun a slice; the backlog then delays the next
+        // slice's start, exactly like a busy port.
+        let slice_start = event_now.max(self.machine.now());
+        self.machine.idle_until(slice_start);
+
+        let target = self.placement_for(job.n_tasks);
+        self.wake_for(self.placement, target)?;
+        let migration = if target != self.placement {
+            Some(self.migrate(job.slice, target, &mut st.migration_dyn)?)
+        } else {
+            // Idle gating may have powered down volatile SRAM banks
+            // that carried head rows (their contents are physically
+            // lost in gated SRAM); the host re-pushes the ~1 kB head
+            // after wake-up, as it would on real silicon. Migrated
+            // slices get this via migrate() → refresh_head().
+            if self.gating_enabled() {
+                self.refresh_head()?;
+            }
+            None
+        };
+        let movement_native = self.machine.now().saturating_since(slice_start);
+
+        let busy_start = self.machine.now();
+        for _ in 0..job.n_tasks {
+            Self::run_task(
+                &mut self.machine,
+                &self.program,
+                &self.placement,
+                &self.head_modules,
+                self.head_home,
+                &self.input,
+                self.processor.arch(),
+                &mut st.accs,
+            )?;
+        }
+        let busy = self.machine.now().saturating_since(busy_start);
+        // Statics accrue across the idle remainder of the slice under
+        // the architecture's gating policy.
+        self.enter_idle()?;
+        self.machine.idle_until(event_now + native_slice);
+
+        let scale = self.time_scale;
+        let slice_duration = self.processor.runtime().slice_duration;
+        let movement_time = movement_native.mul_f64(scale);
+        let usable = slice_duration.saturating_sub(movement_time);
+        let n = job.n_tasks.max(1) as u64;
+        let t_constraint = usable / n;
+        let task_time = busy.mul_f64(scale) / n;
+        let total = self.machine.report().total_energy();
+        st.records.push(SliceRecord {
+            slice: job.slice,
+            n_tasks: job.n_tasks,
+            placement: Some(self.placement),
+            t_constraint,
+            task_time,
+            movement_time,
+            groups_moved: migration.as_ref().map(|m| m.groups).unwrap_or(0),
+            deadline_met: task_time <= t_constraint,
+            energy: total.saturating_sub(st.prev_total) * scale,
+        });
+        st.prev_total = total;
+        if let Some(m) = migration {
+            st.migrations.push(m);
+        }
+        Ok(())
+    }
 }
 
 impl ExecutionBackend for CycleBackend {
@@ -465,18 +1016,30 @@ impl ExecutionBackend for CycleBackend {
     }
 
     fn execute(&mut self, trace: &LoadTrace) -> Result<ExecutionReport, BackendError> {
-        let tasks = trace.task_counts(self.max_tasks);
+        let tasks = trace.task_counts(self.processor.runtime().max_tasks);
+        let scale = self.time_scale;
+        // The machine runs in native (uncalibrated) time; slices are
+        // scheduled at the calibrated duration divided back down so the
+        // two timelines describe the same physical slice.
+        let native_slice = self.processor.runtime().slice_duration.mul_f64(1.0 / scale);
         let start_now = self.machine.now();
         let start_report = self.machine.report();
-        let start_total = start_report.total_energy();
 
-        // Slice boundaries are events on the shared discrete-event
-        // kernel; the handler executes each slice's tasks on the
-        // machine and closes the slice at its nominal end.
-        let mut sim: Simulation<(), SliceJob> = Simulation::new(());
+        // Mirror the analytic runtime: the first slice's placement is
+        // adopted for free (weights are loaded there at boot).
+        self.apply_placement_free(self.placement_for(*tasks.first().unwrap_or(&1)))?;
+
+        let mut sim: Simulation<RunState, SliceJob> = Simulation::new(RunState {
+            records: Vec::with_capacity(tasks.len()),
+            migrations: Vec::new(),
+            accs: vec![LayerAcc::default(); self.program.layers().len()],
+            migration_dyn: EnergyLedger::new(),
+            prev_total: start_report.total_energy(),
+            failure: None,
+        });
         for (i, &n) in tasks.iter().enumerate() {
             sim.schedule(
-                start_now + self.slice_duration * i as u64,
+                start_now + native_slice * i as u64,
                 SliceJob {
                     slice: i,
                     n_tasks: n,
@@ -484,78 +1047,69 @@ impl ExecutionBackend for CycleBackend {
             )
             .expect("slice starts are monotone");
         }
-
-        let machine = &mut self.machine;
-        let compiled = &self.compiled;
-        let input = &self.input;
-        let slice_duration = self.slice_duration;
-        let mut records: Vec<SliceRecord> = Vec::with_capacity(tasks.len());
-        let mut prev_total = start_total;
-        let mut failure: Option<BackendError> = None;
-
-        sim.run(|_, ctx, job| {
-            // Work may overrun a slice; the backlog then delays the
-            // next slice's start, exactly like a busy port.
-            let slice_start = ctx.now().max(machine.now());
-            machine.idle_until(slice_start);
-            for _ in 0..job.n_tasks {
-                if let Err(e) = run_linear(machine, compiled, input) {
-                    failure = Some(e.into());
-                    return Control::Stop;
+        sim.run(|st, ctx, job| {
+            let event_now = ctx.now();
+            match self.do_slice(st, event_now, native_slice, job) {
+                Ok(()) => Control::Continue,
+                Err(e) => {
+                    st.failure = Some(e);
+                    Control::Stop
                 }
             }
-            let busy = machine.now().saturating_since(slice_start);
-            // Statics accrue across the idle remainder of the slice.
-            machine.idle_until(ctx.now() + slice_duration);
-
-            let t_constraint = if job.n_tasks > 0 {
-                slice_duration / job.n_tasks as u64
-            } else {
-                slice_duration
-            };
-            let task_time = if job.n_tasks > 0 {
-                busy / job.n_tasks as u64
-            } else {
-                SimDuration::ZERO
-            };
-            let total = machine.report().total_energy();
-            records.push(SliceRecord {
-                slice: job.slice,
-                n_tasks: job.n_tasks,
-                placement: None,
-                t_constraint,
-                task_time,
-                movement_time: SimDuration::ZERO,
-                groups_moved: 0,
-                deadline_met: task_time <= t_constraint,
-                energy: total.saturating_sub(prev_total),
-            });
-            prev_total = total;
-            Control::Continue
         });
-        if let Some(e) = failure {
+        let st = sim.into_state();
+        if let Some(e) = st.failure {
             return Err(e);
         }
 
         // Report only this trace's share: previous execute() calls on
-        // the same machine already accounted for their energy.
+        // the same machine already accounted for their energy. Dynamic
+        // traffic spent inside migrations is reclassified from its
+        // per-bank category into the shared Movement category.
         let run_report = self.machine.report();
         let mut energy = EnergyLedger::new();
         for (&cat, e) in run_report.energy.iter() {
-            let delta = e.saturating_sub(start_report.energy.get(cat));
+            let mut delta = e.saturating_sub(start_report.energy.get(cat));
+            if matches!(cat, hhpim_pim::EnergyCat::MemDynamic(..)) {
+                delta = delta.saturating_sub(st.migration_dyn.get(cat));
+            }
             if delta.as_pj() > 0.0 {
-                energy.add(unify_machine_cat(cat), delta);
+                energy.add(unify_machine_cat(cat), delta * scale);
             }
         }
-        let deadline_misses = records.iter().filter(|r| !r.deadline_met).count();
+        let moved = st.migration_dyn.total();
+        if moved.as_pj() > 0.0 {
+            energy.add(EnergyCat::Movement, moved * scale);
+        }
+        let layers = self
+            .program
+            .layers()
+            .iter()
+            .zip(&st.accs)
+            .map(|(l, a)| LayerRecord {
+                layer: l.layer,
+                label: l.label.clone(),
+                macs: a.macs,
+                time: a.time.mul_f64(scale),
+                energy: Energy::from_pj(a.energy_pj * scale),
+            })
+            .collect();
+        let deadline_misses = st.records.iter().filter(|r| !r.deadline_met).count();
         Ok(ExecutionReport {
             backend: BackendKind::Cycle,
             arch: self.arch,
-            records,
+            records: st.records,
+            layers,
+            migrations: st.migrations,
             energy,
             // Trace-local, like the analytic backend's elapsed, so
             // reruns on the same machine stay comparable.
-            elapsed: SimTime::ZERO + (self.machine.now() - start_now),
+            elapsed: SimTime::ZERO
+                + self
+                    .machine
+                    .now()
+                    .saturating_since(start_now)
+                    .mul_f64(scale),
             deadline_misses,
             instructions: run_report.instructions - start_report.instructions,
             macs: run_report.macs - start_report.macs,

@@ -1,14 +1,28 @@
-//! Layer-to-PIM compilation: maps a quantized fully-connected layer
-//! onto the cycle-level machine, distributing output neurons across PIM
-//! modules exactly as the paper distributes "each layer of a neural
-//! network across HP-PIM and LP-PIM modules for parallel computation,
-//! with the final output obtained by aggregating results from each
-//! module" (§III).
+//! Layer-to-PIM compilation: maps quantized model layers onto the
+//! cycle-level machine, distributing work across PIM modules exactly as
+//! the paper distributes "each layer of a neural network across HP-PIM
+//! and LP-PIM modules for parallel computation, with the final output
+//! obtained by aggregating results from each module" (§III).
 //!
-//! This is the bridge between the analytical evaluation (fast sweeps)
-//! and the bit-accurate machine: compiled layers execute real INT8 MACs
-//! in module PEs and are checked against the software reference — the
-//! functional-verification role of the paper's FPGA prototype.
+//! Two fidelities coexist, per layer kind:
+//!
+//! * **Bit-exact heads** — a narrow final linear layer (≤ 255 input
+//!   features) lowers via [`compile_linear`]/[`HeadPlan`] into real
+//!   INT8 MAC bursts whose accumulators are checked against the
+//!   software reference, the functional-verification role of the
+//!   paper's FPGA prototype.
+//! * **Traffic-accurate schedules** — every other PIM layer
+//!   (convolutions, wide linears) lowers into a per-layer MAC *schedule*
+//!   ([`CompiledProgram`]): the layer's PIM MACs are striped over the
+//!   modules that hold its weights, issuing genuine `ClearAcc`/`Mac`
+//!   bursts whose timing and energy come from per-access bank/PE
+//!   metering. Operand values are irrelevant to timing and energy (the
+//!   machine is data-independent), so schedules carry counts, not
+//!   weights.
+//!
+//! [`CycleBackend`](crate::CycleBackend) executes one
+//! [`CompiledProgram`] per inference task, splitting each layer across
+//! storage spaces according to the placement currently in effect.
 
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::{Layer, QuantizedModel};
@@ -207,6 +221,252 @@ pub fn run_linear(
     Ok(outputs)
 }
 
+/// How one model layer executes on the cycle machine.
+#[derive(Debug, Clone)]
+pub enum LayerOp {
+    /// Traffic-accurate MAC schedule: `macs_per_task` multiply-
+    /// accumulates issued as real bursts, striped across the modules of
+    /// whichever spaces hold the weights at execution time.
+    Schedule {
+        /// PIM MACs this layer contributes per inference task.
+        macs_per_task: u64,
+    },
+    /// Bit-exact classifier head executed through [`HeadPlan::run`].
+    Head(HeadPlan),
+}
+
+/// One lowered layer of a [`CompiledProgram`].
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Index of the layer in the source model.
+    pub layer: usize,
+    /// Human-readable layer label (e.g. `"conv3x3 -> 16 (s1 p0 g1)"`).
+    pub label: String,
+    /// How the layer executes.
+    pub op: LayerOp,
+}
+
+/// A whole quantized model lowered for per-task execution on the cycle
+/// machine: one entry per PIM layer (host-side layers — pooling,
+/// activations, residual adds — run outside the machine, as in the
+/// paper's prototype).
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    layers: Vec<CompiledLayer>,
+    scheduled_macs: u64,
+}
+
+impl CompiledProgram {
+    /// The lowered PIM layers in execution order.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// Total scheduled (traffic-level) MACs per task, excluding the
+    /// bit-exact head.
+    pub fn scheduled_macs(&self) -> u64 {
+        self.scheduled_macs
+    }
+
+    /// The bit-exact head, if the model has one.
+    pub fn head(&self) -> Option<&HeadPlan> {
+        self.layers.iter().find_map(|l| match &l.op {
+            LayerOp::Head(h) => Some(h),
+            LayerOp::Schedule { .. } => None,
+        })
+    }
+}
+
+/// Lowers every PIM layer of `qm` into a [`CompiledProgram`].
+///
+/// `pim_macs_per_task` is the workload profile's per-task PIM MAC count
+/// (Table IV `#MAC × PIM-op ratio`); the built model's per-layer MAC
+/// counts are scaled so the program's total matches it, keeping cycle
+/// and analytic backends on the same MAC basis. The last linear layer
+/// with ≤ 255 input features becomes the bit-exact [`HeadPlan`]; all
+/// other conv/linear layers become traffic schedules.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NotLinear`] if the model has no PIM layer at
+/// all.
+pub fn compile_model(
+    qm: &QuantizedModel,
+    pim_macs_per_task: u64,
+) -> Result<CompiledProgram, CompileError> {
+    let infos = qm.model().layers();
+    let pim_layers: Vec<usize> = (0..infos.len())
+        .filter(|&i| infos[i].layer.is_pim_layer())
+        .collect();
+    if pim_layers.is_empty() {
+        return Err(CompileError::NotLinear { layer: 0 });
+    }
+    let head_idx = pim_layers.iter().rev().copied().find(|&i| {
+        let (c, h, w) = infos[i].input;
+        matches!(infos[i].layer, Layer::Linear { .. }) && (1..=255).contains(&(c * h * w))
+    });
+    let built_total: u64 = pim_layers.iter().map(|&i| infos[i].macs).sum();
+    let scale = pim_macs_per_task as f64 / built_total.max(1) as f64;
+
+    let mut layers = Vec::with_capacity(pim_layers.len());
+    let mut scheduled = 0u64;
+    for &i in &pim_layers {
+        let op = if Some(i) == head_idx {
+            LayerOp::Head(lower_head(qm, i)?)
+        } else {
+            let macs_per_task = (infos[i].macs as f64 * scale).round() as u64;
+            scheduled += macs_per_task;
+            LayerOp::Schedule { macs_per_task }
+        };
+        layers.push(CompiledLayer {
+            layer: i,
+            label: infos[i].layer.to_string(),
+            op,
+        });
+    }
+    Ok(CompiledProgram {
+        layers,
+        scheduled_macs: scheduled,
+    })
+}
+
+/// A bit-exact classifier head, relocatable between memories: the rows
+/// are kept host-side so the head can be re-installed after every
+/// re-placement (the runtime's data allocator re-homes the whole
+/// network, head included).
+#[derive(Debug, Clone)]
+pub struct HeadPlan {
+    rows: Vec<Vec<u8>>,
+    bias: Vec<i32>,
+    in_features: usize,
+}
+
+impl HeadPlan {
+    /// Input feature count (MACs per output neuron).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output neuron count.
+    pub fn out_features(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes the head's weight rows into `home` of each module in
+    /// `modules`, round-robin by neuron (host-side preload, untimed —
+    /// the timed bulk movement is the migration traffic itself; the
+    /// head is ~1 kB).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine range errors.
+    pub fn install(
+        &self,
+        machine: &mut PimMachine,
+        modules: &[usize],
+        home: WeightHome,
+    ) -> Result<(), CompileError> {
+        assert!(!modules.is_empty(), "head needs at least one module");
+        for (o, row) in self.rows.iter().enumerate() {
+            let module = modules[o % modules.len()];
+            let wave = o / modules.len();
+            machine.preload(module, home.mem(), wave * self.in_features, row)?;
+        }
+        Ok(())
+    }
+
+    /// Executes the head for one input vector, returning the raw i32
+    /// accumulators (bias applied). [`HeadPlan::install`] must have run
+    /// for the same `(modules, home)` first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length differs from `in_features` or `modules`
+    /// is empty.
+    pub fn run(
+        &self,
+        machine: &mut PimMachine,
+        modules: &[usize],
+        home: WeightHome,
+        input: &[i8],
+    ) -> Result<Vec<i32>, CompileError> {
+        assert_eq!(input.len(), self.in_features, "input length mismatch");
+        assert!(!modules.is_empty(), "head needs at least one module");
+        let acts: Vec<u8> = input.iter().map(|&v| v as u8).collect();
+        for &m in modules {
+            machine.preload_activations(m, &acts)?;
+        }
+        let mut outputs = vec![0i32; self.out_features()];
+        let waves = self.out_features().div_ceil(modules.len());
+        for wave in 0..waves {
+            let lo = wave * modules.len();
+            let hi = (lo + modules.len()).min(self.out_features());
+            let mut mask = ModuleMask::empty();
+            for o in lo..hi {
+                mask = mask.union(ModuleMask::single(modules[o % modules.len()] as u8));
+            }
+            machine.execute(PimInstruction::ClearAcc { modules: mask })?;
+            machine.execute(PimInstruction::Mac {
+                modules: mask,
+                mem: home.mem(),
+                addr: (wave * self.in_features) as u16,
+                count: self.in_features as u8,
+            })?;
+            machine.execute(PimInstruction::Barrier)?;
+            for o in lo..hi {
+                let acc = machine
+                    .module(modules[o % modules.len()])
+                    .pe()
+                    .accumulator();
+                outputs[o] = acc + self.bias[o];
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+/// Lowers linear layer `layer_idx` of `qm` into a relocatable
+/// [`HeadPlan`].
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn lower_head(qm: &QuantizedModel, layer_idx: usize) -> Result<HeadPlan, CompileError> {
+    let info = qm
+        .model()
+        .layers()
+        .get(layer_idx)
+        .ok_or(CompileError::NotLinear { layer: layer_idx })?;
+    let Layer::Linear { out_features } = info.layer else {
+        return Err(CompileError::NotLinear { layer: layer_idx });
+    };
+    let lw = qm
+        .layer_weights(layer_idx)
+        .ok_or(CompileError::NoWeights { layer: layer_idx })?;
+    let (c, h, w) = info.input;
+    let in_features = c * h * w;
+    if in_features > 255 {
+        return Err(CompileError::RowTooLong { in_features });
+    }
+    let rows = (0..out_features)
+        .map(|o| {
+            lw.weights[o * in_features..(o + 1) * in_features]
+                .iter()
+                .map(|&v| v as u8)
+                .collect()
+        })
+        .collect();
+    Ok(HeadPlan {
+        rows,
+        bias: lw.bias.clone(),
+        in_features,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +596,61 @@ mod tests {
             })
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn compile_model_scales_schedule_to_profile_macs() {
+        let model = hhpim_nn::TinyMlModel::MobileNetV2;
+        let qm = QuantizedModel::random(model.build(), 3);
+        let pim_macs = model.spec().pim_macs();
+        let program = compile_model(&qm, pim_macs).unwrap();
+        assert!(program.head().is_some(), "MobileNet has a narrow head");
+        let head_macs = {
+            let h = program.head().unwrap();
+            (h.in_features() * h.out_features()) as u64
+        };
+        // Scheduled MACs + (scaled) head MACs land on the profile total
+        // within per-layer rounding.
+        let total = program.scheduled_macs() + head_macs;
+        let rel = (total as f64 - pim_macs as f64).abs() / pim_macs as f64;
+        assert!(rel < 0.01, "program {total} vs profile {pim_macs}");
+        // Layers come out in model order and are all PIM layers.
+        let idxs: Vec<usize> = program.layers().iter().map(|l| l.layer).collect();
+        assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn head_plan_matches_reference_and_relocates() {
+        let qm = fc_model(32, 10);
+        let head = lower_head(&qm, 0).unwrap();
+        let input: Vec<i8> = (0..32).map(|i| ((i * 13) % 64) as i8 - 32).collect();
+        let expect = reference(&qm, &input);
+        let mut machine = PimMachine::new(MachineConfig::default());
+        let modules: Vec<usize> = (0..machine.module_count()).collect();
+        head.install(&mut machine, &modules, WeightHome::Mram)
+            .unwrap();
+        let got = head
+            .run(&mut machine, &modules, WeightHome::Mram, &input)
+            .unwrap();
+        assert_eq!(got, expect);
+        // Re-home into SRAM on a subset of modules: same results.
+        let subset = [0usize, 1, 2, 3];
+        head.install(&mut machine, &subset, WeightHome::Sram)
+            .unwrap();
+        let got2 = head
+            .run(&mut machine, &subset, WeightHome::Sram, &input)
+            .unwrap();
+        assert_eq!(got2, expect, "placement must not change results");
+    }
+
+    #[test]
+    fn compile_model_rejects_host_only_stacks() {
+        let model = Model::new("r", (4, 1, 1), vec![Layer::Relu]).unwrap();
+        let qm = QuantizedModel::random(model, 1);
+        assert!(matches!(
+            compile_model(&qm, 1000),
+            Err(CompileError::NotLinear { layer: 0 })
+        ));
     }
 
     #[test]

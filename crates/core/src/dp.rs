@@ -399,12 +399,25 @@ impl AllocationLut {
     }
 
     /// Placement for `n_tasks` (clamped to the table's range).
+    ///
+    /// Task counts above the built range clamp onto the largest entry.
+    /// When that clamped entry is itself infeasible (its `t_constraint`
+    /// sits in the gray region), the lookup falls back to the largest
+    /// *feasible* entry below it rather than returning `None`: the
+    /// paper's runtime never stalls on a full queue — it serves an
+    /// over-full slice with the most load-tolerant placement it knows.
+    /// Within the built range an infeasible entry still returns `None`
+    /// (the caller decides its own fallback, e.g. the fastest
+    /// placement).
     pub fn lookup(&self, n_tasks: u32) -> Option<&OptimalPlacement> {
         if self.entries.is_empty() {
             return None;
         }
         let idx = (n_tasks.max(1) as usize - 1).min(self.entries.len() - 1);
-        self.entries[idx].as_ref()
+        if self.entries[idx].is_some() || (n_tasks as usize) <= self.entries.len() {
+            return self.entries[idx].as_ref();
+        }
+        self.entries[..idx].iter().rev().find_map(|e| e.as_ref())
     }
 
     /// The `t_constraint` associated with `n_tasks`.
@@ -573,6 +586,31 @@ mod tests {
             lut.lookup(10).map(|p| p.placement)
         );
         assert_eq!(lut.t_constraint(10), Some(slice / 10));
+    }
+
+    #[test]
+    fn lut_above_range_falls_back_to_largest_feasible_entry() {
+        // Slice sized so the largest task counts are infeasible (their
+        // t_constraint falls below the architectural peak) while small
+        // counts remain feasible.
+        let cost = effnet_cost();
+        let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
+        let slice = cost.peak_task_time() * 4;
+        let lut = AllocationLut::build(&opt, slice, 10);
+        assert!(lut.lookup(4).is_some(), "4 tasks fit in 4 peak times");
+        assert!(
+            lut.lookup(10).is_none(),
+            "10 tasks cannot fit in 4 peak times"
+        );
+        // A full queue beyond the table must not stall: it clamps onto
+        // the infeasible 10-task entry and then falls back to the
+        // largest feasible one.
+        let over = lut.lookup(25).expect("over-full queue must not stall");
+        let largest_feasible = (1..=10)
+            .rev()
+            .find_map(|n| lut.lookup(n))
+            .expect("some entry is feasible");
+        assert_eq!(over.placement, largest_feasible.placement);
     }
 
     #[test]

@@ -48,11 +48,14 @@ pub use analysis::{
 pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
 pub use backend::{
     AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
-    ExecutionReport, SliceRecord,
+    ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
 };
-pub use compile::{compile_linear, run_linear, CompileError, CompiledLinear, WeightHome};
+pub use compile::{
+    compile_linear, compile_model, lower_head, run_linear, CompileError, CompiledLayer,
+    CompiledLinear, CompiledProgram, HeadPlan, LayerOp, WeightHome,
+};
 pub use cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 pub use dp::{AllocationLut, OptimalPlacement, OptimizerConfig, PlacementOptimizer};
 pub use experiment::{run_case, savings_matrix, ExperimentConfig, SavingsCell, SavingsMatrix};
 pub use runtime::{Processor, RuntimeConfig};
-pub use space::{Placement, StorageSpace};
+pub use space::{movement_legs, MovementLeg, Placement, StorageSpace};

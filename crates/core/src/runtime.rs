@@ -9,10 +9,12 @@
 //! to what can(not) be power-gated.
 
 use crate::arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
-use crate::backend::{BackendKind, EnergyCat, ExecutionReport, SliceRecord};
+use crate::backend::{
+    BackendKind, EnergyCat, ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
+};
 use crate::cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
-use crate::space::{Placement, StorageSpace};
+use crate::space::{movement_legs, Placement, StorageSpace};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind, Power};
 use hhpim_nn::TinyMlModel;
 use hhpim_sim::{SimDuration, SimTime};
@@ -82,6 +84,9 @@ pub struct Processor {
     opt_config: OptimizerConfig,
     lut: Option<AllocationLut>,
     fixed: Placement,
+    /// Per-PIM-layer `(model index, label, MAC share)` of the built
+    /// model, used to apportion the closed-form report layer-by-layer.
+    layer_shares: Vec<(usize, String, f64)>,
 }
 
 impl Processor {
@@ -114,6 +119,36 @@ impl Processor {
         params: CostParams,
         opt_config: OptimizerConfig,
     ) -> Result<Self, CostModelError> {
+        Self::build(arch, model, params, opt_config, true)
+    }
+
+    /// Builds a processor that never re-places: the allocation LUT is
+    /// skipped entirely (its DP solves are the expensive part of
+    /// construction) and [`Processor::placement_for_tasks`] always
+    /// answers the architecture's fixed placement. For pinned-placement
+    /// comparison points such as
+    /// [`crate::CycleBackend::with_fixed_placement`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model's weights do not fit the architecture.
+    pub fn new_static(arch: Architecture, model: TinyMlModel) -> Result<Self, CostModelError> {
+        Self::build(
+            arch,
+            model,
+            CostParams::default(),
+            OptimizerConfig::default(),
+            false,
+        )
+    }
+
+    fn build(
+        arch: Architecture,
+        model: TinyMlModel,
+        params: CostParams,
+        opt_config: OptimizerConfig,
+        with_lut: bool,
+    ) -> Result<Self, CostModelError> {
         let profile = WorkloadProfile::from_spec(&model.spec());
         let spec = arch.spec();
         let cost = CostModel::new(spec, profile, params)?;
@@ -125,11 +160,31 @@ impl Processor {
             Architecture::Hybrid => Placement::all_in(StorageSpace::HpMram, cost.k_groups()),
         };
         debug_assert!(cost.is_valid(&fixed), "fixed placement invalid for {arch}");
-        let lut = (spec.placement == PlacementPolicy::DynamicDp).then(|| {
+        let lut = (with_lut && spec.placement == PlacementPolicy::DynamicDp).then(|| {
             let optimizer = PlacementOptimizer::new(&cost, opt_config);
             let usable = slice_duration.mul_f64(1.0 - runtime.movement_margin);
             AllocationLut::build(&optimizer, usable, runtime.max_tasks)
         });
+        let built = model.build();
+        let total_macs: u64 = built
+            .layers()
+            .iter()
+            .filter(|i| i.layer.is_pim_layer())
+            .map(|i| i.macs)
+            .sum();
+        let layer_shares = built
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.layer.is_pim_layer())
+            .map(|(idx, i)| {
+                (
+                    idx,
+                    i.layer.to_string(),
+                    i.macs as f64 / total_macs.max(1) as f64,
+                )
+            })
+            .collect();
         Ok(Processor {
             arch: spec,
             cost,
@@ -137,6 +192,7 @@ impl Processor {
             opt_config,
             lut,
             fixed,
+            layer_shares,
         })
     }
 
@@ -174,51 +230,23 @@ impl Processor {
     /// Movement cost to transition between placements: groups leaving a
     /// space are read there and written at their destination; the lanes
     /// of the MEM interface move one group per module pair in parallel.
+    /// The leg plan is shared with the cycle machine's migration engine
+    /// via [`movement_legs`], so both backends move the same traffic.
     pub fn movement_cost(&self, from: &Placement, to: &Placement) -> (SimDuration, Energy, usize) {
-        if from == to {
-            return (SimDuration::ZERO, Energy::ZERO, 0);
-        }
         let group = self.cost.params().group_size as f64;
         let scale = self.cost.params().time_scale;
         let lanes = (self.arch.hp_modules + self.arch.lp_modules).max(1) as f64 / 2.0;
-        // Outflows and inflows, paired greedily in space order.
-        let mut out: Vec<(StorageSpace, usize)> = Vec::new();
-        let mut inn: Vec<(StorageSpace, usize)> = Vec::new();
-        for s in StorageSpace::ALL {
-            let (f, t) = (from.get(s), to.get(s));
-            if f > t {
-                out.push((s, f - t));
-            } else if t > f {
-                inn.push((s, t - f));
-            }
-        }
         let mut time_ns = 0.0;
         let mut energy_pj = 0.0;
         let mut moved = 0usize;
-        let (mut oi, mut ii) = (0usize, 0usize);
-        let (mut orem, mut irem) = (
-            out.first().map(|x| x.1).unwrap_or(0),
-            inn.first().map(|x| x.1).unwrap_or(0),
-        );
-        while oi < out.len() && ii < inn.len() {
-            let n = orem.min(irem);
-            let src = hhpim_mem::tech_for(out[oi].0.cluster(), out[oi].0.kind());
-            let dst = hhpim_mem::tech_for(inn[ii].0.cluster(), inn[ii].0.kind());
+        for leg in movement_legs(from, to) {
+            let src = hhpim_mem::tech_for(leg.src.cluster(), leg.src.kind());
+            let dst = hhpim_mem::tech_for(leg.dst.cluster(), leg.dst.kind());
             let per_byte_ns = src.timing.read.as_ns_f64() + dst.timing.write.as_ns_f64();
             let per_byte_pj = src.read_energy().as_pj() + dst.write_energy().as_pj();
-            time_ns += n as f64 * group * per_byte_ns / lanes * scale;
-            energy_pj += n as f64 * group * per_byte_pj * scale;
-            moved += n;
-            orem -= n;
-            irem -= n;
-            if orem == 0 {
-                oi += 1;
-                orem = out.get(oi).map(|x| x.1).unwrap_or(0);
-            }
-            if irem == 0 {
-                ii += 1;
-                irem = inn.get(ii).map(|x| x.1).unwrap_or(0);
-            }
+            time_ns += leg.groups as f64 * group * per_byte_ns / lanes * scale;
+            energy_pj += leg.groups as f64 * group * per_byte_pj * scale;
+            moved += leg.groups;
         }
         (
             SimDuration::from_ns_f64(time_ns),
@@ -336,22 +364,59 @@ impl Processor {
 
     /// Runs a full load trace, returning per-slice records and the
     /// energy breakdown as a unified [`ExecutionReport`].
+    ///
+    /// The closed-form model has no native layer notion; its
+    /// [`LayerRecord`]s apportion the per-task latency and dynamic
+    /// energy across the model's PIM layers by MAC share, so they
+    /// compare layer-by-layer with the cycle backend's measured records.
     pub fn run_trace(&self, trace: &LoadTrace) -> ExecutionReport {
         let tasks = trace.task_counts(self.runtime.max_tasks);
         let mut ledger = EnergyLedger::new();
         let mut records = Vec::with_capacity(tasks.len());
+        let mut migrations = Vec::new();
         let mut prev = self.placement_for_tasks(*tasks.first().unwrap_or(&1));
+        let mut task_seconds = SimDuration::ZERO;
+        let mut dynamic = Energy::ZERO;
         for (i, &n) in tasks.iter().enumerate() {
             let placement = self.placement_for_tasks(n);
             let (mt, me, moved) = self.movement_cost(&prev, &placement);
-            records.push(self.evaluate_slice(i, placement, n, mt, me, moved, &mut ledger));
+            if moved > 0 {
+                migrations.push(MigrationRecord {
+                    slice: i,
+                    from: prev,
+                    to: placement,
+                    groups: moved,
+                    bytes: moved * self.cost.params().group_size,
+                    time: mt,
+                    energy: me,
+                });
+            }
+            let record = self.evaluate_slice(i, placement, n, mt, me, moved, &mut ledger);
+            task_seconds += record.task_time * n as u64;
+            dynamic += self.cost.dynamic_energy_per_task(&placement) * n as u64;
+            records.push(record);
             prev = placement;
         }
+        let total_tasks: u64 = tasks.iter().map(|&n| n as u64).sum();
+        let layers = self
+            .layer_shares
+            .iter()
+            .map(|(idx, label, share)| LayerRecord {
+                layer: *idx,
+                label: label.clone(),
+                macs: (self.cost.profile().pim_macs as f64 * share * total_tasks as f64).round()
+                    as u64,
+                time: task_seconds.mul_f64(*share),
+                energy: dynamic * *share,
+            })
+            .collect();
         let deadline_misses = records.iter().filter(|r| !r.deadline_met).count();
         ExecutionReport {
             backend: BackendKind::Analytic,
             arch: self.arch.arch,
             records,
+            layers,
+            migrations,
             energy: ledger,
             elapsed: SimTime::ZERO + self.runtime.slice_duration * tasks.len() as u64,
             deadline_misses,

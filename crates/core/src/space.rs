@@ -173,6 +173,67 @@ impl Placement {
     }
 }
 
+/// One leg of a placement transition: `groups` weight groups that must
+/// travel from `src` to `dst`.
+///
+/// Legs are produced by [`movement_legs`] with a greedy pairing in
+/// [`StorageSpace::ALL`] order — the deterministic plan both the
+/// analytic movement-cost model and the cycle machine's migration
+/// engine execute, so their traffic is directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovementLeg {
+    /// Space the groups leave.
+    pub src: StorageSpace,
+    /// Space the groups arrive in.
+    pub dst: StorageSpace,
+    /// Number of weight groups moved.
+    pub groups: usize,
+}
+
+/// Plans the weight movement needed to transition `from` into `to`:
+/// outflows and inflows are paired greedily in space order. Returns an
+/// empty plan when the placements are equal.
+pub fn movement_legs(from: &Placement, to: &Placement) -> Vec<MovementLeg> {
+    if from == to {
+        return Vec::new();
+    }
+    let mut out: Vec<(StorageSpace, usize)> = Vec::new();
+    let mut inn: Vec<(StorageSpace, usize)> = Vec::new();
+    for s in StorageSpace::ALL {
+        let (f, t) = (from.get(s), to.get(s));
+        if f > t {
+            out.push((s, f - t));
+        } else if t > f {
+            inn.push((s, t - f));
+        }
+    }
+    let mut legs = Vec::new();
+    let (mut oi, mut ii) = (0usize, 0usize);
+    let (mut orem, mut irem) = (
+        out.first().map(|x| x.1).unwrap_or(0),
+        inn.first().map(|x| x.1).unwrap_or(0),
+    );
+    while oi < out.len() && ii < inn.len() {
+        let n = orem.min(irem);
+        legs.push(MovementLeg {
+            src: out[oi].0,
+            dst: inn[ii].0,
+            groups: n,
+        });
+        orem -= n;
+        irem -= n;
+        if orem == 0 {
+            oi += 1;
+            orem = out.get(oi).map(|x| x.1).unwrap_or(0);
+        }
+        if irem == 0 {
+            ii += 1;
+            irem = inn.get(ii).map(|x| x.1).unwrap_or(0);
+        }
+    }
+    legs
+}
+
 impl fmt::Display for Placement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
@@ -235,6 +296,21 @@ mod tests {
         assert_eq!(u[0], 0.0);
         assert!((u[1] - 64.0).abs() < 1e-9);
         assert!((u[3] - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn movement_legs_pair_outflows_with_inflows() {
+        let a = Placement::from_counts([10, 0, 4, 0]);
+        let b = Placement::from_counts([2, 6, 0, 6]);
+        let legs = movement_legs(&a, &b);
+        let moved: usize = legs.iter().map(|l| l.groups).sum();
+        assert_eq!(moved, a.groups_moved_to(&b));
+        // Every leg leaves a shrinking space and enters a growing one.
+        for leg in &legs {
+            assert!(a.get(leg.src) > b.get(leg.src), "{leg:?}");
+            assert!(b.get(leg.dst) > a.get(leg.dst), "{leg:?}");
+        }
+        assert!(movement_legs(&a, &a).is_empty());
     }
 
     #[test]

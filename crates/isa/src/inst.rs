@@ -3,7 +3,7 @@
 //! The paper's controllers decode dedicated PIM instructions into a
 //! *Category*, an *Instruction Field* (opcode, operands, address) and a
 //! *Module Select Signal*. This module defines that vocabulary; the wire
-//! format lives in [`crate::encode`].
+//! format lives in [`mod@crate::encode`].
 
 use core::fmt;
 

@@ -1,12 +1,12 @@
 //! # hhpim-isa — the dedicated PIM instruction set
 //!
-//! HH-PIM "operat[es] based on dedicated PIM instructions" queued from
+//! HH-PIM "operat\[es\] based on dedicated PIM instructions" queued from
 //! the processor core (paper, §II). This crate defines that instruction
 //! set, independent of any timing or technology model:
 //!
 //! * [`PimInstruction`] — the decoded form, with [`Category`],
 //!   [`ModuleMask`] (the Module Select Signal) and [`MemSelect`],
-//! * [`encode`] / [`decode`] — the 64-bit wire format with strict
+//! * [`fn@encode`] / [`decode`] — the 64-bit wire format with strict
 //!   validation of reserved fields,
 //! * [`assemble`] / [`disassemble`] — a text assembler whose syntax
 //!   round-trips through `Display`,

@@ -463,6 +463,29 @@ impl PimMachine {
         Ok(())
     }
 
+    /// Streams `count` traffic-level MACs on every module selected by
+    /// `mask` (weights from `mem` at `addr`, activations from SRAM),
+    /// charging controller issue overhead like any other instruction.
+    /// The machine clock advances on the next `Barrier`, as with
+    /// [`PimInstruction::Mac`]; unlike the ISA path, `count` is not
+    /// limited to 255 and the PE accumulators are untouched — this is
+    /// the execution primitive for compiled multi-layer schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing and module errors.
+    pub fn mac_stream(
+        &mut self,
+        mask: ModuleMask,
+        mem: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<(), MachineError> {
+        self.instructions += 1;
+        self.run_on_clusters(mask, |m, at| m.mac_stream(at, mem, addr, count))?;
+        Ok(())
+    }
+
     /// Inter-cluster transfer through the Data Allocator: reads from the
     /// selected source modules (whichever cluster each belongs to),
     /// buffers chunks, and writes them into the *opposite* cluster.
@@ -654,6 +677,48 @@ mod tests {
         let hp_done = m.module(0).free_at();
         let lp_done = m.module(4).free_at();
         assert!(hp_done < lp_done, "HP {hp_done} should beat LP {lp_done}");
+    }
+
+    #[test]
+    fn mac_stream_matches_mac_timing_and_energy() {
+        // The traffic-level stream must meter exactly like the ISA MAC
+        // path for the same operation count.
+        let mut a = machine();
+        a.preload(0, MemSelect::Mram, 0, &[1u8; 128]).unwrap();
+        a.preload_activations(0, &[1u8; 128]).unwrap();
+        a.execute(PimInstruction::Mac {
+            modules: ModuleMask::single(0),
+            mem: MemSelect::Mram,
+            addr: 0,
+            count: 128,
+        })
+        .unwrap();
+        a.execute(PimInstruction::Barrier).unwrap();
+        let ra = a.report();
+
+        let mut b = machine();
+        b.mac_stream(ModuleMask::single(0), MemSelect::Mram, 0, 128)
+            .unwrap();
+        b.execute(PimInstruction::Barrier).unwrap();
+        let rb = b.report();
+
+        assert_eq!(ra.macs, rb.macs);
+        assert_eq!(ra.finished_at, rb.finished_at);
+        let (ea, eb) = (ra.total_energy().as_pj(), rb.total_energy().as_pj());
+        assert!((ea - eb).abs() < 1e-6, "stream {eb} vs mac {ea}");
+        // The stream leaves the accumulator untouched.
+        assert_eq!(b.module(0).pe().accumulator(), 0);
+    }
+
+    #[test]
+    fn mac_stream_exceeds_isa_burst_limit() {
+        let mut m = machine();
+        m.mac_stream(ModuleMask::all(), MemSelect::Sram, 0, 20_000)
+            .unwrap();
+        m.execute(PimInstruction::Barrier).unwrap();
+        let r = m.report();
+        assert_eq!(r.macs, 8 * 20_000);
+        assert!(r.finished_at > SimTime::ZERO);
     }
 
     #[test]

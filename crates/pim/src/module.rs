@@ -305,6 +305,45 @@ impl PimModule {
         Ok(done)
     }
 
+    /// Streams `count` MACs through the PE with exact timing/energy
+    /// metering but no functional accumulation: weights burst from
+    /// `mem` starting at `addr` (wrapping within the bank), activations
+    /// burst from SRAM, and the PE starts once both operand streams
+    /// have arrived — the same LOAD-state synchronization as
+    /// [`Self::mac`], at O(1) cost regardless of `count`.
+    ///
+    /// Compiled multi-layer *schedules* use this path (operand values
+    /// cannot affect timing or energy); the bit-exact path for
+    /// functional verification remains [`Self::mac`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank errors (gated banks) and range errors on `addr`.
+    pub fn mac_stream(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        addr: usize,
+        count: usize,
+    ) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, 1)?;
+        let w_done = self
+            .bank_mut(mem)?
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
+        let a_done = self
+            .sram
+            .access(at, AccessKind::Read, count as u64)?
+            .done_at;
+        let operands_ready = w_done.max(a_done);
+        let done = self.pe.mac_stream(operands_ready, count as u64);
+        self.free_at = done;
+        self.mac_burst_latency
+            .add(done.saturating_since(at).as_ns_f64());
+        Ok(done)
+    }
+
     /// Writes the PE accumulator (4 bytes, little-endian) to `mem` at
     /// `addr`; returns the completion instant.
     ///

@@ -138,6 +138,24 @@ impl ProcessingElement {
         self.dynamic_energy += self.tech.mac_energy() * n;
         self.unit.acquire(at, self.tech.mac_latency * n)
     }
+
+    /// Retires `count` MACs with exact timing/energy/counter metering
+    /// but no functional accumulation (the accumulator is untouched).
+    ///
+    /// This is the traffic-level twin of [`Self::mac_burst`] used by
+    /// compiled multi-layer schedules, where operand values cannot
+    /// affect timing or energy; it costs O(1) regardless of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE is powered off.
+    pub fn mac_stream(&mut self, at: SimTime, count: u64) -> SimTime {
+        assert!(self.powered, "MAC issued to a powered-off PE");
+        self.advance_to(at);
+        self.macs += count;
+        self.dynamic_energy += self.tech.mac_energy() * count;
+        self.unit.acquire(at, self.tech.mac_latency * count)
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! The `ExecutionBackend` contract across implementations: the
 //! analytic and cycle-level backends consume the same `LoadTrace` and
 //! must produce structurally identical `ExecutionReport`s that agree
-//! on schedulability (deadline misses).
+//! on schedulability (deadline misses), total energy (within a stated
+//! relative bound), per-layer accounting and migration traffic.
 
 use hhpim::{
     AnalyticBackend, Architecture, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
@@ -10,6 +11,14 @@ use hhpim_mem::ClusterClass;
 use hhpim_sim::SimTime;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use proptest::prelude::*;
+
+/// Stated analytic↔cycle total-energy agreement bound. The residual
+/// comes from modelling granularity the two fidelities cannot share:
+/// the machine powers whole 64 kB SRAM banks during the busy window
+/// where the closed-form model charges only the 16 kB activation
+/// region, and MRAM weight streams overlap their activation fetches on
+/// the machine but serialize in the closed form.
+const ENERGY_REL_BOUND: f64 = 0.10;
 
 fn trace(scenario: Scenario, slices: usize, seed: u64) -> LoadTrace {
     LoadTrace::generate(
@@ -84,6 +93,112 @@ fn analytic_and_cycle_reports_use_the_shared_energy_vocabulary() {
             "{}",
             report.backend
         );
+    }
+}
+
+/// The acceptance shape of the multi-layer refactor: on a multi-layer
+/// model whose trace triggers at least one LUT-driven re-placement,
+/// the closed-form and cycle-level machines agree on total energy
+/// within `ENERGY_REL_BOUND`, layer-by-layer accounting, and the
+/// migration ledger.
+#[test]
+fn total_energy_agrees_through_a_lut_triggered_replacement() {
+    // PeriodicSpike swings the queue between 2 and 10 tasks, forcing
+    // the allocation LUT to re-place weights at the spike boundary.
+    let trace = trace(Scenario::PeriodicSpike, 6, 1);
+    let mut analytic =
+        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+    let mut cycle =
+        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+    let a = analytic.execute(&trace).unwrap();
+    let c = cycle.execute(&trace).unwrap();
+
+    assert!(
+        !c.migrations.is_empty(),
+        "spiky load must trigger at least one re-placement on the machine"
+    );
+
+    // Total energy within the stated bound.
+    let (ea, ec) = (a.total_energy().as_pj(), c.total_energy().as_pj());
+    let rel = (ec - ea).abs() / ea;
+    assert!(
+        rel < ENERGY_REL_BOUND,
+        "analytic {ea} pJ vs cycle {ec} pJ: rel {rel:.4} exceeds {ENERGY_REL_BOUND}"
+    );
+
+    // Layer-by-layer: same PIM layers in the same order; the cycle
+    // machine physically retires the MAC counts the analytic model
+    // attributes (the bit-exact head keeps its built count), and the
+    // per-layer time/energy distributions line up.
+    assert_eq!(a.layers.len(), c.layers.len());
+    let (ta, tc): (f64, f64) = (
+        a.layers.iter().map(|l| l.energy.as_pj()).sum(),
+        c.layers.iter().map(|l| l.energy.as_pj()).sum(),
+    );
+    for (la, lc) in a.layers.iter().zip(&c.layers) {
+        assert_eq!(la.layer, lc.layer);
+        assert_eq!(la.label, lc.label);
+        let is_head = lc.label.starts_with("linear");
+        if !is_head {
+            let macs_rel = (lc.macs as f64 - la.macs as f64).abs() / la.macs as f64;
+            assert!(macs_rel < 0.02, "layer {}: macs {macs_rel:.4}", la.layer);
+            let time_rel = (lc.time.as_ns_f64() - la.time.as_ns_f64()).abs() / la.time.as_ns_f64();
+            assert!(time_rel < 0.05, "layer {}: time {time_rel:.4}", la.layer);
+        }
+        // Energy *shares* compare across fidelities (absolute layer
+        // energy differs semantically: measured window vs dynamic
+        // apportionment).
+        let share_diff = (la.energy.as_pj() / ta - lc.energy.as_pj() / tc).abs();
+        assert!(
+            share_diff < 0.02,
+            "layer {}: energy share differs by {share_diff:.4}",
+            la.layer
+        );
+    }
+
+    // Migration ledgers: both backends execute the same movement plan.
+    assert_eq!(a.migrations.len(), c.migrations.len());
+    for (ma, mc) in a.migrations.iter().zip(&c.migrations) {
+        assert_eq!(
+            (ma.slice, ma.groups, ma.bytes),
+            (mc.slice, mc.groups, mc.bytes)
+        );
+        assert_eq!((ma.from, ma.to), (mc.from, mc.to));
+        let e_rel = (mc.energy.as_pj() - ma.energy.as_pj()).abs() / ma.energy.as_pj();
+        assert!(
+            e_rel < 0.05,
+            "migration at slice {}: energy rel {e_rel:.4}",
+            ma.slice
+        );
+    }
+    // The movement category is populated on both sides.
+    for r in [&a, &c] {
+        assert!(
+            r.energy.get(EnergyCat::Movement).as_pj() > 0.0,
+            "{}: movement energy missing",
+            r.backend
+        );
+    }
+}
+
+/// The energy bound holds for every architecture, not just HH-PIM.
+#[test]
+fn total_energy_agrees_across_architectures() {
+    let trace = trace(Scenario::Random, 4, 7);
+    for arch in Architecture::ALL {
+        let mut analytic = AnalyticBackend::new(arch, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+        let mut cycle = CycleBackend::new(arch, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
+        let a = analytic.execute(&trace).unwrap();
+        let c = cycle.execute(&trace).unwrap();
+        let (ea, ec) = (a.total_energy().as_pj(), c.total_energy().as_pj());
+        let rel = (ec - ea).abs() / ea;
+        assert!(
+            rel < ENERGY_REL_BOUND,
+            "{arch}: analytic {ea} vs cycle {ec} rel {rel:.4}"
+        );
+        // Both count the same MAC basis now (within head rounding).
+        let macs_rel = (c.macs as f64 - a.macs as f64).abs() / a.macs as f64;
+        assert!(macs_rel < 0.01, "{arch}: macs {} vs {}", a.macs, c.macs);
     }
 }
 
