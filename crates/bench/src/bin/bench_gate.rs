@@ -27,9 +27,9 @@
 //! checked-in baseline after an intentional change, run `measure` on
 //! the reference machine and commit the output (see `docs/ci.md`).
 
+use hhpim::session::SessionBuilder;
 use hhpim::{
-    AnalyticBackend, Architecture, CycleBackend, ExecutionBackend, OptimizerConfig,
-    PlacementOptimizer, Processor,
+    Architecture, BackendKind, ExecutionBackend, OptimizerConfig, PlacementOptimizer, Processor,
 };
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
@@ -136,12 +136,16 @@ fn measure(samples: usize) -> GateFile {
     // 50-slice trace, ×10 per iteration so one measurement is hundreds
     // of microseconds of work (scheduler jitter amortizes away).
     let trace50 = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
-    let analytic = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
+    let mut analytic = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .build_analytic()
+        .unwrap();
     file.benches.insert(
         "analytic_trace_50_slices_x10".into(),
         bench(samples, || {
             for _ in 0..10 {
-                std::hint::black_box(analytic.run_trace(&trace50));
+                std::hint::black_box(analytic.execute(&trace50).unwrap());
             }
         }),
     );
@@ -155,10 +159,34 @@ fn measure(samples: usize) -> GateFile {
             ..ScenarioParams::default()
         },
     );
-    let mut cycle = CycleBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
+    let mut cycle = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .build_cycle()
+        .unwrap();
     file.benches.insert(
         "cycle_trace_6_slices".into(),
         bench(samples, || cycle.execute(&trace6).unwrap()),
+    );
+
+    // session_build_and_run: the facade's hot path — builder →
+    // prepared policy (LUT DP solves) → analytic backend → one
+    // 12-slice run, end to end.
+    file.benches.insert(
+        "session_build_and_run".into(),
+        bench(samples, || {
+            let mut session = SessionBuilder::new()
+                .architecture(Architecture::HhPim)
+                .model(TinyMlModel::MobileNetV2)
+                .scenario(Scenario::PeriodicSpike)
+                .scenario_params(ScenarioParams {
+                    slices: 12,
+                    ..ScenarioParams::default()
+                })
+                .build()
+                .unwrap();
+            std::hint::black_box(session.run().unwrap())
+        }),
     );
 
     // machine_mac_burst: raw ISA-path MAC dispatch on all 8 modules,
@@ -203,35 +231,41 @@ fn measure(samples: usize) -> GateFile {
         bench(samples, || qm.infer(&input)),
     );
 
-    // Deterministic per-scenario energies (the fig5/table6 substrate).
+    // Deterministic per-scenario energies (the fig5/table6 substrate),
+    // all pulled through the session facade.
     for scenario in Scenario::ALL {
-        let trace = LoadTrace::generate(
-            scenario,
-            ScenarioParams {
+        let mut session = SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .scenario(scenario)
+            .scenario_params(ScenarioParams {
                 slices: 12,
                 ..ScenarioParams::default()
-            },
-        );
-        let mut backend =
-            AnalyticBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
-        let report = backend.execute(&trace).unwrap();
+            })
+            .build()
+            .unwrap();
+        let artifacts = session.run().unwrap();
         file.energies.insert(
             format!("analytic_hhpim_case{}", scenario.case_number()),
-            report.total_energy().as_pj(),
+            artifacts.primary().total_energy().as_pj(),
         );
     }
-    let mut cycle = CycleBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
-    let report = cycle
-        .execute(&LoadTrace::generate(
-            Scenario::PeriodicSpike,
-            ScenarioParams {
-                slices: 4,
-                ..ScenarioParams::default()
-            },
-        ))
+    let mut session = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .scenario(Scenario::PeriodicSpike)
+        .scenario_params(ScenarioParams {
+            slices: 4,
+            ..ScenarioParams::default()
+        })
+        .backend(BackendKind::Cycle)
+        .build()
         .unwrap();
-    file.energies
-        .insert("cycle_hhpim_case3".into(), report.total_energy().as_pj());
+    let artifacts = session.run().unwrap();
+    file.energies.insert(
+        "cycle_hhpim_case3".into(),
+        artifacts.primary().total_energy().as_pj(),
+    );
 
     file
 }
@@ -608,7 +642,8 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 5);
+        assert_eq!(f.benches.len(), 6);
+        assert!(f.benches.contains_key("session_build_and_run"));
         assert_eq!(f.energies.len(), 7);
         assert!(f.energies.values().all(|&v| v > 0.0));
     }

@@ -1,31 +1,24 @@
 //! Runs the full Fig. 5 experiment: 6 scenarios x 3 models x 4
 //! architectures over 50 time slices each.
 //!
-//! Flags: --no-gating disables HH-PIM's static amortization in the
+//! Flags: --dp-off disables HH-PIM's static amortization in the
 //! optimizer (ablation); --quick runs 12 slices.
-use hhpim::{ExperimentConfig, OptimizerConfig};
+use hhpim::OptimizerConfig;
 use hhpim_workload::ScenarioParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut config = ExperimentConfig::default();
+    let mut scenario_params = ScenarioParams::default();
+    let mut optimizer = OptimizerConfig::default();
     if args.iter().any(|a| a == "--quick") {
-        config.scenario_params = ScenarioParams {
-            slices: 12,
-            ..ScenarioParams::default()
-        };
-        config.optimizer = OptimizerConfig {
-            time_buckets: 500,
-            ..OptimizerConfig::default()
-        };
+        scenario_params.slices = 12;
+        optimizer.time_buckets = 500;
     }
     if args.iter().any(|a| a == "--dp-off") {
-        config.optimizer = OptimizerConfig {
-            amortize_static: false,
-            ..config.optimizer
-        };
+        optimizer.amortize_static = false;
         println!("(ablation: optimizer ignores leakage — placements stay SRAM-greedy)\n");
     }
-    let matrix = hhpim_bench::savings(&config).expect("all models fit all architectures");
+    let matrix =
+        hhpim_bench::savings(scenario_params, optimizer).expect("all models fit all architectures");
     println!("{}", hhpim_bench::fig5_text(&matrix));
 }

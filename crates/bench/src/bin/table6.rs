@@ -1,19 +1,15 @@
 //! Runs the Table VI experiment (Cases 3-6 savings).
-use hhpim::{ExperimentConfig, OptimizerConfig};
+use hhpim::OptimizerConfig;
 use hhpim_workload::ScenarioParams;
 
 fn main() {
-    let mut config = ExperimentConfig::default();
+    let mut scenario_params = ScenarioParams::default();
+    let mut optimizer = OptimizerConfig::default();
     if std::env::args().any(|a| a == "--quick") {
-        config.scenario_params = ScenarioParams {
-            slices: 12,
-            ..ScenarioParams::default()
-        };
-        config.optimizer = OptimizerConfig {
-            time_buckets: 500,
-            ..OptimizerConfig::default()
-        };
+        scenario_params.slices = 12;
+        optimizer.time_buckets = 500;
     }
-    let matrix = hhpim_bench::savings(&config).expect("all models fit all architectures");
+    let matrix =
+        hhpim_bench::savings(scenario_params, optimizer).expect("all models fit all architectures");
     println!("{}", hhpim_bench::table6_text(&matrix));
 }

@@ -21,9 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hhpim::session::SessionBuilder;
 use hhpim::{
-    inference_times, placement_sweep, progression_summary, savings_matrix, Architecture, CostModel,
-    CostParams, ExperimentConfig, OptimizerConfig, WorkloadProfile,
+    inference_times, placement_sweep, progression_summary, Architecture, CostModel, CostParams,
+    OptimizerConfig, WorkloadProfile,
 };
 use hhpim_fpga::{table_ii_rows, CostFactors};
 use hhpim_mem::{hp_mram, hp_pe, hp_sram, lp_mram, lp_pe, lp_sram, ClusterClass};
@@ -255,13 +256,21 @@ pub fn fig4_text(params: ScenarioParams) -> String {
     out
 }
 
-/// Fig. 5 + Table VI source data: the savings matrix.
+/// Fig. 5 + Table VI source data: the savings matrix, computed by
+/// `Session::sweep` over the full scenario × model grid.
 ///
 /// # Errors
 ///
-/// Propagates cost-model construction failures.
-pub fn savings(config: &ExperimentConfig) -> Result<hhpim::SavingsMatrix, hhpim::CostModelError> {
-    savings_matrix(config)
+/// Propagates session construction and cost-model failures.
+pub fn savings(
+    scenario_params: ScenarioParams,
+    optimizer: OptimizerConfig,
+) -> Result<hhpim::SavingsMatrix, hhpim::SessionError> {
+    SessionBuilder::new()
+        .scenario_params(scenario_params)
+        .optimizer(optimizer)
+        .build()?
+        .sweep_all()
 }
 
 /// Fig. 5: energy savings of HH-PIM per scenario and model.

@@ -18,6 +18,7 @@ use hhpim_mem::ClusterClass;
 
 /// Power-gating capability of an architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
 pub enum GatingPolicy {
     /// Conventional PIM: every memory and PE stays powered for the whole
     /// run (the "continuous power demands" the paper's intro attributes
@@ -29,9 +30,13 @@ pub enum GatingPolicy {
     BankLevel,
 }
 
-/// How weights are placed across storage spaces.
+/// How an architecture places weights across storage spaces — the
+/// Table I default that [`crate::session::SessionBuilder`] maps onto a
+/// concrete [`crate::PlacementPolicy`] implementation unless the caller
+/// selects one explicitly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum PlacementPolicy {
+#[non_exhaustive]
+pub enum PlacementMode {
     /// A placement fixed at initialization (conventional designs).
     Static,
     /// The paper's dynamic programming LUT, consulted every time slice.
@@ -71,7 +76,7 @@ impl Architecture {
                 mram_per_module: 0,
                 sram_per_module: 128 * 1024,
                 gating: GatingPolicy::AlwaysOn,
-                placement: PlacementPolicy::Static,
+                placement: PlacementMode::Static,
             },
             Architecture::Heterogeneous => ArchSpec {
                 arch: self,
@@ -81,7 +86,7 @@ impl Architecture {
                 mram_per_module: 0,
                 sram_per_module: 128 * 1024,
                 gating: GatingPolicy::BankLevel,
-                placement: PlacementPolicy::Static,
+                placement: PlacementMode::Static,
             },
             Architecture::Hybrid => ArchSpec {
                 arch: self,
@@ -91,7 +96,7 @@ impl Architecture {
                 mram_per_module: 64 * 1024,
                 sram_per_module: 64 * 1024,
                 gating: GatingPolicy::BankLevel,
-                placement: PlacementPolicy::Static,
+                placement: PlacementMode::Static,
             },
             Architecture::HhPim => ArchSpec {
                 arch: self,
@@ -101,7 +106,7 @@ impl Architecture {
                 mram_per_module: 64 * 1024,
                 sram_per_module: 64 * 1024,
                 gating: GatingPolicy::BankLevel,
-                placement: PlacementPolicy::DynamicDp,
+                placement: PlacementMode::DynamicDp,
             },
         }
     }
@@ -131,7 +136,7 @@ pub struct ArchSpec {
     /// Gating capability.
     pub gating: GatingPolicy,
     /// Placement policy.
-    pub placement: PlacementPolicy,
+    pub placement: PlacementMode,
 }
 
 impl ArchSpec {
@@ -233,12 +238,9 @@ mod tests {
         assert_eq!(Architecture::Hybrid.spec().gating, GatingPolicy::BankLevel);
         assert_eq!(
             Architecture::HhPim.spec().placement,
-            PlacementPolicy::DynamicDp
+            PlacementMode::DynamicDp
         );
-        assert_eq!(
-            Architecture::Hybrid.spec().placement,
-            PlacementPolicy::Static
-        );
+        assert_eq!(Architecture::Hybrid.spec().placement, PlacementMode::Static);
     }
 
     #[test]

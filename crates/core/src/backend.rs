@@ -45,10 +45,11 @@
 //! assert_eq!(a.deadline_misses, c.deadline_misses);
 //! ```
 
-use crate::arch::{Architecture, GatingPolicy, PlacementPolicy};
+use crate::arch::{Architecture, GatingPolicy};
 use crate::compile::{compile_model, CompileError, CompiledProgram, LayerOp, WeightHome};
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
+use crate::policy::{FixedHome, PlacementPolicy};
 use crate::runtime::Processor;
 use crate::space::{movement_legs, MovementLeg, Placement, StorageSpace};
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
@@ -62,6 +63,7 @@ use std::ops::Range;
 
 /// Which execution backend produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
 pub enum BackendKind {
     /// Closed-form slice accounting over the cost model.
     Analytic,
@@ -240,6 +242,7 @@ impl fmt::Display for ExecutionReport {
 
 /// Errors surfaced while building or running a backend.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BackendError {
     /// The model does not fit the architecture's cost model.
     Cost(CostModelError),
@@ -280,7 +283,14 @@ impl std::error::Error for BackendError {}
 
 impl From<CostModelError> for BackendError {
     fn from(e: CostModelError) -> Self {
-        BackendError::Cost(e)
+        match e {
+            // A policy rejecting its pinned placement surfaces as the
+            // backend's own placement error, as the old constructors did.
+            CostModelError::InvalidPlacement { placement } => {
+                BackendError::InvalidPlacement { placement }
+            }
+            other => BackendError::Cost(other),
+        }
     }
 }
 
@@ -339,14 +349,44 @@ impl AnalyticBackend {
     /// # Errors
     ///
     /// Fails if the model's weights do not fit the architecture.
+    #[deprecated(
+        note = "compose a session instead: `SessionBuilder::new().architecture(..).model(..)\
+                .cost_params(..).optimizer(..).build_analytic()`"
+    )]
     pub fn with_params(
         arch: Architecture,
         model: TinyMlModel,
         params: CostParams,
         opt_config: OptimizerConfig,
     ) -> Result<Self, BackendError> {
+        crate::session::SessionBuilder::new()
+            .architecture(arch)
+            .model(model)
+            .cost_params(params)
+            .optimizer(opt_config)
+            .build_analytic()
+            .map_err(crate::session::SessionError::into_backend)
+    }
+
+    /// Builds the backend with an explicit [`PlacementPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model's weights do not fit the architecture or the
+    /// policy rejects its configuration.
+    pub fn with_policy(
+        arch: Architecture,
+        model: TinyMlModel,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, BackendError> {
         Ok(AnalyticBackend {
-            processor: Processor::with_params(arch, model, params, opt_config)?,
+            processor: Processor::with_policy(
+                arch,
+                model,
+                CostParams::default(),
+                OptimizerConfig::default(),
+                policy,
+            )?,
         })
     }
 
@@ -413,7 +453,6 @@ pub struct CycleBackend {
     head_home: WeightHome,
     head_override: Option<WeightHome>,
     head_modules: Vec<usize>,
-    fixed: Option<Placement>,
     time_scale: f64,
 }
 
@@ -462,7 +501,8 @@ impl CycleBackend {
     /// Fails if the model does not fit the architecture or has no
     /// machine-executable layer.
     pub fn new(arch: Architecture, model: TinyMlModel) -> Result<Self, BackendError> {
-        Self::build(arch, model, None, None)
+        let processor = Processor::new(arch, model)?;
+        Self::build(processor, model, None)
     }
 
     /// Builds the backend with an explicit home for the bit-exact head
@@ -472,48 +512,91 @@ impl CycleBackend {
     ///
     /// Fails if the model does not fit the architecture or has no
     /// machine-executable layer.
+    #[deprecated(
+        note = "compose a session instead: `SessionBuilder::new().architecture(..).model(..)\
+                .head_home(..).build_cycle()`"
+    )]
     pub fn with_weight_home(
         arch: Architecture,
         model: TinyMlModel,
         home: WeightHome,
     ) -> Result<Self, BackendError> {
-        Self::build(arch, model, Some(home), None)
+        crate::session::SessionBuilder::new()
+            .architecture(arch)
+            .model(model)
+            .head_home(home)
+            .build_cycle()
+            .map_err(crate::session::SessionError::into_backend)
     }
 
-    /// Builds the backend pinned to one placement forever: the LUT is
-    /// never consulted and no migration traffic is issued. This is the
-    /// fixed-home comparison point the paper measures HH-PIM against.
+    /// Builds the backend pinned to one placement forever: no LUT is
+    /// built, no migration traffic is issued. This is the fixed-home
+    /// comparison point the paper measures HH-PIM against.
     ///
     /// # Errors
     ///
     /// Fails if `placement` is invalid for the architecture or the
     /// model cannot be lowered.
+    #[deprecated(
+        note = "compose a session instead: `SessionBuilder::new().architecture(..).model(..)\
+                .policy(FixedHome::pinned(placement)).build_cycle()`"
+    )]
     pub fn with_fixed_placement(
         arch: Architecture,
         model: TinyMlModel,
         placement: Placement,
     ) -> Result<Self, BackendError> {
-        Self::build(arch, model, None, Some(placement))
+        crate::session::SessionBuilder::new()
+            .architecture(arch)
+            .model(model)
+            .policy(FixedHome::pinned(placement))
+            .build_cycle()
+            .map_err(crate::session::SessionError::into_backend)
+    }
+
+    /// Builds the backend with an explicit [`PlacementPolicy`] deciding
+    /// every slice's placement (and with it the migration traffic).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model does not fit the architecture, the policy
+    /// rejects its configuration, or no layer is machine-executable.
+    pub fn with_policy(
+        arch: Architecture,
+        model: TinyMlModel,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, BackendError> {
+        let processor = Processor::with_policy(
+            arch,
+            model,
+            CostParams::default(),
+            OptimizerConfig::default(),
+            policy,
+        )?;
+        Self::build(processor, model, None)
+    }
+
+    /// Builds the backend around an already-constructed analytic twin
+    /// (the session builder's entry point: the processor carries the
+    /// calibration, optimizer settings and placement policy).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model cannot be lowered onto the machine.
+    pub fn from_processor(
+        processor: Processor,
+        model: TinyMlModel,
+        head_override: Option<WeightHome>,
+    ) -> Result<Self, BackendError> {
+        Self::build(processor, model, head_override)
     }
 
     fn build(
-        arch: Architecture,
+        processor: Processor,
         model: TinyMlModel,
         head_override: Option<WeightHome>,
-        fixed: Option<Placement>,
     ) -> Result<Self, BackendError> {
-        // A pinned backend never consults the LUT, so skip its DP
-        // solves at construction.
-        let processor = if fixed.is_some() {
-            Processor::new_static(arch, model)?
-        } else {
-            Processor::new(arch, model)?
-        };
-        if let Some(p) = &fixed {
-            if !processor.cost().is_valid(p) {
-                return Err(BackendError::InvalidPlacement { placement: *p });
-            }
-        }
+        let arch = processor.arch().arch;
         let params = *processor.cost().params();
         let spec = arch.spec();
         // Reserve the same per-module SRAM activation region the
@@ -549,12 +632,7 @@ impl CycleBackend {
                     .collect()
             })
             .unwrap_or_default();
-        let initial = fixed.unwrap_or(match spec.placement {
-            // The dynamic machine powers up at its peak configuration;
-            // the first slice then re-places for the actual load.
-            PlacementPolicy::DynamicDp => processor.cost().fastest_placement(),
-            PlacementPolicy::Static => processor.placement_for_tasks(1),
-        });
+        let initial = processor.boot_placement();
 
         let mut backend = CycleBackend {
             arch,
@@ -566,7 +644,6 @@ impl CycleBackend {
             head_home: WeightHome::Sram,
             head_override,
             head_modules: Vec::new(),
-            fixed,
             time_scale: params.time_scale,
         };
         backend.refresh_head()?;
@@ -625,8 +702,7 @@ impl CycleBackend {
     }
 
     fn placement_for(&self, n_tasks: u32) -> Placement {
-        self.fixed
-            .unwrap_or_else(|| self.processor.placement_for_tasks(n_tasks))
+        self.processor.placement_for_tasks(n_tasks)
     }
 
     fn gating_enabled(&self) -> bool {

@@ -76,8 +76,9 @@ impl WorkloadProfile {
     }
 }
 
-/// Errors from cost-model construction.
+/// Errors from cost-model construction and placement validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CostModelError {
     /// The weights do not fit the architecture's weight-capable memory.
     InsufficientCapacity {
@@ -88,6 +89,12 @@ pub enum CostModelError {
     },
     /// Group size of zero.
     ZeroGroupSize,
+    /// A caller-supplied placement violates the architecture's
+    /// capacities or does not place all weight groups.
+    InvalidPlacement {
+        /// The offending placement.
+        placement: crate::space::Placement,
+    },
 }
 
 impl core::fmt::Display for CostModelError {
@@ -100,6 +107,9 @@ impl core::fmt::Display for CostModelError {
                 )
             }
             CostModelError::ZeroGroupSize => write!(f, "group size must be non-zero"),
+            CostModelError::InvalidPlacement { placement } => {
+                write!(f, "placement {placement} is invalid for this architecture")
+            }
         }
     }
 }

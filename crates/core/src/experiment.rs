@@ -1,13 +1,18 @@
-//! Fig. 5 / Table VI experiments: energy savings of HH-PIM over the
-//! comparison architectures across workload scenarios and models.
+//! Fig. 5 / Table VI experiment *artifacts*: the savings matrix HH-PIM
+//! achieves over the comparison architectures across workload
+//! scenarios and models.
+//!
+//! The matrix is produced by [`crate::session::Session::sweep`]; the
+//! free functions in this module are deprecated shims kept for the old
+//! call sites.
 
 use crate::arch::Architecture;
 use crate::backend::ExecutionReport;
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
-use crate::runtime::Processor;
+use crate::session::SessionBuilder;
 use hhpim_nn::TinyMlModel;
-use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use hhpim_workload::{Scenario, ScenarioParams};
 use std::fmt;
 
 /// Energy savings of HH-PIM for one `(scenario, model)` cell of Fig. 5.
@@ -104,6 +109,8 @@ impl SavingsMatrix {
 }
 
 /// Experiment configuration for the savings matrix.
+#[deprecated(note = "set the equivalent `SessionBuilder` knobs instead: \
+            `scenario_params`, `cost_params`, `optimizer`")]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExperimentConfig {
     /// Workload scenario shaping parameters.
@@ -114,20 +121,45 @@ pub struct ExperimentConfig {
     pub optimizer: OptimizerConfig,
 }
 
+#[allow(deprecated)]
+fn session_for(config: &ExperimentConfig) -> SessionBuilder {
+    SessionBuilder::new()
+        .scenario_params(config.scenario_params)
+        .cost_params(config.cost_params)
+        .optimizer(config.optimizer)
+}
+
 /// Runs one `(arch, model, scenario)` case and returns its trace report.
 ///
 /// # Errors
 ///
 /// Fails if the model does not fit the architecture.
+///
+/// # Panics
+///
+/// Panics on invalid scenario parameters, as the old API did.
+#[deprecated(
+    note = "compose a session instead: `SessionBuilder::new().architecture(..).model(..)\
+            .scenario(..).build()?.run()`"
+)]
+#[allow(deprecated)]
 pub fn run_case(
     arch: Architecture,
     model: TinyMlModel,
     scenario: Scenario,
     config: &ExperimentConfig,
 ) -> Result<ExecutionReport, CostModelError> {
-    let processor = Processor::with_params(arch, model, config.cost_params, config.optimizer)?;
-    let trace = LoadTrace::generate(scenario, config.scenario_params);
-    Ok(processor.run_trace(&trace))
+    let mut session = session_for(config)
+        .architecture(arch)
+        .model(model)
+        .scenario(scenario)
+        .build()
+        .map_err(crate::session::SessionError::into_cost)?;
+    let mut artifacts = session.run().unwrap_or_else(|e| match e {
+        crate::session::SessionError::Trace(t) => panic!("invalid scenario params: {t}"),
+        other => panic!("analytic run cannot fail: {other}"),
+    });
+    Ok(artifacts.reports.remove(0))
 }
 
 /// Computes the full Fig. 5 savings matrix (6 scenarios × 3 models).
@@ -135,65 +167,49 @@ pub fn run_case(
 /// # Errors
 ///
 /// Fails if any model does not fit any architecture.
+///
+/// # Panics
+///
+/// Panics on invalid scenario parameters, as the old API did.
+#[deprecated(note = "compose a session instead: `SessionBuilder::new()… .build()?.sweep_all()`")]
+#[allow(deprecated)]
 pub fn savings_matrix(config: &ExperimentConfig) -> Result<SavingsMatrix, CostModelError> {
-    let mut cells = Vec::with_capacity(Scenario::ALL.len() * TinyMlModel::ALL.len());
-    for model in TinyMlModel::ALL {
-        // Build processors once per model; traces vary per scenario.
-        let procs: Vec<(Architecture, Processor)> = Architecture::ALL
-            .iter()
-            .map(|&a| {
-                Processor::with_params(a, model, config.cost_params, config.optimizer)
-                    .map(|p| (a, p))
-            })
-            .collect::<Result<_, _>>()?;
-        for scenario in Scenario::ALL {
-            let trace = LoadTrace::generate(scenario, config.scenario_params);
-            let energy = |arch: Architecture| {
-                procs
-                    .iter()
-                    .find(|(a, _)| *a == arch)
-                    .expect("all architectures built")
-                    .1
-                    .run_trace(&trace)
-                    .total_energy()
-            };
-            let e_hh = energy(Architecture::HhPim);
-            let pct = |e_other: hhpim_mem::Energy| (1.0 - e_hh / e_other) * 100.0;
-            cells.push(SavingsCell {
-                scenario,
-                model,
-                vs_baseline: pct(energy(Architecture::Baseline)),
-                vs_heterogeneous: pct(energy(Architecture::Heterogeneous)),
-                vs_hybrid: pct(energy(Architecture::Hybrid)),
-            });
-        }
-    }
-    Ok(SavingsMatrix { cells })
+    let session = session_for(config)
+        .build()
+        .map_err(crate::session::SessionError::into_cost)?;
+    session.sweep_all().map_err(|e| match e {
+        crate::session::SessionError::Trace(t) => panic!("invalid scenario params: {t}"),
+        other => other.into_cost(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn quick_config() -> ExperimentConfig {
+    fn quick_session() -> crate::session::Session {
         // Fewer slices + coarser DP keep the test fast while preserving
         // every qualitative property.
-        ExperimentConfig {
-            scenario_params: ScenarioParams {
+        SessionBuilder::new()
+            .scenario_params(ScenarioParams {
                 slices: 12,
                 ..ScenarioParams::default()
-            },
-            optimizer: OptimizerConfig {
+            })
+            .optimizer(OptimizerConfig {
                 time_buckets: 400,
                 ..OptimizerConfig::default()
-            },
-            ..ExperimentConfig::default()
-        }
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn savings_matrix_quick() -> SavingsMatrix {
+        quick_session().sweep_all().unwrap()
     }
 
     #[test]
     fn matrix_covers_all_cells() {
-        let m = savings_matrix(&quick_config()).unwrap();
+        let m = savings_matrix_quick();
         assert_eq!(m.cells.len(), 18);
         for scenario in Scenario::ALL {
             for model in TinyMlModel::ALL {
@@ -204,7 +220,7 @@ mod tests {
 
     #[test]
     fn hh_always_saves_energy() {
-        let m = savings_matrix(&quick_config()).unwrap();
+        let m = savings_matrix_quick();
         for c in &m.cells {
             assert!(c.vs_baseline > 0.0, "{c}");
             assert!(c.vs_heterogeneous >= -0.5, "{c}");
@@ -214,7 +230,7 @@ mod tests {
 
     #[test]
     fn case_orderings_match_paper() {
-        let m = savings_matrix(&quick_config()).unwrap();
+        let m = savings_matrix_quick();
         for model in TinyMlModel::ALL {
             let low = m.cell(Scenario::LowConstant, model).unwrap();
             let high = m.cell(Scenario::HighConstant, model).unwrap();
@@ -232,7 +248,7 @@ mod tests {
 
     #[test]
     fn average_savings_land_in_paper_band() {
-        let m = savings_matrix(&quick_config()).unwrap();
+        let m = savings_matrix_quick();
         // Paper: up to 60.43 % average vs Baseline, 36.3 % vs Hetero,
         // 48.58 % vs Hybrid. Shape requirement: baseline > hybrid > hetero
         // and all averages substantial.
@@ -248,16 +264,72 @@ mod tests {
 
     #[test]
     fn run_case_produces_full_trace() {
-        let cfg = quick_config();
-        let r = run_case(
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::Random)
+            .scenario_params(ScenarioParams {
+                slices: 12,
+                ..ScenarioParams::default()
+            })
+            .optimizer(OptimizerConfig {
+                time_buckets: 400,
+                ..OptimizerConfig::default()
+            })
+            .build()
+            .unwrap();
+        let r = session.run().unwrap();
+        assert_eq!(r.primary().records.len(), 12);
+        assert!(r.primary().total_energy().as_mj() > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_reproduce_the_builder_numbers_bit_for_bit() {
+        let config = ExperimentConfig {
+            scenario_params: ScenarioParams {
+                slices: 8,
+                ..ScenarioParams::default()
+            },
+            optimizer: OptimizerConfig {
+                time_buckets: 300,
+                ..OptimizerConfig::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        let via_shim = savings_matrix(&config).unwrap();
+        let via_session = SessionBuilder::new()
+            .scenario_params(config.scenario_params)
+            .optimizer(config.optimizer)
+            .build()
+            .unwrap()
+            .sweep_all()
+            .unwrap();
+        assert_eq!(via_shim.cells.len(), via_session.cells.len());
+        for (a, b) in via_shim.cells.iter().zip(&via_session.cells) {
+            assert_eq!((a.scenario, a.model), (b.scenario, b.model));
+            assert_eq!(a.vs_baseline.to_bits(), b.vs_baseline.to_bits());
+            assert_eq!(a.vs_heterogeneous.to_bits(), b.vs_heterogeneous.to_bits());
+            assert_eq!(a.vs_hybrid.to_bits(), b.vs_hybrid.to_bits());
+        }
+
+        let shim_case = run_case(
             Architecture::HhPim,
             TinyMlModel::MobileNetV2,
             Scenario::Random,
-            &cfg,
+            &config,
         )
         .unwrap();
-        assert_eq!(r.records.len(), cfg.scenario_params.slices);
-        assert!(r.total_energy().as_mj() > 0.0);
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::Random)
+            .scenario_params(config.scenario_params)
+            .optimizer(config.optimizer)
+            .build()
+            .unwrap();
+        let case = session.run().unwrap();
+        assert_eq!(shim_case.records, case.primary().records);
+        assert_eq!(
+            shim_case.total_energy().as_pj().to_bits(),
+            case.primary().total_energy().as_pj().to_bits()
+        );
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! Performance with Heterogeneous-Hybrid PIM for Edge AI Devices*
 //! (DAC 2025). This crate is the paper's primary contribution:
 //!
+//! * [`session`] — **the entry point**: [`SessionBuilder`] composes an
+//!   architecture, model, trace source, placement policy and backends
+//!   into a [`Session`] that runs, compares, or sweeps,
 //! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
 //!   (Baseline-, Heterogeneous-, Hybrid- and HH-PIM) with their gating
-//!   and placement policies,
+//!   and placement modes,
+//! * [`policy`] — first-class [`PlacementPolicy`] objects:
+//!   [`LutAdaptive`], [`FixedHome`], [`GreedyBaseline`],
 //! * [`CostModel`] — per-space time/energy costs `t_i`, `e_i` derived
 //!   from Tables III/V,
 //! * [`PlacementOptimizer`] — Algorithms 1 & 2: per-cluster bottom-up
@@ -17,15 +22,21 @@
 //! # Examples
 //!
 //! ```
-//! use hhpim::{Architecture, Processor};
+//! use hhpim::session::SessionBuilder;
+//! use hhpim::{Architecture, BackendKind};
 //! use hhpim_nn::TinyMlModel;
-//! use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+//! use hhpim_workload::Scenario;
 //!
-//! let hh = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
-//! let trace = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
-//! let report = hh.run_trace(&trace);
-//! assert_eq!(report.records.len(), 50);
-//! assert_eq!(report.deadline_misses, 0);
+//! let mut session = SessionBuilder::new()
+//!     .architecture(Architecture::HhPim)
+//!     .model(TinyMlModel::MobileNetV2)
+//!     .scenario(Scenario::PeriodicSpike)
+//!     .backend(BackendKind::Analytic)
+//!     .build()
+//!     .unwrap();
+//! let artifacts = session.run().unwrap();
+//! assert_eq!(artifacts.primary().records.len(), 50);
+//! assert_eq!(artifacts.primary().deadline_misses, 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,14 +49,16 @@ pub mod compile;
 pub mod cost;
 pub mod dp;
 pub mod experiment;
+pub mod policy;
 pub mod runtime;
+pub mod session;
 pub mod space;
 
 pub use analysis::{
     inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary,
     InferenceTimes, PlacementSweep, SweepPoint,
 };
-pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
+pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementMode};
 pub use backend::{
     AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
     ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
@@ -56,6 +69,13 @@ pub use compile::{
 };
 pub use cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 pub use dp::{AllocationLut, OptimalPlacement, OptimizerConfig, PlacementOptimizer};
-pub use experiment::{run_case, savings_matrix, ExperimentConfig, SavingsCell, SavingsMatrix};
+#[allow(deprecated)]
+pub use experiment::{run_case, savings_matrix, ExperimentConfig};
+pub use experiment::{SavingsCell, SavingsMatrix};
+pub use policy::{default_policy, FixedHome, GreedyBaseline, LutAdaptive, PlacementPolicy};
 pub use runtime::{Processor, RuntimeConfig};
+pub use session::{
+    ClosureSource, Comparison, ReplaySource, RunArtifacts, ScenarioSource, Session, SessionBuilder,
+    SessionError, TraceSource,
+};
 pub use space::{movement_legs, MovementLeg, Placement, StorageSpace};

@@ -8,12 +8,13 @@
 //! movement needed to transition placements; leakage accrues according
 //! to what can(not) be power-gated.
 
-use crate::arch::{ArchSpec, Architecture, GatingPolicy, PlacementPolicy};
+use crate::arch::{ArchSpec, Architecture, GatingPolicy};
 use crate::backend::{
     BackendKind, EnergyCat, ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
 };
 use crate::cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
-use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
+use crate::dp::OptimizerConfig;
+use crate::policy::{default_policy, FixedHome, PlacementPolicy};
 use crate::space::{movement_legs, Placement, StorageSpace};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind, Power};
 use hhpim_nn::TinyMlModel;
@@ -82,8 +83,7 @@ pub struct Processor {
     cost: CostModel,
     runtime: RuntimeConfig,
     opt_config: OptimizerConfig,
-    lut: Option<AllocationLut>,
-    fixed: Placement,
+    policy: Box<dyn PlacementPolicy>,
     /// Per-PIM-layer `(model index, label, MAC share)` of the built
     /// model, used to apportion the closed-form report layer-by-layer.
     layer_shares: Vec<(usize, String, f64)>,
@@ -119,7 +119,7 @@ impl Processor {
         params: CostParams,
         opt_config: OptimizerConfig,
     ) -> Result<Self, CostModelError> {
-        Self::build(arch, model, params, opt_config, true)
+        Self::with_policy(arch, model, params, opt_config, default_policy(arch))
     }
 
     /// Builds a processor that never re-places: the allocation LUT is
@@ -133,38 +133,36 @@ impl Processor {
     ///
     /// Fails if the model's weights do not fit the architecture.
     pub fn new_static(arch: Architecture, model: TinyMlModel) -> Result<Self, CostModelError> {
-        Self::build(
+        Self::with_policy(
             arch,
             model,
             CostParams::default(),
             OptimizerConfig::default(),
-            false,
+            Box::new(FixedHome::arch_default()),
         )
     }
 
-    fn build(
+    /// Builds a processor with an explicit [`PlacementPolicy`]: the
+    /// policy is prepared against this processor's cost model and then
+    /// answers every per-slice placement query.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model's weights do not fit the architecture or the
+    /// policy rejects its configuration (e.g. an invalid pinned
+    /// placement).
+    pub fn with_policy(
         arch: Architecture,
         model: TinyMlModel,
         params: CostParams,
         opt_config: OptimizerConfig,
-        with_lut: bool,
+        mut policy: Box<dyn PlacementPolicy>,
     ) -> Result<Self, CostModelError> {
         let profile = WorkloadProfile::from_spec(&model.spec());
         let spec = arch.spec();
         let cost = CostModel::new(spec, profile, params)?;
         let runtime = RuntimeConfig::reference(model, params)?;
-        let slice_duration = runtime.slice_duration;
-        let fixed = match arch {
-            Architecture::Baseline => Placement::all_in(StorageSpace::HpSram, cost.k_groups()),
-            Architecture::Heterogeneous | Architecture::HhPim => cost.fastest_placement(),
-            Architecture::Hybrid => Placement::all_in(StorageSpace::HpMram, cost.k_groups()),
-        };
-        debug_assert!(cost.is_valid(&fixed), "fixed placement invalid for {arch}");
-        let lut = (with_lut && spec.placement == PlacementPolicy::DynamicDp).then(|| {
-            let optimizer = PlacementOptimizer::new(&cost, opt_config);
-            let usable = slice_duration.mul_f64(1.0 - runtime.movement_margin);
-            AllocationLut::build(&optimizer, usable, runtime.max_tasks)
-        });
+        policy.prepare(&cost, &runtime, &opt_config)?;
         let built = model.build();
         let total_macs: u64 = built
             .layers()
@@ -190,8 +188,7 @@ impl Processor {
             cost,
             runtime,
             opt_config,
-            lut,
-            fixed,
+            policy,
             layer_shares,
         })
     }
@@ -216,15 +213,20 @@ impl Processor {
         &self.opt_config
     }
 
-    /// Placement the processor would use for an `n_tasks` slice.
+    /// The placement policy answering per-slice queries.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Placement the processor would use for an `n_tasks` slice
+    /// (delegated to the bound [`PlacementPolicy`]).
     pub fn placement_for_tasks(&self, n_tasks: u32) -> Placement {
-        match &self.lut {
-            Some(lut) => lut
-                .lookup(n_tasks)
-                .map(|p| p.placement)
-                .unwrap_or_else(|| self.cost.fastest_placement()),
-            None => self.fixed,
-        }
+        self.policy.placement_for(&self.cost, n_tasks)
+    }
+
+    /// The placement adopted at boot, before the first slice is known.
+    pub fn boot_placement(&self) -> Placement {
+        self.policy.boot_placement(&self.cost)
     }
 
     /// Movement cost to transition between placements: groups leaving a

@@ -1,0 +1,1012 @@
+//! One builder-driven entry point for the whole stack: compose an
+//! architecture, a model, a trace source, a placement policy and one or
+//! more execution backends, then run, compare or sweep.
+//!
+//! Before this module every scenario needed its own constructor
+//! (`AnalyticBackend::with_params`, `CycleBackend::with_weight_home`,
+//! `experiment::run_case`, …). [`SessionBuilder`] replaces that
+//! combinatorial surface with one typed pipeline:
+//!
+//! ```text
+//! SessionBuilder ──build()──▶ Session ──run()────▶ RunArtifacts
+//!        │                        ├────compare()─▶ Comparison
+//!        │                        └────sweep()───▶ SavingsMatrix
+//!        ├─ architecture / model           (Table I / Table IV)
+//!        ├─ trace source                   (TraceSource: scenario, replay, closure)
+//!        ├─ placement policy               (PlacementPolicy: LUT, fixed, greedy)
+//!        └─ backends                       (BackendKind: analytic, cycle)
+//! ```
+//!
+//! # Examples
+//!
+//! Run one scenario analytically:
+//!
+//! ```
+//! use hhpim::session::SessionBuilder;
+//! use hhpim_nn::TinyMlModel;
+//! use hhpim_workload::{Scenario, ScenarioParams};
+//!
+//! let mut session = SessionBuilder::new()
+//!     .model(TinyMlModel::MobileNetV2)
+//!     .scenario(Scenario::PeriodicSpike)
+//!     .scenario_params(ScenarioParams {
+//!         slices: 4,
+//!         ..ScenarioParams::default()
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let artifacts = session.run().unwrap();
+//! assert_eq!(artifacts.primary().records.len(), 4);
+//! assert_eq!(artifacts.policy, "lut-adaptive");
+//! ```
+//!
+//! Cross-check the closed-form model against the cycle-level machine
+//! (the parity harness in one call):
+//!
+//! ```
+//! use hhpim::session::SessionBuilder;
+//! use hhpim::BackendKind;
+//! use hhpim_nn::TinyMlModel;
+//! use hhpim_workload::{Scenario, ScenarioParams};
+//!
+//! let comparison = SessionBuilder::new()
+//!     .model(TinyMlModel::MobileNetV2)
+//!     .scenario(Scenario::PeriodicSpike)
+//!     .scenario_params(ScenarioParams {
+//!         slices: 4,
+//!         ..ScenarioParams::default()
+//!     })
+//!     .backend(BackendKind::Analytic)
+//!     .backend(BackendKind::Cycle)
+//!     .build()
+//!     .unwrap()
+//!     .compare()
+//!     .unwrap();
+//! assert!(comparison.deadline_misses_agree());
+//! assert!(comparison.max_total_energy_rel() < 0.10);
+//! ```
+//!
+//! Replay recorded loads through a non-default policy:
+//!
+//! ```
+//! use hhpim::session::SessionBuilder;
+//! use hhpim::GreedyBaseline;
+//!
+//! let mut session = SessionBuilder::new()
+//!     .replay_loads(vec![0.1, 0.9, 0.2, 1.0])
+//!     .policy(GreedyBaseline::new())
+//!     .build()
+//!     .unwrap();
+//! let artifacts = session.run().unwrap();
+//! assert_eq!(artifacts.policy, "greedy");
+//! assert_eq!(artifacts.primary().records.len(), 4);
+//! ```
+
+use crate::arch::Architecture;
+use crate::backend::{
+    AnalyticBackend, BackendError, BackendKind, CycleBackend, ExecutionBackend, ExecutionReport,
+};
+use crate::compile::WeightHome;
+use crate::cost::{CostModelError, CostParams};
+use crate::dp::OptimizerConfig;
+use crate::experiment::{SavingsCell, SavingsMatrix};
+use crate::policy::{default_policy, PlacementPolicy};
+use crate::runtime::Processor;
+use hhpim_nn::TinyMlModel;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams, TraceError};
+use std::fmt;
+
+/// Errors surfaced while building or driving a [`Session`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The model does not fit the architecture, or the placement
+    /// policy rejected its configuration.
+    Cost(CostModelError),
+    /// A backend failed to build or execute.
+    Backend(BackendError),
+    /// The trace source produced an invalid trace.
+    Trace(TraceError),
+    /// `run`/`compare` was called on a session built without a trace
+    /// source (`scenario`, `trace_source` or `replay_loads`).
+    NoTraceSource,
+    /// `compare` needs at least two backends.
+    NotComparable {
+        /// Backends the session was built with.
+        backends: usize,
+    },
+    /// The same backend kind was requested twice.
+    DuplicateBackend {
+        /// The duplicated kind.
+        kind: BackendKind,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Cost(e) => write!(f, "cost model: {e}"),
+            SessionError::Backend(e) => write!(f, "backend: {e}"),
+            SessionError::Trace(e) => write!(f, "trace source: {e}"),
+            SessionError::NoTraceSource => {
+                write!(f, "session has no trace source (use scenario/trace_source)")
+            }
+            SessionError::NotComparable { backends } => {
+                write!(
+                    f,
+                    "compare needs at least two backends, session has {backends}"
+                )
+            }
+            SessionError::DuplicateBackend { kind } => {
+                write!(f, "backend `{kind}` requested twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Cost(e) => Some(e),
+            SessionError::Backend(e) => Some(e),
+            SessionError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CostModelError> for SessionError {
+    fn from(e: CostModelError) -> Self {
+        SessionError::Cost(e)
+    }
+}
+
+impl From<BackendError> for SessionError {
+    fn from(e: BackendError) -> Self {
+        SessionError::Backend(e)
+    }
+}
+
+impl From<TraceError> for SessionError {
+    fn from(e: TraceError) -> Self {
+        SessionError::Trace(e)
+    }
+}
+
+impl SessionError {
+    /// Collapses into the backend-layer error the deprecated
+    /// constructors used to return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variants without a backend equivalent (none are
+    /// reachable from the single-backend build paths the shims use).
+    pub fn into_backend(self) -> BackendError {
+        match self {
+            SessionError::Backend(e) => e,
+            SessionError::Cost(e) => e.into(),
+            other => panic!("session error without backend equivalent: {other}"),
+        }
+    }
+
+    /// Collapses into the cost-model error the deprecated experiment
+    /// helpers used to return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variants without a cost-model equivalent (none are
+    /// reachable from the sweep paths the shims use).
+    pub fn into_cost(self) -> CostModelError {
+        match self {
+            SessionError::Cost(e) => e,
+            SessionError::Backend(BackendError::Cost(e)) => e,
+            other => panic!("session error without cost-model equivalent: {other}"),
+        }
+    }
+}
+
+/// A source of [`LoadTrace`]s: canned scenarios, recorded loads, or
+/// programmatic generators. Sessions pull a fresh trace per run, so a
+/// source must be deterministic for a session's runs to be.
+pub trait TraceSource: fmt::Debug {
+    /// Human-readable description of the source.
+    fn label(&self) -> String;
+
+    /// Produces the trace to execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceError`] for invalid parameters or samples.
+    fn trace(&self) -> Result<LoadTrace, SessionError>;
+}
+
+/// A [`TraceSource`] generating one of the paper's Fig. 4 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSource {
+    /// The scenario to generate.
+    pub scenario: Scenario,
+    /// Shape parameters.
+    pub params: ScenarioParams,
+}
+
+impl ScenarioSource {
+    /// A scenario source with explicit parameters.
+    pub fn new(scenario: Scenario, params: ScenarioParams) -> Self {
+        ScenarioSource { scenario, params }
+    }
+}
+
+impl TraceSource for ScenarioSource {
+    fn label(&self) -> String {
+        self.scenario.to_string()
+    }
+
+    fn trace(&self) -> Result<LoadTrace, SessionError> {
+        Ok(LoadTrace::try_generate(self.scenario, self.params)?)
+    }
+}
+
+/// A [`TraceSource`] replaying recorded per-slice loads (e.g. a
+/// measured object-count stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySource {
+    loads: Vec<f64>,
+}
+
+impl ReplaySource {
+    /// Wraps recorded loads; validation happens when the session pulls
+    /// the trace.
+    pub fn new(loads: Vec<f64>) -> Self {
+        ReplaySource { loads }
+    }
+}
+
+impl TraceSource for ReplaySource {
+    fn label(&self) -> String {
+        format!("replay of {} recorded slices", self.loads.len())
+    }
+
+    fn trace(&self) -> Result<LoadTrace, SessionError> {
+        Ok(LoadTrace::replay(self.loads.clone())?)
+    }
+}
+
+/// A [`TraceSource`] sampling a closure per slice index — the escape
+/// hatch for synthetic load shapes the [`Scenario`] enum does not
+/// cover.
+pub struct ClosureSource<F> {
+    slices: usize,
+    f: F,
+}
+
+impl<F: Fn(usize) -> f64> ClosureSource<F> {
+    /// A source producing `slices` samples of `f(slice_index)`.
+    pub fn new(slices: usize, f: F) -> Self {
+        ClosureSource { slices, f }
+    }
+}
+
+impl<F> fmt::Debug for ClosureSource<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosureSource")
+            .field("slices", &self.slices)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: Fn(usize) -> f64> TraceSource for ClosureSource<F> {
+    fn label(&self) -> String {
+        format!("closure over {} slices", self.slices)
+    }
+
+    fn trace(&self) -> Result<LoadTrace, SessionError> {
+        Ok(LoadTrace::replay((0..self.slices).map(&self.f).collect())?)
+    }
+}
+
+/// Builder for a [`Session`]; see the [module docs](self) for the
+/// composition surface and examples.
+///
+/// Defaults: HH-PIM architecture, MobileNetV2, the analytic backend,
+/// the architecture's Table I placement policy, paper-default scenario
+/// and calibration parameters, and *no* trace source (`run`/`compare`
+/// need one; `sweep` does not).
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    arch: Option<Architecture>,
+    model: Option<TinyMlModel>,
+    backends: Vec<BackendKind>,
+    source: Option<Box<dyn TraceSource>>,
+    pending_scenario: Option<Scenario>,
+    scenario_params: Option<ScenarioParams>,
+    cost_params: Option<CostParams>,
+    opt_config: Option<OptimizerConfig>,
+    policy: Option<Box<dyn PlacementPolicy>>,
+    head_home: Option<WeightHome>,
+}
+
+impl SessionBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the Table I architecture (default: HH-PIM).
+    pub fn architecture(mut self, arch: Architecture) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Selects the Table IV model (default: MobileNetV2).
+    pub fn model(mut self, model: TinyMlModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Adds an execution backend; call repeatedly to compare several.
+    /// A session built without any backend gets the analytic one.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backends.push(kind);
+        self
+    }
+
+    /// Sources traces from a canned scenario, shaped by
+    /// [`SessionBuilder::scenario_params`] (order-independent).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.pending_scenario = Some(scenario);
+        self.source = None;
+        self
+    }
+
+    /// Scenario shape parameters, for [`SessionBuilder::scenario`] and
+    /// [`Session::sweep`].
+    pub fn scenario_params(mut self, params: ScenarioParams) -> Self {
+        self.scenario_params = Some(params);
+        self
+    }
+
+    /// Sources traces from an arbitrary [`TraceSource`].
+    pub fn trace_source(mut self, source: impl TraceSource + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self.pending_scenario = None;
+        self
+    }
+
+    /// Sources traces by replaying recorded per-slice loads.
+    pub fn replay_loads(self, loads: Vec<f64>) -> Self {
+        self.trace_source(ReplaySource::new(loads))
+    }
+
+    /// Selects the placement policy every backend consults (default:
+    /// the architecture's Table I policy — the DP LUT on HH-PIM, the
+    /// fixed home elsewhere).
+    pub fn policy(mut self, policy: impl PlacementPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Cost-model calibration knobs.
+    pub fn cost_params(mut self, params: CostParams) -> Self {
+        self.cost_params = Some(params);
+        self
+    }
+
+    /// Placement-optimizer settings (LUT resolution etc.).
+    pub fn optimizer(mut self, config: OptimizerConfig) -> Self {
+        self.opt_config = Some(config);
+        self
+    }
+
+    /// Pins the cycle backend's bit-exact classifier head to one
+    /// memory technology (default: it follows the placement).
+    pub fn head_home(mut self, home: WeightHome) -> Self {
+        self.head_home = Some(home);
+        self
+    }
+
+    fn resolved(&self) -> (Architecture, TinyMlModel, CostParams, OptimizerConfig) {
+        (
+            self.arch.unwrap_or(Architecture::HhPim),
+            self.model.unwrap_or(TinyMlModel::MobileNetV2),
+            self.cost_params.unwrap_or_default(),
+            self.opt_config.unwrap_or_default(),
+        )
+    }
+
+    fn make_policy(&self, arch: Architecture) -> Box<dyn PlacementPolicy> {
+        self.policy
+            .as_ref()
+            .map(|p| p.clone_box())
+            .unwrap_or_else(|| default_policy(arch))
+    }
+
+    fn make_processor(&self) -> Result<Processor, SessionError> {
+        let (arch, model, cost_params, opt_config) = self.resolved();
+        Ok(Processor::with_policy(
+            arch,
+            model,
+            cost_params,
+            opt_config,
+            self.make_policy(arch),
+        )?)
+    }
+
+    /// Builds just the analytic backend — the escape hatch for code
+    /// that owns a single backend directly (and the delegation target
+    /// of the deprecated `AnalyticBackend::with_params`).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionBuilder::build`].
+    pub fn build_analytic(&self) -> Result<AnalyticBackend, SessionError> {
+        Ok(AnalyticBackend::from_processor(self.make_processor()?))
+    }
+
+    /// Builds just the cycle backend — the escape hatch for code that
+    /// owns a single backend directly (and the delegation target of
+    /// the deprecated `CycleBackend::with_weight_home` /
+    /// `with_fixed_placement`).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionBuilder::build`].
+    pub fn build_cycle(&self) -> Result<CycleBackend, SessionError> {
+        let (_, model, _, _) = self.resolved();
+        Ok(CycleBackend::from_processor(
+            self.make_processor()?,
+            model,
+            self.head_home,
+        )?)
+    }
+
+    /// Builds the session: prepares the policy, instantiates every
+    /// requested backend and binds the trace source. A session with a
+    /// source but no explicit backend gets the analytic one; a
+    /// *sourceless* session with no explicit backend builds none —
+    /// it cannot `run` anyway, and [`Session::sweep`] constructs its
+    /// own processors, so sweep-only sessions skip the backend (and
+    /// its LUT DP) cost entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Cost`]/[`SessionError::Backend`] when the model
+    /// does not fit, the policy rejects its configuration or a backend
+    /// cannot be built; [`SessionError::DuplicateBackend`] when a kind
+    /// was requested twice.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let (arch, model, cost_params, opt_config) = self.resolved();
+        let has_source = self.source.is_some() || self.pending_scenario.is_some();
+        let kinds = if self.backends.is_empty() && has_source {
+            vec![BackendKind::Analytic]
+        } else {
+            self.backends.clone()
+        };
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kinds[..i].contains(&kind) {
+                return Err(SessionError::DuplicateBackend { kind });
+            }
+        }
+        // One prepared processor (cost model + policy, LUT DP included)
+        // serves every backend via Clone — a dual-backend session pays
+        // the DP solves once, not per backend.
+        let mut backends: Vec<Box<dyn ExecutionBackend>> = Vec::with_capacity(kinds.len());
+        if !kinds.is_empty() {
+            let processor = self.make_processor()?;
+            for &kind in &kinds {
+                match kind {
+                    BackendKind::Analytic => {
+                        backends.push(Box::new(AnalyticBackend::from_processor(processor.clone())))
+                    }
+                    BackendKind::Cycle => backends.push(Box::new(CycleBackend::from_processor(
+                        processor.clone(),
+                        model,
+                        self.head_home,
+                    )?)),
+                }
+            }
+        }
+        let policy_name = self.make_policy(arch).name();
+        let source = match (self.source, self.pending_scenario) {
+            (Some(source), _) => Some(source),
+            (None, Some(scenario)) => Some(Box::new(ScenarioSource::new(
+                scenario,
+                self.scenario_params.unwrap_or_default(),
+            )) as Box<dyn TraceSource>),
+            (None, None) => None,
+        };
+        Ok(Session {
+            arch,
+            model,
+            scenario_params: self.scenario_params.unwrap_or_default(),
+            cost_params,
+            opt_config,
+            policy_name,
+            source,
+            backends,
+        })
+    }
+}
+
+/// The typed artifacts of one [`Session::run`]: the executed trace and
+/// one [`ExecutionReport`] per configured backend, in builder order.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The trace every backend executed.
+    pub trace: LoadTrace,
+    /// Name of the placement policy in effect.
+    pub policy: &'static str,
+    /// One report per backend, in the order they were configured.
+    pub reports: Vec<ExecutionReport>,
+}
+
+impl RunArtifacts {
+    /// The first (primary) backend's report.
+    pub fn primary(&self) -> &ExecutionReport {
+        &self.reports[0]
+    }
+
+    /// The report of a specific backend, if the session ran one.
+    pub fn report(&self, kind: BackendKind) -> Option<&ExecutionReport> {
+        self.reports.iter().find(|r| r.backend == kind)
+    }
+}
+
+/// The outcome of [`Session::compare`]: every backend's report on the
+/// same trace, with agreement checks over the first (reference)
+/// backend.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The underlying run.
+    pub artifacts: RunArtifacts,
+}
+
+/// Wraps artifacts you already hold in the agreement checks, without
+/// re-executing the backends (unlike [`Session::compare`], this does
+/// not enforce a minimum backend count — a single-report comparison
+/// trivially agrees with itself).
+impl From<RunArtifacts> for Comparison {
+    fn from(artifacts: RunArtifacts) -> Self {
+        Comparison { artifacts }
+    }
+}
+
+impl Comparison {
+    /// The reference report (the first configured backend).
+    pub fn reference(&self) -> &ExecutionReport {
+        self.artifacts.primary()
+    }
+
+    /// Largest relative total-energy deviation of any backend from the
+    /// reference.
+    pub fn max_total_energy_rel(&self) -> f64 {
+        let e_ref = self.reference().total_energy().as_pj();
+        self.artifacts.reports[1..]
+            .iter()
+            .map(|r| (r.total_energy().as_pj() - e_ref).abs() / e_ref.abs().max(f64::MIN_POSITIVE))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every backend reports the same deadline-miss count.
+    pub fn deadline_misses_agree(&self) -> bool {
+        let misses = self.reference().deadline_misses;
+        self.artifacts
+            .reports
+            .iter()
+            .all(|r| r.deadline_misses == misses)
+    }
+
+    /// Whether every backend agrees on every slice's schedulability,
+    /// not just the total.
+    pub fn schedulability_agrees(&self) -> bool {
+        let reference: Vec<bool> = self
+            .reference()
+            .records
+            .iter()
+            .map(|r| r.deadline_met)
+            .collect();
+        self.artifacts.reports.iter().all(|r| {
+            r.records.len() == reference.len()
+                && r.records
+                    .iter()
+                    .zip(&reference)
+                    .all(|(rec, &expected)| rec.deadline_met == expected)
+        })
+    }
+}
+
+/// A built session: bound backends, policy and trace source. See the
+/// [module docs](self).
+pub struct Session {
+    arch: Architecture,
+    model: TinyMlModel,
+    scenario_params: ScenarioParams,
+    cost_params: CostParams,
+    opt_config: OptimizerConfig,
+    policy_name: &'static str,
+    source: Option<Box<dyn TraceSource>>,
+    backends: Vec<Box<dyn ExecutionBackend>>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("arch", &self.arch)
+            .field("model", &self.model)
+            .field("policy", &self.policy_name)
+            .field("backends", &self.backend_kinds())
+            .field("source", &self.source)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// A fresh builder (alias for [`SessionBuilder::new`]).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The architecture the session executes.
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// The model the session executes.
+    pub fn model(&self) -> TinyMlModel {
+        self.model
+    }
+
+    /// Name of the placement policy in effect.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// The configured backends, in run order.
+    pub fn backend_kinds(&self) -> Vec<BackendKind> {
+        self.backends.iter().map(|b| b.kind()).collect()
+    }
+
+    /// The bound trace source's label, if any.
+    pub fn source_label(&self) -> Option<String> {
+        self.source.as_ref().map(|s| s.label())
+    }
+
+    /// Pulls one trace from the source and executes it on every
+    /// configured backend.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoTraceSource`] without a source,
+    /// [`SessionError::Trace`] when the source rejects its parameters,
+    /// [`SessionError::Backend`] when execution fails.
+    pub fn run(&mut self) -> Result<RunArtifacts, SessionError> {
+        let trace = self
+            .source
+            .as_ref()
+            .ok_or(SessionError::NoTraceSource)?
+            .trace()?;
+        let mut reports = Vec::with_capacity(self.backends.len());
+        for backend in &mut self.backends {
+            reports.push(backend.execute(&trace).map_err(SessionError::Backend)?);
+        }
+        Ok(RunArtifacts {
+            trace,
+            policy: self.policy_name,
+            reports,
+        })
+    }
+
+    /// Runs every backend on the same trace and wraps the reports in
+    /// agreement checks — the parity harness as a method.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotComparable`] with fewer than two backends,
+    /// plus everything [`Session::run`] can raise.
+    pub fn compare(&mut self) -> Result<Comparison, SessionError> {
+        if self.backends.len() < 2 {
+            return Err(SessionError::NotComparable {
+                backends: self.backends.len(),
+            });
+        }
+        Ok(Comparison {
+            artifacts: self.run()?,
+        })
+    }
+
+    /// Computes the paper's Fig. 5 energy-savings matrix over a
+    /// `scenarios × models` grid: for every cell, HH-PIM's total trace
+    /// energy against the three comparison architectures, each under
+    /// its Table I placement mode (the session's policy selection
+    /// applies to `run`/`compare`, not to this canonical comparison).
+    ///
+    /// Uses the session's scenario, cost and optimizer parameters, so
+    /// it reproduces `experiment::savings_matrix` bit-for-bit when
+    /// given the full grid.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Cost`] when a model does not fit an
+    /// architecture, [`SessionError::Trace`] on invalid scenario
+    /// parameters.
+    pub fn sweep(
+        &self,
+        scenarios: &[Scenario],
+        models: &[TinyMlModel],
+    ) -> Result<SavingsMatrix, SessionError> {
+        let mut cells = Vec::with_capacity(scenarios.len() * models.len());
+        for &model in models {
+            // Build processors once per model; traces vary per scenario.
+            let procs: Vec<(Architecture, Processor)> = Architecture::ALL
+                .iter()
+                .map(|&a| {
+                    Processor::with_params(a, model, self.cost_params, self.opt_config)
+                        .map(|p| (a, p))
+                })
+                .collect::<Result<_, CostModelError>>()?;
+            for &scenario in scenarios {
+                let trace = LoadTrace::try_generate(scenario, self.scenario_params)?;
+                let energy = |arch: Architecture| {
+                    procs
+                        .iter()
+                        .find(|(a, _)| *a == arch)
+                        .expect("all architectures built")
+                        .1
+                        .run_trace(&trace)
+                        .total_energy()
+                };
+                let e_hh = energy(Architecture::HhPim);
+                let pct = |e_other: hhpim_mem::Energy| (1.0 - e_hh / e_other) * 100.0;
+                cells.push(SavingsCell {
+                    scenario,
+                    model,
+                    vs_baseline: pct(energy(Architecture::Baseline)),
+                    vs_heterogeneous: pct(energy(Architecture::Heterogeneous)),
+                    vs_hybrid: pct(energy(Architecture::Hybrid)),
+                });
+            }
+        }
+        Ok(SavingsMatrix { cells })
+    }
+
+    /// [`Session::sweep`] over the full paper grid (6 scenarios × 3
+    /// models).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::sweep`].
+    pub fn sweep_all(&self) -> Result<SavingsMatrix, SessionError> {
+        self.sweep(&Scenario::ALL, &TinyMlModel::ALL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedHome, GreedyBaseline, LutAdaptive};
+    use crate::space::{Placement, StorageSpace};
+
+    fn small_params() -> ScenarioParams {
+        ScenarioParams {
+            slices: 5,
+            ..ScenarioParams::default()
+        }
+    }
+
+    #[test]
+    fn builder_defaults_run_the_analytic_backend() {
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::PeriodicSpike)
+            .scenario_params(small_params())
+            .build()
+            .unwrap();
+        assert_eq!(session.architecture(), Architecture::HhPim);
+        assert_eq!(session.model(), TinyMlModel::MobileNetV2);
+        assert_eq!(session.backend_kinds(), vec![BackendKind::Analytic]);
+        assert_eq!(session.policy_name(), "lut-adaptive");
+        let artifacts = session.run().unwrap();
+        assert_eq!(artifacts.reports.len(), 1);
+        assert_eq!(artifacts.primary().records.len(), 5);
+        assert!(artifacts.report(BackendKind::Cycle).is_none());
+    }
+
+    #[test]
+    fn run_without_source_is_a_typed_error() {
+        let mut session = SessionBuilder::new().build().unwrap();
+        assert!(matches!(
+            session.run().unwrap_err(),
+            SessionError::NoTraceSource
+        ));
+    }
+
+    #[test]
+    fn sourceless_sessions_build_no_backends_for_sweep_only_use() {
+        // A sweep-only session (no trace source, no explicit backend)
+        // must not pay for backend construction — sweep builds its own
+        // processors.
+        let session = SessionBuilder::new().build().unwrap();
+        assert!(session.backend_kinds().is_empty());
+        // Explicitly requested backends are still honored.
+        let session = SessionBuilder::new()
+            .backend(BackendKind::Analytic)
+            .build()
+            .unwrap();
+        assert_eq!(session.backend_kinds(), vec![BackendKind::Analytic]);
+    }
+
+    #[test]
+    fn comparison_wraps_held_artifacts_without_rerunning() {
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::PeriodicSpike)
+            .scenario_params(small_params())
+            .build()
+            .unwrap();
+        let artifacts = session.run().unwrap();
+        let comparison = Comparison::from(artifacts);
+        assert!(comparison.deadline_misses_agree());
+        assert_eq!(comparison.max_total_energy_rel(), 0.0);
+    }
+
+    #[test]
+    fn compare_needs_two_backends() {
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::LowConstant)
+            .scenario_params(small_params())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.compare().unwrap_err(),
+            SessionError::NotComparable { backends: 1 }
+        ));
+    }
+
+    #[test]
+    fn duplicate_backends_are_rejected() {
+        let err = SessionBuilder::new()
+            .backend(BackendKind::Analytic)
+            .backend(BackendKind::Analytic)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::DuplicateBackend {
+                kind: BackendKind::Analytic
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_scenario_params_surface_as_trace_errors() {
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::Random)
+            .scenario_params(ScenarioParams {
+                slices: 0,
+                ..ScenarioParams::default()
+            })
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.run().unwrap_err(),
+            SessionError::Trace(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn closure_source_feeds_the_run() {
+        let mut session = SessionBuilder::new()
+            .trace_source(ClosureSource::new(
+                6,
+                |i| if i % 2 == 0 { 1.0 } else { 0.1 },
+            ))
+            .build()
+            .unwrap();
+        let artifacts = session.run().unwrap();
+        assert_eq!(artifacts.primary().records.len(), 6);
+        let tasks: Vec<u32> = artifacts
+            .primary()
+            .records
+            .iter()
+            .map(|r| r.n_tasks)
+            .collect();
+        assert_eq!(tasks, vec![10, 1, 10, 1, 10, 1]);
+    }
+
+    #[test]
+    fn all_three_policies_are_selectable_and_disagree_where_expected() {
+        fn run(policy: impl PlacementPolicy + 'static) -> RunArtifacts {
+            SessionBuilder::new()
+                .scenario(Scenario::PeriodicSpike)
+                .scenario_params(ScenarioParams {
+                    slices: 5,
+                    ..ScenarioParams::default()
+                })
+                .policy(policy)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        }
+        let lut = run(LutAdaptive::new());
+        let fixed = run(FixedHome::arch_default());
+        let greedy = run(GreedyBaseline::new());
+        assert_eq!(lut.policy, "lut-adaptive");
+        assert_eq!(fixed.policy, "fixed-home");
+        assert_eq!(greedy.policy, "greedy");
+        // The fixed home never migrates; the adaptive policies do on a
+        // spiky trace.
+        assert!(fixed.primary().migrations.is_empty());
+        assert!(!lut.primary().migrations.is_empty());
+        assert!(!greedy.primary().migrations.is_empty());
+        // The DP LUT's leakage-aware objective beats the fixed home on
+        // total energy for a mostly-idle trace.
+        assert!(
+            lut.primary().total_energy() < fixed.primary().total_energy(),
+            "lut {} vs fixed {}",
+            lut.primary().total_energy(),
+            fixed.primary().total_energy()
+        );
+    }
+
+    #[test]
+    fn pinned_policy_flows_through_both_backends() {
+        // A valid all-groups pin: fill spaces in declaration order.
+        let cost = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2)
+            .unwrap()
+            .cost()
+            .clone();
+        let mut pin = Placement::empty();
+        let mut remaining = cost.k_groups();
+        for space in StorageSpace::ALL {
+            let take = remaining.min(cost.capacity_groups(space));
+            pin.set(space, take);
+            remaining -= take;
+        }
+        assert!(cost.is_valid(&pin));
+        let mut session = SessionBuilder::new()
+            .scenario(Scenario::HighLowPulsing)
+            .scenario_params(small_params())
+            .policy(FixedHome::pinned(pin))
+            .backend(BackendKind::Analytic)
+            .backend(BackendKind::Cycle)
+            .build()
+            .unwrap();
+        let artifacts = session.run().unwrap();
+        for report in &artifacts.reports {
+            assert!(report.migrations.is_empty(), "{}", report.backend);
+            for rec in &report.records {
+                assert_eq!(rec.placement, Some(pin), "{}", report.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_grid_dimensions_and_subsets() {
+        let session = SessionBuilder::new()
+            .scenario_params(ScenarioParams {
+                slices: 8,
+                ..ScenarioParams::default()
+            })
+            .optimizer(OptimizerConfig {
+                time_buckets: 300,
+                ..OptimizerConfig::default()
+            })
+            .build()
+            .unwrap();
+        let sub = session
+            .sweep(
+                &[Scenario::LowConstant, Scenario::HighConstant],
+                &[TinyMlModel::MobileNetV2],
+            )
+            .unwrap();
+        assert_eq!(sub.cells.len(), 2);
+        assert!(sub
+            .cell(Scenario::LowConstant, TinyMlModel::MobileNetV2)
+            .is_some());
+        // Subset cells match the same cells of the full grid exactly.
+        let full = session.sweep_all().unwrap();
+        for cell in &sub.cells {
+            let full_cell = full.cell(cell.scenario, cell.model).unwrap();
+            assert_eq!(cell.vs_baseline.to_bits(), full_cell.vs_baseline.to_bits());
+            assert_eq!(cell.vs_hybrid.to_bits(), full_cell.vs_hybrid.to_bits());
+        }
+    }
+}

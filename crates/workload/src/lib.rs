@@ -25,4 +25,4 @@ pub mod scenario;
 
 pub use buffer::{t_constraint_ps, Task, TaskBuffer};
 pub use object_trace::{object_loads, object_task_counts, ObjectStreamParams};
-pub use scenario::{LoadTrace, Scenario, ScenarioParams};
+pub use scenario::{LoadTrace, Scenario, ScenarioParams, TraceError, TraceOrigin};

@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 
 /// One of the paper's six benchmark workload patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
 pub enum Scenario {
     /// Case 1: consistently low load.
     LowConstant,
@@ -66,6 +67,75 @@ impl fmt::Display for Scenario {
     }
 }
 
+/// Why a trace could not be built from its parameters or loads.
+///
+/// Returned by [`LoadTrace::try_generate`] and [`LoadTrace::replay`]
+/// instead of silently yielding an empty or out-of-range run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The parameters describe a zero-length trace (no slices / no
+    /// recorded loads).
+    Empty,
+    /// A load level lies outside `[0, 1]`.
+    LevelOutOfRange {
+        /// The offending level.
+        level: f64,
+    },
+    /// The low level exceeds the high level.
+    InvertedLevels {
+        /// Configured low level.
+        low: f64,
+        /// Configured high level.
+        high: f64,
+    },
+    /// A replayed load sample lies outside `[0, 1]` or is not finite.
+    LoadOutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending sample.
+        load: f64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has zero slices"),
+            TraceError::LevelOutOfRange { level } => {
+                write!(f, "load level {level} outside [0, 1]")
+            }
+            TraceError::InvertedLevels { low, high } => {
+                write!(f, "low level {low} above high level {high}")
+            }
+            TraceError::LoadOutOfRange { index, load } => {
+                write!(f, "replayed load {load} at slice {index} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Where a [`LoadTrace`]'s samples came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TraceOrigin {
+    /// Generated from one of the paper's canned [`Scenario`]s.
+    Scenario(Scenario),
+    /// Replayed from recorded per-slice loads.
+    Replay,
+}
+
+impl fmt::Display for TraceOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOrigin::Scenario(s) => write!(f, "{s}"),
+            TraceOrigin::Replay => write!(f, "replayed loads"),
+        }
+    }
+}
+
 /// Parameters shaping scenario generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioParams {
@@ -99,10 +169,10 @@ impl Default for ScenarioParams {
     }
 }
 
-/// A generated workload: per-slice load levels in `[0, 1]`.
+/// A generated or replayed workload: per-slice load levels in `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadTrace {
-    scenario: Scenario,
+    origin: TraceOrigin,
     loads: Vec<f64>,
 }
 
@@ -111,15 +181,36 @@ impl LoadTrace {
     ///
     /// # Panics
     ///
-    /// Panics if `params.slices == 0`, if the load levels leave `[0, 1]`,
-    /// or if `low > high`.
+    /// Panics on any [`TraceError`] — use [`LoadTrace::try_generate`]
+    /// to handle invalid parameters gracefully.
     pub fn generate(scenario: Scenario, params: ScenarioParams) -> Self {
-        assert!(params.slices > 0, "need at least one slice");
-        assert!(
-            (0.0..=1.0).contains(&params.low) && (0.0..=1.0).contains(&params.high),
-            "load levels must lie in [0, 1]"
-        );
-        assert!(params.low <= params.high, "low level above high level");
+        Self::try_generate(scenario, params)
+            .unwrap_or_else(|e| panic!("invalid scenario params: {e}"))
+    }
+
+    /// Generates the trace for `scenario` under `params`, rejecting
+    /// parameters that would describe an empty or out-of-range run.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Empty`] when `params.slices == 0`,
+    /// [`TraceError::LevelOutOfRange`] when a level leaves `[0, 1]`,
+    /// [`TraceError::InvertedLevels`] when `low > high`.
+    pub fn try_generate(scenario: Scenario, params: ScenarioParams) -> Result<Self, TraceError> {
+        if params.slices == 0 {
+            return Err(TraceError::Empty);
+        }
+        for level in [params.low, params.high] {
+            if !(0.0..=1.0).contains(&level) {
+                return Err(TraceError::LevelOutOfRange { level });
+            }
+        }
+        if params.low > params.high {
+            return Err(TraceError::InvertedLevels {
+                low: params.low,
+                high: params.high,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(params.seed);
         let loads = (0..params.slices)
             .map(|i| match scenario {
@@ -150,12 +241,47 @@ impl LoadTrace {
                 Scenario::Random => rng.gen_range(params.low..=params.high),
             })
             .collect();
-        LoadTrace { scenario, loads }
+        Ok(LoadTrace {
+            origin: TraceOrigin::Scenario(scenario),
+            loads,
+        })
     }
 
-    /// The scenario that produced this trace.
-    pub fn scenario(&self) -> Scenario {
-        self.scenario
+    /// Builds a trace by replaying recorded per-slice loads — e.g. a
+    /// measured object-count stream — through the same runtime path the
+    /// canned scenarios use.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Empty`] when `loads` is empty,
+    /// [`TraceError::LoadOutOfRange`] when a sample is not a finite
+    /// value in `[0, 1]`.
+    pub fn replay(loads: Vec<f64>) -> Result<Self, TraceError> {
+        if loads.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (index, &load) in loads.iter().enumerate() {
+            if !load.is_finite() || !(0.0..=1.0).contains(&load) {
+                return Err(TraceError::LoadOutOfRange { index, load });
+            }
+        }
+        Ok(LoadTrace {
+            origin: TraceOrigin::Replay,
+            loads,
+        })
+    }
+
+    /// Where this trace came from.
+    pub fn origin(&self) -> TraceOrigin {
+        self.origin
+    }
+
+    /// The scenario that produced this trace (`None` for replays).
+    pub fn scenario(&self) -> Option<Scenario> {
+        match self.origin {
+            TraceOrigin::Scenario(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// Per-slice load levels.
@@ -298,7 +424,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "low level above high")]
+    #[should_panic(expected = "above high level")]
     fn inverted_levels_rejected() {
         LoadTrace::generate(
             Scenario::LowConstant,
@@ -308,5 +434,77 @@ mod tests {
                 ..ScenarioParams::default()
             },
         );
+    }
+
+    #[test]
+    fn zero_length_trace_is_a_typed_error() {
+        // Regression: an all-defaults params with `slices: 0` used to be
+        // an assert; the typed path must reject it before generation.
+        let err = LoadTrace::try_generate(
+            Scenario::Random,
+            ScenarioParams {
+                slices: 0,
+                ..ScenarioParams::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TraceError::Empty);
+        assert!(err.to_string().contains("zero slices"));
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_levels_with_typed_errors() {
+        let high = LoadTrace::try_generate(
+            Scenario::LowConstant,
+            ScenarioParams {
+                high: 1.5,
+                ..ScenarioParams::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(high, TraceError::LevelOutOfRange { level: 1.5 });
+        let inverted = LoadTrace::try_generate(
+            Scenario::LowConstant,
+            ScenarioParams {
+                low: 0.8,
+                high: 0.3,
+                ..ScenarioParams::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(inverted, TraceError::InvertedLevels { .. }));
+    }
+
+    #[test]
+    fn replay_validates_and_round_trips() {
+        let loads = vec![0.1, 0.9, 0.4];
+        let t = LoadTrace::replay(loads.clone()).unwrap();
+        assert_eq!(t.loads(), loads.as_slice());
+        assert_eq!(t.origin(), TraceOrigin::Replay);
+        assert_eq!(t.scenario(), None);
+        assert_eq!(t.task_counts(10), vec![1, 9, 4]);
+
+        assert_eq!(
+            LoadTrace::replay(Vec::new()).unwrap_err(),
+            TraceError::Empty
+        );
+        assert_eq!(
+            LoadTrace::replay(vec![0.5, 1.2]).unwrap_err(),
+            TraceError::LoadOutOfRange {
+                index: 1,
+                load: 1.2
+            }
+        );
+        assert!(matches!(
+            LoadTrace::replay(vec![f64::NAN]).unwrap_err(),
+            TraceError::LoadOutOfRange { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn generated_traces_know_their_scenario() {
+        let t = LoadTrace::generate(Scenario::PeriodicSpike, params());
+        assert_eq!(t.scenario(), Some(Scenario::PeriodicSpike));
+        assert_eq!(t.origin(), TraceOrigin::Scenario(Scenario::PeriodicSpike));
     }
 }

@@ -1,13 +1,15 @@
 //! Head-to-head of all four Table I architectures across all six Fig. 4
-//! scenarios for one model — a condensed Fig. 5.
+//! scenarios for one model — a condensed Fig. 5, driven entirely
+//! through `Session::sweep`.
 //!
 //! ```sh
 //! cargo run --release --example arch_shootout [effnet|mbv2|resnet]
 //! ```
 
-use hhpim::{Architecture, Processor};
+use hhpim::session::SessionBuilder;
+use hhpim::Architecture;
 use hhpim_nn::TinyMlModel;
-use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use hhpim_workload::Scenario;
 
 fn main() {
     let model = match std::env::args().nth(1).as_deref() {
@@ -17,45 +19,34 @@ fn main() {
     };
     println!("model: {}\n", model.spec());
 
-    let processors: Vec<(Architecture, Processor)> = Architecture::ALL
-        .iter()
-        .map(|&a| {
-            (
-                a,
-                Processor::new(a, model).expect("model fits all architectures"),
-            )
-        })
-        .collect();
+    let session = SessionBuilder::new()
+        .model(model)
+        .build()
+        .expect("model fits all architectures");
+    let matrix = session
+        .sweep(&Scenario::ALL, &[model])
+        .expect("sweep covers the scenario grid");
 
     println!(
-        "{:<38} {:>14} {:>14} {:>14} {:>14}",
-        "scenario", "Baseline", "Hetero", "Hybrid", "HH-PIM"
+        "{:<38} {:>14} {:>14} {:>14}",
+        "scenario", "vs Baseline", "vs Hetero", "vs Hybrid"
     );
     for scenario in Scenario::ALL {
-        let trace = LoadTrace::generate(scenario, ScenarioParams::default());
-        let energies: Vec<(Architecture, f64)> = processors
-            .iter()
-            .map(|(a, p)| (*a, p.run_trace(&trace).total_energy().as_mj()))
-            .collect();
-        let row: Vec<String> = energies.iter().map(|(_, e)| format!("{e:.1} mJ")).collect();
+        let cell = matrix.cell(scenario, model).expect("cell in grid");
         println!(
-            "{:<38} {:>14} {:>14} {:>14} {:>14}",
+            "{:<38} {:>14} {:>14} {:>14}",
             scenario.to_string(),
-            row[0],
-            row[1],
-            row[2],
-            row[3]
-        );
-        let hh = energies.last().expect("four architectures").1;
-        println!(
-            "{:<38} {:>14} {:>14} {:>14} {:>14}",
-            "  HH-PIM savings",
-            format!("{:.1}%", (1.0 - hh / energies[0].1) * 100.0),
-            format!("{:.1}%", (1.0 - hh / energies[1].1) * 100.0),
-            format!("{:.1}%", (1.0 - hh / energies[2].1) * 100.0),
-            "—"
+            format!("{:.1}%", cell.vs_baseline),
+            format!("{:.1}%", cell.vs_heterogeneous),
+            format!("{:.1}%", cell.vs_hybrid),
         );
     }
+    println!(
+        "\naverages: {:.1}% vs Baseline, {:.1}% vs Hetero, {:.1}% vs Hybrid",
+        matrix.mean_versus(Architecture::Baseline),
+        matrix.mean_versus(Architecture::Heterogeneous),
+        matrix.mean_versus(Architecture::Hybrid),
+    );
     println!("\nCompare with the paper: Case 1 savings up to 86.23/78.7/66.5 %,");
     println!("Case 2 up to 41.46/3.72/39.69 %, averages up to 60.43/36.3/48.58 %.");
 }

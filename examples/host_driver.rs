@@ -3,6 +3,11 @@
 //! memory-mapped queue, computing a dot product on HP module 0, and the
 //! host reads the accumulator back over MMIO.
 //!
+//! This is the one example that deliberately sits *below* the
+//! `hhpim::session` facade: it exercises the raw ISA/MMIO path that
+//! `SessionBuilder`'s cycle backend drives for you (see `quickstart`
+//! for the facade-level equivalent).
+//!
 //! ```sh
 //! cargo run --release --example host_driver
 //! ```

@@ -1,56 +1,38 @@
 //! The paper's motivating scenario: an edge device running object
 //! detection whose computational demand tracks the number of objects in
-//! each video segment. HH-PIM re-places weights every time slice and is
-//! compared against the three fixed architectures on the same stream.
+//! each video segment. The recorded object-count stream is *replayed*
+//! through a session per architecture — the custom load needs no canned
+//! `Scenario` any more.
 //!
 //! ```sh
 //! cargo run --release --example object_detection_edge
 //! ```
 
-use hhpim::{Architecture, Processor};
+use hhpim::session::SessionBuilder;
+use hhpim::Architecture;
 use hhpim_nn::TinyMlModel;
-use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Simulates a video stream: objects enter and leave the scene as a
-/// bounded random walk; per-slice load is proportional to object count.
-fn object_count_trace(slices: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut objects: i32 = 2;
-    (0..slices)
-        .map(|_| {
-            objects = (objects + rng.gen_range(-2i32..=2)).clamp(0, 10);
-            objects as f64 / 10.0
-        })
-        .collect()
-}
+use hhpim_workload::{object_loads, ObjectStreamParams};
 
 fn main() {
     let model = TinyMlModel::MobileNetV2;
-    let slices = 60;
-    let loads = object_count_trace(slices, 7);
-
-    // Drive the standard scenario machinery with a custom load by
-    // matching the random scenario's shape: we re-use LoadTrace's task
-    // conversion through a synthetic generator.
-    let params = ScenarioParams {
-        slices,
-        ..ScenarioParams::default()
+    let params = ObjectStreamParams {
+        slices: 60,
+        seed: 7,
+        ..ObjectStreamParams::default()
     };
-    let base = LoadTrace::generate(Scenario::Random, params);
+    let loads = object_loads(params);
+
     println!("detector model  : {}", model.spec());
-    println!("synthetic stream ({} segments):", slices);
+    println!("synthetic stream ({} segments):", params.slices);
     let spark: String = loads
         .iter()
         .map(|&l| ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'][((l * 7.0).round() as usize).min(7)])
         .collect();
     println!("  objects/frame : {spark}");
-    let _ = base; // the object trace below replaces the canned scenario
 
     println!(
-        "\n{:<20} {:>14} {:>10} {:>8}",
-        "architecture", "energy", "vs HH-PIM", "misses"
+        "\n{:<20} {:>14} {:>10} {:>8} {:>8}",
+        "architecture", "energy", "vs HH-PIM", "moves", "misses"
     );
     let mut hh_energy = None;
     for arch in [
@@ -59,26 +41,15 @@ fn main() {
         Architecture::Heterogeneous,
         Architecture::Hybrid,
     ] {
-        let proc = Processor::new(arch, model).expect("model fits");
-        // Replay the object-count loads through per-slice task counts.
-        let max = proc.runtime().max_tasks;
-        let mut total = hhpim_mem::Energy::ZERO;
-        let mut misses = 0usize;
-        let mut prev =
-            proc.placement_for_tasks(((loads[0] * max as f64).round() as u32).clamp(1, max));
-        // Mirror Processor::run_trace but with the custom load series.
-        for &l in &loads {
-            let n = ((l * max as f64).round() as u32).clamp(1, max);
-            let placement = proc.placement_for_tasks(n);
-            let (_, me, _) = proc.movement_cost(&prev, &placement);
-            total += me;
-            prev = placement;
-        }
-        // For headline energy, reuse the library runner on the nearest
-        // canned scenario shape for the same architecture:
-        let report = proc.run_trace(&LoadTrace::generate(Scenario::Random, params));
-        total += report.total_energy();
-        misses += report.deadline_misses;
+        let mut session = SessionBuilder::new()
+            .architecture(arch)
+            .model(model)
+            .replay_loads(loads.clone())
+            .build()
+            .expect("model fits");
+        let artifacts = session.run().expect("replayed stream executes");
+        let report = artifacts.primary();
+        let total = report.total_energy();
         let vs = match hh_energy {
             None => {
                 hh_energy = Some(total);
@@ -87,14 +58,15 @@ fn main() {
             Some(hh) => format!("{:+.1}%", (total / hh - 1.0) * 100.0),
         };
         println!(
-            "{:<20} {:>14} {:>10} {:>8}",
+            "{:<20} {:>14} {:>10} {:>8} {:>8}",
             arch.to_string(),
             total.to_string(),
             vs,
-            misses
+            report.migrations.len(),
+            report.deadline_misses
         );
     }
-    println!("\nHH-PIM adapts placement as the scene load moves; the fixed");
+    println!("\nHH-PIM re-places weights as the scene load moves; the fixed");
     println!("architectures pay either SRAM leakage (Baseline/Hetero) or");
     println!("MRAM access energy (Hybrid) regardless of the scene.");
 }

@@ -1,36 +1,48 @@
-//! Quickstart: run one workload scenario through the unified
-//! `ExecutionBackend` layer — analytically for the full report, then
-//! cycle-accurately on the structural machine for cross-checking.
+//! Quickstart: one `SessionBuilder` composes the architecture, model,
+//! workload and backends, then `run()` returns every backend's report
+//! and `compare()` cross-checks them.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use hhpim::{AnalyticBackend, Architecture, CycleBackend, ExecutionBackend};
+use hhpim::session::SessionBuilder;
+use hhpim::BackendKind;
 use hhpim_nn::TinyMlModel;
-use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use hhpim_workload::{Scenario, ScenarioParams};
 
 fn main() {
-    // 1. Pick a Table I architecture and a Table IV model.
-    let mut analytic = AnalyticBackend::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
+    // 1. Compose the session: a Table I architecture, a Table IV
+    //    model, a Fig. 4 workload, and both execution backends. The
+    //    placement policy defaults to the architecture's own (the DP
+    //    LUT on HH-PIM) — swap in `GreedyBaseline` or
+    //    `FixedHome::pinned(..)` via `.policy(..)` to ablate it.
+    let mut session = SessionBuilder::new()
+        .architecture(hhpim::Architecture::HhPim)
+        .model(TinyMlModel::EfficientNetB0)
+        .scenario(Scenario::PeriodicSpike)
+        .scenario_params(ScenarioParams::default())
+        .backend(BackendKind::Analytic)
+        .backend(BackendKind::Cycle)
+        .build()
         .expect("EfficientNet-B0 fits HH-PIM");
-    let processor = analytic.processor();
-    println!("architecture : {}", processor.arch());
+    println!("architecture : {}", session.architecture());
+    println!("model        : {}", session.model().spec());
+    println!("policy       : {}", session.policy_name());
     println!(
-        "slice        : {} ({} inferences max)",
-        processor.runtime().slice_duration,
-        processor.runtime().max_tasks
+        "workload     : {}",
+        session.source_label().expect("scenario bound")
     );
 
-    // 2. Generate a fluctuating inference workload (Fig. 4, Case 3).
-    let trace = LoadTrace::generate(Scenario::PeriodicSpike, ScenarioParams::default());
-    println!("workload     : {}", trace.scenario());
-    println!("load profile : {}", trace.sparkline());
+    // 2. Run the 50-slice trace on both backends at once.
+    let artifacts = session.run().expect("both backends execute");
+    println!("load profile : {}", artifacts.trace.sparkline());
 
-    // 3. Run the 50-slice trace and inspect the outcome.
-    let report = analytic.execute(&trace).expect("analytic execution");
+    let analytic = artifacts
+        .report(BackendKind::Analytic)
+        .expect("analytic backend configured");
     println!("\nper-slice placements (first 12 slices):");
-    for r in report.records.iter().take(12) {
+    for r in analytic.records.iter().take(12) {
         println!(
             "  slice {:>2}: {:>2} tasks  {}  task {}  moved {:>3} groups  {}",
             r.slice,
@@ -42,26 +54,34 @@ fn main() {
         );
     }
 
-    println!("\nenergy breakdown ({} backend):", report.backend);
-    for (cat, e) in report.energy.iter() {
+    println!("\nenergy breakdown ({} backend):", analytic.backend);
+    for (cat, e) in analytic.energy.iter() {
         println!("  {cat:?}: {e}");
     }
     println!(
         "\ntotal: {} over {} slices ({} deadline misses)",
-        report.total_energy(),
-        report.records.len(),
-        report.deadline_misses
+        analytic.total_energy(),
+        analytic.records.len(),
+        analytic.deadline_misses
     );
 
-    // 4. Cross-check schedulability on the cycle-level machine: same
-    //    trace, same report type, per-access timing and energy.
-    let mut cycle = CycleBackend::new(Architecture::HhPim, TinyMlModel::EfficientNetB0)
-        .expect("classifier head fits the machine");
-    let cycle_report = cycle.execute(&trace).expect("cycle execution");
-    println!("\ncycle backend: {}", cycle_report);
+    let cycle = artifacts
+        .report(BackendKind::Cycle)
+        .expect("cycle backend configured");
+    println!("\ncycle backend: {cycle}");
     println!(
         "  {} PIM instructions, {} MACs retired on the structural machine",
-        cycle_report.instructions, cycle_report.macs
+        cycle.instructions, cycle.macs
     );
-    assert_eq!(report.deadline_misses, cycle_report.deadline_misses);
+
+    // 3. The run's artifacts compare the backends in place — the
+    //    parity harness without re-executing anything. (A fresh
+    //    `session.compare()` would run both backends again.)
+    let comparison = hhpim::Comparison::from(artifacts);
+    println!(
+        "\nanalytic↔cycle total-energy deviation: {:.2}% (bound: 10%)",
+        comparison.max_total_energy_rel() * 100.0
+    );
+    assert!(comparison.deadline_misses_agree());
+    assert!(comparison.max_total_energy_rel() < 0.10);
 }

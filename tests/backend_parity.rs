@@ -1,15 +1,15 @@
-//! The `ExecutionBackend` contract across implementations: the
-//! analytic and cycle-level backends consume the same `LoadTrace` and
-//! must produce structurally identical `ExecutionReport`s that agree
-//! on schedulability (deadline misses), total energy (within a stated
-//! relative bound), per-layer accounting and migration traffic.
+//! The `ExecutionBackend` contract across implementations, driven
+//! through the `hhpim::session` facade: one `SessionBuilder` composes
+//! both backends, `Session::compare()` runs them on the same
+//! `LoadTrace`, and the reports must agree on schedulability (deadline
+//! misses), total energy (within a stated relative bound), per-layer
+//! accounting and migration traffic.
 
-use hhpim::{
-    AnalyticBackend, Architecture, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
-};
+use hhpim::session::{Comparison, SessionBuilder};
+use hhpim::{Architecture, BackendKind, EnergyCat};
 use hhpim_mem::ClusterClass;
 use hhpim_sim::SimTime;
-use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use hhpim_workload::{Scenario, ScenarioParams};
 use proptest::prelude::*;
 
 /// Stated analytic↔cycle total-energy agreement bound. The residual
@@ -20,32 +20,36 @@ use proptest::prelude::*;
 /// the machine but serialize in the closed form.
 const ENERGY_REL_BOUND: f64 = 0.10;
 
-fn trace(scenario: Scenario, slices: usize, seed: u64) -> LoadTrace {
-    LoadTrace::generate(
-        scenario,
-        ScenarioParams {
+fn compare(arch: Architecture, scenario: Scenario, slices: usize, seed: u64) -> Comparison {
+    SessionBuilder::new()
+        .architecture(arch)
+        .model(hhpim_nn::TinyMlModel::MobileNetV2)
+        .scenario(scenario)
+        .scenario_params(ScenarioParams {
             slices,
             seed,
             ..ScenarioParams::default()
-        },
-    )
+        })
+        .backend(BackendKind::Analytic)
+        .backend(BackendKind::Cycle)
+        .build()
+        .unwrap()
+        .compare()
+        .unwrap()
 }
 
-/// The acceptance shape: both backends, one trace, one report type.
+/// The acceptance shape: both backends, one trace, one report type,
+/// one session.
 #[test]
 fn both_backends_execute_the_same_trace() {
-    let trace = trace(Scenario::PeriodicSpike, 6, 1);
-    let mut analytic =
-        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-    let mut cycle =
-        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-
-    let a = analytic.execute(&trace).unwrap();
-    let c = cycle.execute(&trace).unwrap();
+    let comparison = compare(Architecture::HhPim, Scenario::PeriodicSpike, 6, 1);
+    let trace = &comparison.artifacts.trace;
+    let a = comparison.artifacts.report(BackendKind::Analytic).unwrap();
+    let c = comparison.artifacts.report(BackendKind::Cycle).unwrap();
 
     assert_eq!(a.backend, BackendKind::Analytic);
     assert_eq!(c.backend, BackendKind::Cycle);
-    for report in [&a, &c] {
+    for report in [a, c] {
         assert_eq!(report.arch, Architecture::HhPim);
         assert_eq!(report.records.len(), trace.len());
         assert!(report.total_energy().as_pj() > 0.0);
@@ -62,23 +66,17 @@ fn both_backends_execute_the_same_trace() {
         let tasks: Vec<u32> = report.records.iter().map(|r| r.n_tasks).collect();
         assert_eq!(tasks, trace.task_counts(10), "{}", report.backend);
     }
-    assert_eq!(
-        a.deadline_misses, c.deadline_misses,
+    assert!(
+        comparison.deadline_misses_agree(),
         "backends disagree on schedulability"
     );
 }
 
 #[test]
 fn analytic_and_cycle_reports_use_the_shared_energy_vocabulary() {
-    let trace = trace(Scenario::HighConstant, 4, 2);
-    let mut analytic =
-        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-    let mut cycle =
-        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-    let a = analytic.execute(&trace).unwrap();
-    let c = cycle.execute(&trace).unwrap();
+    let comparison = compare(Architecture::HhPim, Scenario::HighConstant, 4, 2);
     // Both ledgers key the same enum, so breakdowns compare directly.
-    for report in [&a, &c] {
+    for report in &comparison.artifacts.reports {
         let hp_sram = report.energy.get(EnergyCat::MemDynamic(
             ClusterClass::HighPerformance,
             hhpim_mem::MemKind::Sram,
@@ -105,25 +103,20 @@ fn analytic_and_cycle_reports_use_the_shared_energy_vocabulary() {
 fn total_energy_agrees_through_a_lut_triggered_replacement() {
     // PeriodicSpike swings the queue between 2 and 10 tasks, forcing
     // the allocation LUT to re-place weights at the spike boundary.
-    let trace = trace(Scenario::PeriodicSpike, 6, 1);
-    let mut analytic =
-        AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-    let mut cycle =
-        CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-    let a = analytic.execute(&trace).unwrap();
-    let c = cycle.execute(&trace).unwrap();
+    let comparison = compare(Architecture::HhPim, Scenario::PeriodicSpike, 6, 1);
+    let a = comparison.artifacts.report(BackendKind::Analytic).unwrap();
+    let c = comparison.artifacts.report(BackendKind::Cycle).unwrap();
 
     assert!(
         !c.migrations.is_empty(),
         "spiky load must trigger at least one re-placement on the machine"
     );
 
-    // Total energy within the stated bound.
-    let (ea, ec) = (a.total_energy().as_pj(), c.total_energy().as_pj());
-    let rel = (ec - ea).abs() / ea;
+    // Total energy within the stated bound — the facade's own check.
     assert!(
-        rel < ENERGY_REL_BOUND,
-        "analytic {ea} pJ vs cycle {ec} pJ: rel {rel:.4} exceeds {ENERGY_REL_BOUND}"
+        comparison.max_total_energy_rel() < ENERGY_REL_BOUND,
+        "analytic vs cycle: rel {:.4} exceeds {ENERGY_REL_BOUND}",
+        comparison.max_total_energy_rel()
     );
 
     // Layer-by-layer: same PIM layers in the same order; the cycle
@@ -172,7 +165,7 @@ fn total_energy_agrees_through_a_lut_triggered_replacement() {
         );
     }
     // The movement category is populated on both sides.
-    for r in [&a, &c] {
+    for r in [a, c] {
         assert!(
             r.energy.get(EnergyCat::Movement).as_pj() > 0.0,
             "{}: movement energy missing",
@@ -184,19 +177,16 @@ fn total_energy_agrees_through_a_lut_triggered_replacement() {
 /// The energy bound holds for every architecture, not just HH-PIM.
 #[test]
 fn total_energy_agrees_across_architectures() {
-    let trace = trace(Scenario::Random, 4, 7);
     for arch in Architecture::ALL {
-        let mut analytic = AnalyticBackend::new(arch, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-        let mut cycle = CycleBackend::new(arch, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-        let a = analytic.execute(&trace).unwrap();
-        let c = cycle.execute(&trace).unwrap();
-        let (ea, ec) = (a.total_energy().as_pj(), c.total_energy().as_pj());
-        let rel = (ec - ea).abs() / ea;
+        let comparison = compare(arch, Scenario::Random, 4, 7);
         assert!(
-            rel < ENERGY_REL_BOUND,
-            "{arch}: analytic {ea} vs cycle {ec} rel {rel:.4}"
+            comparison.max_total_energy_rel() < ENERGY_REL_BOUND,
+            "{arch}: rel {:.4}",
+            comparison.max_total_energy_rel()
         );
         // Both count the same MAC basis now (within head rounding).
+        let a = comparison.artifacts.report(BackendKind::Analytic).unwrap();
+        let c = comparison.artifacts.report(BackendKind::Cycle).unwrap();
         let macs_rel = (c.macs as f64 - a.macs as f64).abs() / a.macs as f64;
         assert!(macs_rel < 0.01, "{arch}: macs {} vs {}", a.macs, c.macs);
     }
@@ -207,21 +197,16 @@ proptest! {
 
     /// The satellite invariant: on small PeriodicSpike traces the two
     /// backends agree on the deadline-miss count (HH-PIM schedules the
-    /// paper's scenarios without misses on either machine model).
+    /// paper's scenarios without misses on either machine model), and
+    /// `Session::compare` reproduces the stated energy bound.
     #[test]
     fn backends_agree_on_deadline_misses(slices in 3usize..8, seed in 0u64..100) {
-        let trace = trace(Scenario::PeriodicSpike, slices, seed);
-        let mut analytic =
-            AnalyticBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-        let mut cycle =
-            CycleBackend::new(Architecture::HhPim, hhpim_nn::TinyMlModel::MobileNetV2).unwrap();
-        let a = analytic.execute(&trace).unwrap();
-        let c = cycle.execute(&trace).unwrap();
-        prop_assert_eq!(a.deadline_misses, c.deadline_misses);
-        prop_assert_eq!(a.deadline_misses, 0);
+        let comparison = compare(Architecture::HhPim, Scenario::PeriodicSpike, slices, seed);
+        prop_assert!(comparison.deadline_misses_agree());
+        prop_assert_eq!(comparison.reference().deadline_misses, 0);
         // Per-slice schedulability agrees too, not just the total.
-        for (ra, rc) in a.records.iter().zip(&c.records) {
-            prop_assert_eq!(ra.deadline_met, rc.deadline_met, "slice {}", ra.slice);
-        }
+        prop_assert!(comparison.schedulability_agrees());
+        // And the facade reproduces the analytic↔cycle energy bound.
+        prop_assert!(comparison.max_total_energy_rel() < ENERGY_REL_BOUND);
     }
 }

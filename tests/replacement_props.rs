@@ -3,7 +3,10 @@
 //! pinning the weights in the worst fixed home, and the migration
 //! engine's energy is monotone in the bytes it moves.
 
-use hhpim::{mram_only_fastest, Architecture, CycleBackend, ExecutionBackend, StorageSpace};
+use hhpim::session::SessionBuilder;
+use hhpim::{
+    mram_only_fastest, Architecture, CycleBackend, ExecutionBackend, FixedHome, StorageSpace,
+};
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use proptest::prelude::*;
@@ -33,12 +36,12 @@ proptest! {
             CycleBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
         let worst = mram_only_fastest(adaptive.processor().cost())
             .expect("MobileNet fits in HH-PIM's MRAM");
-        let mut pinned = CycleBackend::with_fixed_placement(
-            Architecture::HhPim,
-            TinyMlModel::MobileNetV2,
-            worst,
-        )
-        .unwrap();
+        let mut pinned = SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .policy(FixedHome::pinned(worst))
+            .build_cycle()
+            .unwrap();
         let a = adaptive.execute(&trace).unwrap();
         let p = pinned.execute(&trace).unwrap();
         prop_assert!(

@@ -2,30 +2,33 @@
 //! paper's evaluation must hold end to end (who wins, by roughly what
 //! factor, where the crossovers fall).
 
+use hhpim::session::SessionBuilder;
 use hhpim::{
-    inference_times, Architecture, CostModel, CostParams, ExperimentConfig, OptimizerConfig,
+    inference_times, Architecture, CostModel, CostParams, OptimizerConfig, SavingsMatrix,
     WorkloadProfile,
 };
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{Scenario, ScenarioParams};
 
-fn quick_config() -> ExperimentConfig {
-    ExperimentConfig {
-        scenario_params: ScenarioParams {
+fn quick_matrix() -> SavingsMatrix {
+    SessionBuilder::new()
+        .scenario_params(ScenarioParams {
             slices: 10,
             ..ScenarioParams::default()
-        },
-        optimizer: OptimizerConfig {
+        })
+        .optimizer(OptimizerConfig {
             time_buckets: 400,
             ..OptimizerConfig::default()
-        },
-        ..ExperimentConfig::default()
-    }
+        })
+        .build()
+        .expect("default session builds")
+        .sweep_all()
+        .expect("all fit")
 }
 
 #[test]
 fn fig5_shape_holds_for_all_models() {
-    let matrix = hhpim::savings_matrix(&quick_config()).expect("all fit");
+    let matrix = quick_matrix();
     for model in TinyMlModel::ALL {
         let case1 = matrix.cell(Scenario::LowConstant, model).unwrap();
         let case2 = matrix.cell(Scenario::HighConstant, model).unwrap();
@@ -58,7 +61,7 @@ fn fig5_shape_holds_for_all_models() {
 
 #[test]
 fn table6_cases_ordered_sensibly() {
-    let matrix = hhpim::savings_matrix(&quick_config()).expect("all fit");
+    let matrix = quick_matrix();
     // Spiky (mostly-idle) cases save more vs Baseline than the pulsing
     // case, which runs at high load half the time (paper: 72 > 49).
     let spike = matrix.scenario_mean(Scenario::PeriodicSpike, Architecture::Baseline);

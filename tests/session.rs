@@ -1,0 +1,231 @@
+//! Contract tests for the `hhpim::session` facade: determinism of the
+//! builder pipeline, equivalence of the deprecated constructors with
+//! their builder replacements, and policy selectability end to end.
+//! (`tests/backend_parity.rs` property-tests the `Session::compare`
+//! energy bound.)
+
+#![allow(deprecated)] // the shim-equivalence tests exercise the old constructors on purpose
+
+use hhpim::session::SessionBuilder;
+use hhpim::{
+    AnalyticBackend, Architecture, BackendKind, CostParams, CycleBackend, ExecutionBackend,
+    ExecutionReport, FixedHome, GreedyBaseline, LutAdaptive, OptimizerConfig, Processor,
+    StorageSpace, WeightHome,
+};
+use hhpim_nn::TinyMlModel;
+use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
+use proptest::prelude::*;
+
+fn params(slices: usize, seed: u64) -> ScenarioParams {
+    ScenarioParams {
+        slices,
+        seed,
+        ..ScenarioParams::default()
+    }
+}
+
+/// Reports carry floats throughout; identical runs must agree to the
+/// bit, not within a tolerance.
+fn assert_reports_identical(a: &ExecutionReport, b: &ExecutionReport) {
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(a.arch, b.arch);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.layers, b.layers);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.deadline_misses, b.deadline_misses);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.macs, b.macs);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(
+        a.total_energy().as_pj().to_bits(),
+        b.total_energy().as_pj().to_bits(),
+        "energy must be bit-identical"
+    );
+}
+
+/// Satellite: same seed ⇒ identical `LoadTrace` and identical
+/// `RunArtifacts`, across two independently built sessions.
+#[test]
+fn same_seed_produces_identical_traces_and_artifacts() {
+    let build = || {
+        SessionBuilder::new()
+            .model(TinyMlModel::MobileNetV2)
+            .scenario(Scenario::Random)
+            .scenario_params(params(6, 0xFEED))
+            .backend(BackendKind::Analytic)
+            .backend(BackendKind::Cycle)
+            .build()
+            .unwrap()
+    };
+    let (a, b) = (build().run().unwrap(), build().run().unwrap());
+    assert_eq!(a.trace, b.trace, "same seed must regenerate the trace");
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_reports_identical(ra, rb);
+    }
+
+    // A different seed changes the random trace (and the artifacts).
+    let mut other = SessionBuilder::new()
+        .model(TinyMlModel::MobileNetV2)
+        .scenario(Scenario::Random)
+        .scenario_params(params(6, 0xBEEF))
+        .build()
+        .unwrap();
+    let c = other.run().unwrap();
+    assert_ne!(a.trace, c.trace);
+}
+
+/// Satellite: the deprecated `AnalyticBackend::with_params` is a thin
+/// shim over the builder — both produce identical reports.
+#[test]
+fn deprecated_analytic_constructor_matches_the_builder() {
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, params(5, 3));
+    let cost_params = CostParams::default();
+    let opt = OptimizerConfig {
+        time_buckets: 400,
+        ..OptimizerConfig::default()
+    };
+    let mut old = AnalyticBackend::with_params(
+        Architecture::HhPim,
+        TinyMlModel::EfficientNetB0,
+        cost_params,
+        opt,
+    )
+    .unwrap();
+    let mut new = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::EfficientNetB0)
+        .cost_params(cost_params)
+        .optimizer(opt)
+        .build_analytic()
+        .unwrap();
+    assert_reports_identical(&old.execute(&trace).unwrap(), &new.execute(&trace).unwrap());
+}
+
+/// Satellite: the deprecated cycle constructors are thin shims over
+/// the builder — both produce identical reports.
+#[test]
+fn deprecated_cycle_constructors_match_the_builder() {
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, params(4, 3));
+
+    let mut old = CycleBackend::with_weight_home(
+        Architecture::Hybrid,
+        TinyMlModel::MobileNetV2,
+        WeightHome::Mram,
+    )
+    .unwrap();
+    let mut new = SessionBuilder::new()
+        .architecture(Architecture::Hybrid)
+        .model(TinyMlModel::MobileNetV2)
+        .head_home(WeightHome::Mram)
+        .build_cycle()
+        .unwrap();
+    assert_reports_identical(&old.execute(&trace).unwrap(), &new.execute(&trace).unwrap());
+
+    // Pinned placement: old constructor vs FixedHome policy.
+    let cost = Processor::new(Architecture::HhPim, TinyMlModel::MobileNetV2)
+        .unwrap()
+        .cost()
+        .clone();
+    let mut pin = hhpim::Placement::empty();
+    let mut remaining = cost.k_groups();
+    for space in StorageSpace::ALL {
+        let take = remaining.min(cost.capacity_groups(space));
+        pin.set(space, take);
+        remaining -= take;
+    }
+    let mut old =
+        CycleBackend::with_fixed_placement(Architecture::HhPim, TinyMlModel::MobileNetV2, pin)
+            .unwrap();
+    let mut new = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .policy(FixedHome::pinned(pin))
+        .build_cycle()
+        .unwrap();
+    assert_reports_identical(&old.execute(&trace).unwrap(), &new.execute(&trace).unwrap());
+}
+
+/// Invalid pins are rejected with the backend's placement error, as
+/// the old constructor rejected them.
+#[test]
+fn invalid_pinned_placement_is_rejected() {
+    let bogus = hhpim::Placement::all_in(StorageSpace::HpSram, 1);
+    let err =
+        CycleBackend::with_fixed_placement(Architecture::HhPim, TinyMlModel::MobileNetV2, bogus)
+            .unwrap_err();
+    assert!(matches!(
+        err,
+        hhpim::BackendError::InvalidPlacement { placement } if placement == bogus
+    ));
+}
+
+/// Acceptance: all three placement policies are selectable at build
+/// time and flow through both backends of one session.
+#[test]
+fn three_policies_select_and_flow_through_both_backends() {
+    fn misses_and_moves(policy_name: &str, artifacts: &hhpim::RunArtifacts) -> (usize, usize) {
+        assert_eq!(artifacts.policy, policy_name);
+        let a = artifacts.report(BackendKind::Analytic).unwrap();
+        let c = artifacts.report(BackendKind::Cycle).unwrap();
+        assert_eq!(
+            a.migrations.len(),
+            c.migrations.len(),
+            "{policy_name}: both backends must replay the same policy decisions"
+        );
+        (a.deadline_misses, a.migrations.len())
+    }
+    let run = |policy_name: &str| {
+        let mut builder = SessionBuilder::new()
+            .model(TinyMlModel::MobileNetV2)
+            .scenario(Scenario::PeriodicSpike)
+            .scenario_params(params(5, 1))
+            .backend(BackendKind::Analytic)
+            .backend(BackendKind::Cycle);
+        builder = match policy_name {
+            "lut-adaptive" => builder.policy(LutAdaptive::new()),
+            "fixed-home" => builder.policy(FixedHome::arch_default()),
+            "greedy" => builder.policy(GreedyBaseline::new()),
+            _ => unreachable!(),
+        };
+        builder.build().unwrap().run().unwrap()
+    };
+    let (_, lut_moves) = misses_and_moves("lut-adaptive", &run("lut-adaptive"));
+    let (fixed_misses, fixed_moves) = misses_and_moves("fixed-home", &run("fixed-home"));
+    let (greedy_misses, greedy_moves) = misses_and_moves("greedy", &run("greedy"));
+    assert!(lut_moves > 0, "spiky load must re-place under the LUT");
+    assert!(greedy_moves > 0, "greedy must also adapt");
+    assert_eq!(fixed_moves, 0, "fixed home never migrates");
+    assert_eq!(fixed_misses, 0);
+    assert_eq!(greedy_misses, 0, "greedy must stay schedulable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Determinism holds across scenarios and seeds, not just one
+    /// hand-picked pair.
+    #[test]
+    fn artifacts_are_deterministic_across_scenarios(
+        scenario in proptest::sample::select(Scenario::ALL.to_vec()),
+        seed in 0u64..1000,
+    ) {
+        let build = || {
+            SessionBuilder::new()
+                .model(TinyMlModel::MobileNetV2)
+                .scenario(scenario)
+                .scenario_params(params(4, seed))
+                .build()
+                .unwrap()
+        };
+        let a = build().run().unwrap();
+        let b = build().run().unwrap();
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(&a.primary().records, &b.primary().records);
+        prop_assert_eq!(
+            a.primary().total_energy().as_pj().to_bits(),
+            b.primary().total_energy().as_pj().to_bits()
+        );
+    }
+}
