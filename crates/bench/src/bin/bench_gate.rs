@@ -29,7 +29,8 @@
 
 use hhpim::session::SessionBuilder;
 use hhpim::{
-    Architecture, BackendKind, ExecutionBackend, OptimizerConfig, PlacementOptimizer, Processor,
+    AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig,
+    PlacementOptimizer, PlacementStore, Processor,
 };
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
@@ -186,6 +187,57 @@ fn measure(samples: usize) -> GateFile {
                 .build()
                 .unwrap();
             std::hint::black_box(session.run().unwrap())
+        }),
+    );
+
+    // lut_build_cold: the full §III-B allocation LUT (10 DP-solved
+    // entries at CI resolution), built from scratch every iteration —
+    // the cost the PlacementStore amortizes away.
+    let lut_runtime = *dp_processor.runtime();
+    file.benches.insert(
+        "lut_build_cold".into(),
+        bench(samples, || {
+            let opt = PlacementOptimizer::new(dp_processor.cost(), opt_config);
+            AllocationLut::build(&opt, lut_runtime.usable_slice(), lut_runtime.max_tasks)
+        }),
+    );
+
+    // lut_store_warm: the memoized path — key construction, map
+    // lookup and Arc clone on a warm PlacementStore, ×100 per
+    // iteration so the sub-microsecond hit amortizes timer noise.
+    let warm_store = PlacementStore::new();
+    warm_store.lut(dp_processor.cost(), &lut_runtime, &opt_config);
+    file.benches.insert(
+        "lut_store_warm".into(),
+        bench(samples, || {
+            for _ in 0..100 {
+                std::hint::black_box(warm_store.lut(
+                    dp_processor.cost(),
+                    &lut_runtime,
+                    &opt_config,
+                ));
+            }
+        }),
+    );
+
+    // sweep_all_parallel: the full 6×3 savings matrix fanned across 4
+    // scoped threads sharing one store. The untimed warm-up iteration
+    // populates the store, so the timed samples measure the warm
+    // parallel sweep itself.
+    let sweep_session = SessionBuilder::new()
+        .scenario_params(ScenarioParams {
+            slices: 12,
+            ..ScenarioParams::default()
+        })
+        .optimizer(opt_config)
+        .store(PlacementStore::shared())
+        .threads(4)
+        .build()
+        .unwrap();
+    file.benches.insert(
+        "sweep_all_parallel".into(),
+        bench(samples, || {
+            std::hint::black_box(sweep_session.sweep_all().unwrap())
         }),
     );
 
@@ -642,9 +694,24 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 6);
-        assert!(f.benches.contains_key("session_build_and_run"));
+        assert_eq!(f.benches.len(), 9);
+        for key in [
+            "session_build_and_run",
+            "lut_build_cold",
+            "lut_store_warm",
+            "sweep_all_parallel",
+        ] {
+            assert!(f.benches.contains_key(key), "missing bench `{key}`");
+        }
         assert_eq!(f.energies.len(), 7);
         assert!(f.energies.values().all(|&v| v > 0.0));
+        // The store's warm path must beat the cold DP by a wide margin
+        // — this is the speedup the gate exists to protect.
+        assert!(
+            f.benches["lut_store_warm"] < f.benches["lut_build_cold"] / 10.0,
+            "warm path {} ns not well below cold build {} ns",
+            f.benches["lut_store_warm"],
+            f.benches["lut_build_cold"]
+        );
     }
 }

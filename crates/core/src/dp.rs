@@ -48,6 +48,21 @@ impl Default for OptimizerConfig {
     }
 }
 
+impl OptimizerConfig {
+    /// The configuration's canonical, hashable identity — the exact
+    /// bit patterns of every field, so a [`crate::PlacementStore`] key
+    /// distinguishes any two configurations that could build different
+    /// LUTs. Returns `(time_buckets, amortize_static,
+    /// retention_factor_bits)`.
+    pub fn canonical_bits(&self) -> (usize, bool, u64) {
+        (
+            self.time_buckets,
+            self.amortize_static,
+            self.retention_factor.to_bits(),
+        )
+    }
+}
+
 /// The optimizer's answer for one `t_constraint`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimalPlacement {
@@ -61,6 +76,13 @@ pub struct OptimalPlacement {
 
 /// Per-cluster DP table: Algorithm 1 over the cluster's `[MRAM, SRAM]`
 /// spaces.
+///
+/// The table carries columns only up to `k_max` — the caller caps it
+/// at the cluster's capacity and (when a warm-start bound is known) at
+/// the largest group count whose energy could still beat the bound;
+/// columns beyond the cap are infeasible or provably suboptimal, so
+/// [`ClusterDp::energy_at`] answers `f64::INFINITY` for them without
+/// ever computing a cell.
 #[derive(Debug, Clone)]
 struct ClusterDp {
     k_max: usize,
@@ -77,10 +99,16 @@ impl ClusterDp {
     }
 
     fn energy_at(&self, t: usize, k: usize) -> f64 {
+        if k > self.k_max {
+            return f64::INFINITY;
+        }
         self.energy[self.idx(t, k)]
     }
 
     fn mram_at(&self, t: usize, k: usize) -> u32 {
+        if k > self.k_max {
+            return 0;
+        }
         self.mram[self.idx(t, k)]
     }
 
@@ -224,6 +252,32 @@ impl<'a> PlacementOptimizer<'a> {
     /// Runs Algorithms 1 + 2 for one `t_constraint`; `None` when no
     /// placement can meet the deadline (the gray region of Fig. 6).
     pub fn optimize(&self, t_constraint: SimDuration) -> Option<OptimalPlacement> {
+        self.optimize_seeded(t_constraint, None)
+    }
+
+    /// [`PlacementOptimizer::optimize`] warm-started with a known-good
+    /// `seed` placement (typically the previous [`AllocationLut`]
+    /// entry): when the seed is feasible under the DP's own bucketed
+    /// arithmetic, its objective is a valid upper bound on the DP
+    /// optimum, which caps how many groups a single cluster could
+    /// possibly hold on any optimal path — shrinking the Algorithm 1
+    /// tables without changing any answer.
+    ///
+    /// The result is **provably identical** to the cold
+    /// [`PlacementOptimizer::optimize`]:
+    ///
+    /// * a DP-feasible seed guarantees the bucketed optimum's energy
+    ///   is ≤ the seed's (the seed is one of the states the tables
+    ///   cover), and per-group energies are non-negative, so every
+    ///   prefix of an optimal path stays ≤ the bound — no capped
+    ///   column can hold a cell of any optimal (or tied-optimal) path;
+    /// * a seed that is *not* DP-feasible contributes no bound and the
+    ///   cold path runs unchanged.
+    pub fn optimize_seeded(
+        &self,
+        t_constraint: SimDuration,
+        seed: Option<&Placement>,
+    ) -> Option<OptimalPlacement> {
         let k = self.cost.k_groups();
         if k == 0 {
             return Some(OptimalPlacement {
@@ -257,21 +311,60 @@ impl<'a> PlacementOptimizer<'a> {
         let quantize =
             |d: SimDuration| -> usize { (d.as_ps().div_ceil(bucket_ps) as usize).max(1) };
 
+        // Warm start: a seed that is valid and feasible under the DP's
+        // own ceiling-quantized times yields an upper bound (its exact
+        // Σ e_i·x_i, the same per-group energies the tables add) on the
+        // bucketed optimum.
+        let seed_bound = seed.and_then(|p| {
+            if !self.cost.is_valid(p) {
+                return None;
+            }
+            for cluster in ClusterClass::ALL {
+                let bucketed: usize = StorageSpace::of_cluster(cluster)
+                    .into_iter()
+                    .map(|s| quantize(self.cost.time_per_group(s)) * p.get(s))
+                    .sum();
+                if bucketed > buckets {
+                    return None;
+                }
+            }
+            let e: f64 = p
+                .occupied()
+                .map(|(s, n)| self.e_pj(s, t_constraint) * n as f64)
+                .sum();
+            Some(e)
+        });
+
         let build_cluster = |cluster: ClusterClass| -> Option<ClusterDp> {
             if self.cost.arch().modules_in(cluster) == 0 {
                 return None;
             }
             let [m, s] = StorageSpace::of_cluster(cluster);
-            Some(ClusterDp::build(
-                k,
-                buckets,
-                [
-                    quantize(self.cost.time_per_group(m)),
-                    quantize(self.cost.time_per_group(s)),
-                ],
-                [self.e_pj(m, t_constraint), self.e_pj(s, t_constraint)],
-                [self.cost.capacity_groups(m), self.cost.capacity_groups(s)],
-            ))
+            let t_bucketed = [
+                quantize(self.cost.time_per_group(m)),
+                quantize(self.cost.time_per_group(s)),
+            ];
+            let e_pj = [self.e_pj(m, t_constraint), self.e_pj(s, t_constraint)];
+            let caps = [self.cost.capacity_groups(m), self.cost.capacity_groups(s)];
+            // Columns the cluster can never populate are not computed:
+            // beyond its capacity, beyond what fits the full time
+            // budget (every selection costs ≥ min(t_i) buckets), and —
+            // given a warm-start bound — beyond what the bound's energy
+            // allows (every selection costs ≥ min(e_i) pJ). All three
+            // caps only remove provably infeasible/suboptimal columns,
+            // so results are bit-identical to the uncapped build.
+            let mut k_cap = k.min(caps[0] + caps[1]);
+            k_cap = k_cap.min(buckets / t_bucketed[0].min(t_bucketed[1]).max(1));
+            if let Some(bound) = seed_bound {
+                let e_min = e_pj[0].min(e_pj[1]);
+                if e_min > 0.0 {
+                    let affordable = (bound * (1.0 + 1e-9) / e_min).floor();
+                    if affordable < k_cap as f64 {
+                        k_cap = affordable.max(0.0) as usize;
+                    }
+                }
+            }
+            Some(ClusterDp::build(k_cap, buckets, t_bucketed, e_pj, caps))
         };
         let hp = build_cluster(ClusterClass::HighPerformance);
         let lp = build_cluster(ClusterClass::LowPower);
@@ -379,18 +472,41 @@ pub struct AllocationLut {
 
 impl AllocationLut {
     /// Builds the LUT for task counts `1..=max_tasks`, each with its
-    /// `t_constraint = usable_slice / n`.
+    /// `t_constraint = usable_slice / n`, warm-starting every entry's
+    /// knapsack with the previous entry's placement (see
+    /// [`PlacementOptimizer::optimize_seeded`] — contents are provably
+    /// identical to the cold build, just cheaper).
     pub fn build(
         optimizer: &PlacementOptimizer<'_>,
         usable_slice: SimDuration,
         max_tasks: u32,
     ) -> Self {
+        Self::build_with(optimizer, usable_slice, max_tasks, true)
+    }
+
+    /// [`AllocationLut::build`] with the warm start switchable —
+    /// `warm_start: false` runs every entry's DP cold (the reference
+    /// path the warm build is property-tested against).
+    pub fn build_with(
+        optimizer: &PlacementOptimizer<'_>,
+        usable_slice: SimDuration,
+        max_tasks: u32,
+        warm_start: bool,
+    ) -> Self {
         let mut entries = Vec::with_capacity(max_tasks as usize);
         let mut t_constraints = Vec::with_capacity(max_tasks as usize);
+        let mut seed: Option<Placement> = None;
         for n in 1..=max_tasks {
             let t_c = usable_slice / n as u64;
             t_constraints.push(t_c);
-            entries.push(optimizer.optimize(t_c));
+            let entry = optimizer.optimize_seeded(t_c, seed.as_ref());
+            if warm_start {
+                // Carry the last feasible placement forward; the next
+                // entry only uses it if it still fits its own bucketed
+                // budget.
+                seed = entry.as_ref().map(|e| e.placement).or(seed);
+            }
+            entries.push(entry);
         }
         AllocationLut {
             entries,
@@ -611,6 +727,57 @@ mod tests {
             .find_map(|n| lut.lookup(n))
             .expect("some entry is feasible");
         assert_eq!(over.placement, largest_feasible.placement);
+    }
+
+    #[test]
+    fn warm_start_build_is_bit_identical_to_cold_build() {
+        // The warm start may only skip provably suboptimal work; every
+        // entry must come out identical to the cold reference, across
+        // dual- and single-cluster architectures and slice budgets
+        // spanning relaxed to infeasible entries.
+        for arch in Architecture::ALL {
+            let cost = CostModel::new(
+                arch.spec(),
+                WorkloadProfile::from_spec(&TinyMlModel::MobileNetV2.spec()),
+                CostParams::default(),
+            )
+            .unwrap();
+            let opt = PlacementOptimizer::new(
+                &cost,
+                OptimizerConfig {
+                    time_buckets: 400,
+                    ..OptimizerConfig::default()
+                },
+            );
+            for slice_factor in [3u64, 6, 11] {
+                let usable = cost.peak_task_time() * slice_factor;
+                let cold = AllocationLut::build_with(&opt, usable, 10, false);
+                let warm = AllocationLut::build_with(&opt, usable, 10, true);
+                assert_eq!(cold, warm, "{arch} ×{slice_factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_optimize_matches_unseeded_for_arbitrary_seeds() {
+        // Any seed — optimal, suboptimal, or infeasible — must leave
+        // the answer untouched.
+        let cost = effnet_cost();
+        let opt = PlacementOptimizer::new(&cost, OptimizerConfig::default());
+        let peak = cost.peak_task_time();
+        let seeds = [
+            cost.fastest_placement(),
+            opt.relaxed_optimal(peak),
+            Placement::all_in(StorageSpace::LpMram, cost.k_groups()),
+            Placement::all_in(StorageSpace::HpSram, cost.k_groups() * 2), // invalid
+        ];
+        for factor in [0.9, 1.0, 1.3, 2.0, 5.0] {
+            let t = peak.mul_f64(factor);
+            let cold = opt.optimize(t);
+            for seed in &seeds {
+                assert_eq!(cold, opt.optimize_seeded(t, Some(seed)), "×{factor}");
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //!
 //! The matrix is produced by [`crate::session::Session::sweep`]; the
 //! free functions in this module are deprecated shims kept for the old
-//! call sites.
+//! call sites. The shims delegate to the builder, which draws its LUTs
+//! from the process-local [`crate::PlacementStore`] — repeated shim
+//! calls with the same configuration pay the placement DP once per
+//! process, yet stay bit-identical to the builder path (regression
+//! tested).
 
 use crate::arch::Architecture;
 use crate::backend::ExecutionReport;

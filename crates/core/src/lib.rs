@@ -16,6 +16,9 @@
 //!   from Tables III/V,
 //! * [`PlacementOptimizer`] — Algorithms 1 & 2: per-cluster bottom-up
 //!   DP plus cross-cluster combination, building an [`AllocationLut`],
+//! * [`store`] — the [`PlacementStore`]: a thread-safe, memoized cache
+//!   of built LUTs shared across sessions, backends and sweep cells,
+//!   so each distinct configuration pays the DP once per process,
 //! * [`Processor`] — the time-slice runtime with task buffering,
 //!   movement-aware re-placement and per-category energy accounting.
 //!
@@ -53,6 +56,7 @@ pub mod policy;
 pub mod runtime;
 pub mod session;
 pub mod space;
+pub mod store;
 
 pub use analysis::{
     inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary,
@@ -79,3 +83,4 @@ pub use session::{
     SessionError, TraceSource,
 };
 pub use space::{movement_legs, MovementLeg, Placement, StorageSpace};
+pub use store::{CacheStats, PlacementKey, PlacementStore};

@@ -21,11 +21,13 @@
 
 use crate::arch::{Architecture, PlacementMode};
 use crate::cost::{CostModel, CostModelError};
-use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
+use crate::dp::{AllocationLut, OptimizerConfig};
 use crate::runtime::RuntimeConfig;
 use crate::space::{Placement, StorageSpace};
+use crate::store::PlacementStore;
 use hhpim_sim::SimDuration;
 use std::fmt;
+use std::sync::Arc;
 
 /// A weight-placement decision procedure, bound to one cost model at
 /// session build time via [`PlacementPolicy::prepare`].
@@ -42,6 +44,11 @@ pub trait PlacementPolicy: fmt::Debug {
     /// any placement query. Called by [`crate::Processor`] during
     /// construction.
     ///
+    /// Expensive state must be obtained through `store` rather than
+    /// built privately: the [`PlacementStore`] memoizes it per
+    /// configuration, so every processor, backend and sweep cell in a
+    /// process sharing one store pays each DP exactly once.
+    ///
     /// # Errors
     ///
     /// Policies validating caller-supplied state (e.g. a pinned
@@ -52,6 +59,7 @@ pub trait PlacementPolicy: fmt::Debug {
         cost: &CostModel,
         runtime: &RuntimeConfig,
         opt: &OptimizerConfig,
+        store: &PlacementStore,
     ) -> Result<(), CostModelError>;
 
     /// The placement for an `n_tasks` slice.
@@ -92,20 +100,25 @@ pub fn default_policy(arch: Architecture) -> Box<dyn PlacementPolicy> {
 /// The paper's HH-PIM policy: every queue-length change consults the
 /// [`AllocationLut`] built by the bottom-up DP (Algorithms 1 & 2),
 /// falling back to the fastest placement when the entry is infeasible.
+///
+/// The LUT is obtained from the [`PlacementStore`] in
+/// [`PlacementPolicy::prepare`]: the first policy prepared for a
+/// configuration runs the DP, every later one shares the same
+/// [`Arc`]'d table.
 #[derive(Debug, Clone, Default)]
 pub struct LutAdaptive {
-    lut: Option<AllocationLut>,
+    lut: Option<Arc<AllocationLut>>,
 }
 
 impl LutAdaptive {
-    /// An unprepared LUT policy (the LUT is built in `prepare`).
+    /// An unprepared LUT policy (the LUT is resolved in `prepare`).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// The prepared LUT (`None` before `prepare`).
     pub fn lut(&self) -> Option<&AllocationLut> {
-        self.lut.as_ref()
+        self.lut.as_deref()
     }
 }
 
@@ -119,12 +132,9 @@ impl PlacementPolicy for LutAdaptive {
         cost: &CostModel,
         runtime: &RuntimeConfig,
         opt: &OptimizerConfig,
+        store: &PlacementStore,
     ) -> Result<(), CostModelError> {
-        let optimizer = PlacementOptimizer::new(cost, *opt);
-        let usable = runtime
-            .slice_duration
-            .mul_f64(1.0 - runtime.movement_margin);
-        self.lut = Some(AllocationLut::build(&optimizer, usable, runtime.max_tasks));
+        self.lut = Some(store.lut(cost, runtime, opt));
         Ok(())
     }
 
@@ -181,7 +191,7 @@ impl FixedHome {
 }
 
 /// The Table I fixed home of `arch` under `cost`.
-fn arch_fixed_home(arch: Architecture, cost: &CostModel) -> Placement {
+pub(crate) fn arch_fixed_home(arch: Architecture, cost: &CostModel) -> Placement {
     match arch {
         Architecture::Baseline => Placement::all_in(StorageSpace::HpSram, cost.k_groups()),
         Architecture::Hybrid => Placement::all_in(StorageSpace::HpMram, cost.k_groups()),
@@ -199,14 +209,9 @@ impl PlacementPolicy for FixedHome {
         cost: &CostModel,
         _runtime: &RuntimeConfig,
         _opt: &OptimizerConfig,
+        store: &PlacementStore,
     ) -> Result<(), CostModelError> {
-        let home = self
-            .pinned
-            .unwrap_or_else(|| arch_fixed_home(cost.arch().arch, cost));
-        if !cost.is_valid(&home) {
-            return Err(CostModelError::InvalidPlacement { placement: home });
-        }
-        self.home = Some(home);
+        self.home = Some(store.fixed_home(cost, self.pinned)?);
         Ok(())
     }
 
@@ -251,11 +256,11 @@ impl PlacementPolicy for GreedyBaseline {
         _cost: &CostModel,
         runtime: &RuntimeConfig,
         _opt: &OptimizerConfig,
+        _store: &PlacementStore,
     ) -> Result<(), CostModelError> {
-        // The same movement-margin headroom the LUT sizes against.
-        self.usable_slice = runtime
-            .slice_duration
-            .mul_f64(1.0 - runtime.movement_margin);
+        // The same movement-margin headroom the LUT sizes against;
+        // nothing here is worth memoizing.
+        self.usable_slice = runtime.usable_slice();
         Ok(())
     }
 
@@ -351,7 +356,12 @@ mod tests {
         .unwrap();
         let runtime = RuntimeConfig::reference(TinyMlModel::MobileNetV2, *cost.params()).unwrap();
         policy
-            .prepare(&cost, &runtime, &OptimizerConfig::default())
+            .prepare(
+                &cost,
+                &runtime,
+                &OptimizerConfig::default(),
+                &PlacementStore::new(),
+            )
             .unwrap();
         (cost, policy)
     }
@@ -384,7 +394,12 @@ mod tests {
         .unwrap();
         let runtime = RuntimeConfig::reference(TinyMlModel::MobileNetV2, CostParams::default());
         let err = FixedHome::pinned(bogus)
-            .prepare(&cost2, &runtime.unwrap(), &OptimizerConfig::default())
+            .prepare(
+                &cost2,
+                &runtime.unwrap(),
+                &OptimizerConfig::default(),
+                &PlacementStore::new(),
+            )
             .unwrap_err();
         assert!(matches!(err, CostModelError::InvalidPlacement { .. }));
     }
@@ -393,9 +408,7 @@ mod tests {
     fn greedy_is_valid_schedulable_and_load_sensitive() {
         let (cost, policy) = prepared(Architecture::HhPim, Box::new(GreedyBaseline::new()));
         let runtime = RuntimeConfig::reference(TinyMlModel::MobileNetV2, *cost.params()).unwrap();
-        let usable = runtime
-            .slice_duration
-            .mul_f64(1.0 - runtime.movement_margin);
+        let usable = runtime.usable_slice();
         for n in 1..=10u32 {
             let p = policy.placement_for(&cost, n);
             assert!(cost.is_valid(&p), "n={n}: {p}");

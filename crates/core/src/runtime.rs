@@ -16,6 +16,7 @@ use crate::cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 use crate::dp::OptimizerConfig;
 use crate::policy::{default_policy, FixedHome, PlacementPolicy};
 use crate::space::{movement_legs, Placement, StorageSpace};
+use crate::store::PlacementStore;
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind, Power};
 use hhpim_nn::TinyMlModel;
 use hhpim_sim::{SimDuration, SimTime};
@@ -57,6 +58,13 @@ impl RuntimeConfig {
             controller_static: Power::from_mw(0.7),
             movement_margin: 0.05,
         })
+    }
+
+    /// The slice share available to tasks after the movement margin —
+    /// the budget every placement policy (and the allocation LUT) is
+    /// sized against.
+    pub fn usable_slice(&self) -> SimDuration {
+        self.slice_duration.mul_f64(1.0 - self.movement_margin)
     }
 }
 
@@ -146,6 +154,12 @@ impl Processor {
     /// policy is prepared against this processor's cost model and then
     /// answers every per-slice placement query.
     ///
+    /// Prepared state (the allocation LUT above all) comes from the
+    /// process-local [`PlacementStore`], so repeated constructions of
+    /// the same configuration pay the DP once; use
+    /// [`Processor::with_policy_in`] to share (or isolate) an explicit
+    /// store instead.
+    ///
     /// # Errors
     ///
     /// Fails if the model's weights do not fit the architecture or the
@@ -156,13 +170,40 @@ impl Processor {
         model: TinyMlModel,
         params: CostParams,
         opt_config: OptimizerConfig,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, CostModelError> {
+        Self::with_policy_in(
+            arch,
+            model,
+            params,
+            opt_config,
+            policy,
+            &PlacementStore::global(),
+        )
+    }
+
+    /// [`Processor::with_policy`] with an explicit [`PlacementStore`]
+    /// supplying (and memoizing) the policy's prepared state — the
+    /// constructor [`crate::session::SessionBuilder`] and
+    /// [`crate::session::Session::sweep`] thread their shared store
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// See [`Processor::with_policy`].
+    pub fn with_policy_in(
+        arch: Architecture,
+        model: TinyMlModel,
+        params: CostParams,
+        opt_config: OptimizerConfig,
         mut policy: Box<dyn PlacementPolicy>,
+        store: &PlacementStore,
     ) -> Result<Self, CostModelError> {
         let profile = WorkloadProfile::from_spec(&model.spec());
         let spec = arch.spec();
         let cost = CostModel::new(spec, profile, params)?;
         let runtime = RuntimeConfig::reference(model, params)?;
-        policy.prepare(&cost, &runtime, &opt_config)?;
+        policy.prepare(&cost, &runtime, &opt_config, store)?;
         let built = model.build();
         let total_macs: u64 = built
             .layers()

@@ -92,9 +92,11 @@ use crate::dp::OptimizerConfig;
 use crate::experiment::{SavingsCell, SavingsMatrix};
 use crate::policy::{default_policy, PlacementPolicy};
 use crate::runtime::Processor;
+use crate::store::{CacheStats, PlacementStore};
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams, TraceError};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced while building or driving a [`Session`].
 #[derive(Debug)]
@@ -323,6 +325,8 @@ pub struct SessionBuilder {
     opt_config: Option<OptimizerConfig>,
     policy: Option<Box<dyn PlacementPolicy>>,
     head_home: Option<WeightHome>,
+    store: Option<Arc<PlacementStore>>,
+    threads: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -404,6 +408,26 @@ impl SessionBuilder {
         self
     }
 
+    /// The [`PlacementStore`] supplying memoized LUTs and prepared
+    /// placement state (default: [`PlacementStore::global`], the
+    /// process-local cache). Pass a private store to isolate
+    /// [`CacheStats`], or share one store across many sessions
+    /// explicitly.
+    pub fn store(mut self, store: Arc<PlacementStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Worker threads for [`Session::sweep`]/[`Session::sweep_all`]
+    /// (default 1 = serial). The parallel executor fans sweep cells
+    /// across scoped threads sharing the session's warm store; results
+    /// are ordered deterministically and bit-identical to the serial
+    /// run. Values are clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     fn resolved(&self) -> (Architecture, TinyMlModel, CostParams, OptimizerConfig) {
         (
             self.arch.unwrap_or(Architecture::HhPim),
@@ -411,6 +435,13 @@ impl SessionBuilder {
             self.cost_params.unwrap_or_default(),
             self.opt_config.unwrap_or_default(),
         )
+    }
+
+    fn resolved_store(&self) -> Arc<PlacementStore> {
+        self.store
+            .as_ref()
+            .cloned()
+            .unwrap_or_else(PlacementStore::global)
     }
 
     fn make_policy(&self, arch: Architecture) -> Box<dyn PlacementPolicy> {
@@ -422,12 +453,13 @@ impl SessionBuilder {
 
     fn make_processor(&self) -> Result<Processor, SessionError> {
         let (arch, model, cost_params, opt_config) = self.resolved();
-        Ok(Processor::with_policy(
+        Ok(Processor::with_policy_in(
             arch,
             model,
             cost_params,
             opt_config,
             self.make_policy(arch),
+            &self.resolved_store(),
         )?)
     }
 
@@ -486,9 +518,11 @@ impl SessionBuilder {
                 return Err(SessionError::DuplicateBackend { kind });
             }
         }
-        // One prepared processor (cost model + policy, LUT DP included)
-        // serves every backend via Clone — a dual-backend session pays
-        // the DP solves once, not per backend.
+        // One prepared processor (cost model + policy, LUT via the
+        // shared store) serves every backend via Clone — a
+        // dual-backend session pays at most one DP, and none at all
+        // when the store is already warm for this configuration.
+        let store = self.resolved_store();
         let mut backends: Vec<Box<dyn ExecutionBackend>> = Vec::with_capacity(kinds.len());
         if !kinds.is_empty() {
             let processor = self.make_processor()?;
@@ -523,6 +557,8 @@ impl SessionBuilder {
             policy_name,
             source,
             backends,
+            store,
+            threads: self.threads.unwrap_or(1),
         })
     }
 }
@@ -537,6 +573,10 @@ pub struct RunArtifacts {
     pub policy: &'static str,
     /// One report per backend, in the order they were configured.
     pub reports: Vec<ExecutionReport>,
+    /// Snapshot of the session's [`PlacementStore`] counters at the
+    /// end of the run: how often prepared placement state (the LUT DP
+    /// above all) was reused versus rebuilt.
+    pub cache: CacheStats,
 }
 
 impl RunArtifacts {
@@ -625,6 +665,8 @@ pub struct Session {
     policy_name: &'static str,
     source: Option<Box<dyn TraceSource>>,
     backends: Vec<Box<dyn ExecutionBackend>>,
+    store: Arc<PlacementStore>,
+    threads: usize,
 }
 
 impl fmt::Debug for Session {
@@ -670,6 +712,22 @@ impl Session {
         self.source.as_ref().map(|s| s.label())
     }
 
+    /// The placement store backing this session (shared with every
+    /// session built without an explicit [`SessionBuilder::store`]).
+    pub fn store(&self) -> &Arc<PlacementStore> {
+        &self.store
+    }
+
+    /// A snapshot of the session store's hit/miss/build counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// Worker threads [`Session::sweep`] fans out across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Pulls one trace from the source and executes it on every
     /// configured backend.
     ///
@@ -692,6 +750,7 @@ impl Session {
             trace,
             policy: self.policy_name,
             reports,
+            cache: self.store.stats(),
         })
     }
 
@@ -721,7 +780,13 @@ impl Session {
     ///
     /// Uses the session's scenario, cost and optimizer parameters, so
     /// it reproduces `experiment::savings_matrix` bit-for-bit when
-    /// given the full grid.
+    /// given the full grid. Every cell draws its LUTs from the
+    /// session's [`PlacementStore`], so the DP runs once per distinct
+    /// `(architecture, model)` configuration for the whole sweep.
+    ///
+    /// With [`SessionBuilder::threads`] above 1 the cells fan out
+    /// across that many scoped worker threads sharing the warm store;
+    /// cell order and every value are bit-identical to the serial run.
     ///
     /// # Errors
     ///
@@ -733,39 +798,131 @@ impl Session {
         scenarios: &[Scenario],
         models: &[TinyMlModel],
     ) -> Result<SavingsMatrix, SessionError> {
-        let mut cells = Vec::with_capacity(scenarios.len() * models.len());
-        for &model in models {
-            // Build processors once per model; traces vary per scenario.
-            let procs: Vec<(Architecture, Processor)> = Architecture::ALL
-                .iter()
-                .map(|&a| {
-                    Processor::with_params(a, model, self.cost_params, self.opt_config)
-                        .map(|p| (a, p))
-                })
-                .collect::<Result<_, CostModelError>>()?;
-            for &scenario in scenarios {
-                let trace = LoadTrace::try_generate(scenario, self.scenario_params)?;
-                let energy = |arch: Architecture| {
-                    procs
-                        .iter()
-                        .find(|(a, _)| *a == arch)
-                        .expect("all architectures built")
-                        .1
-                        .run_trace(&trace)
-                        .total_energy()
-                };
-                let e_hh = energy(Architecture::HhPim);
-                let pct = |e_other: hhpim_mem::Energy| (1.0 - e_hh / e_other) * 100.0;
-                cells.push(SavingsCell {
-                    scenario,
-                    model,
-                    vs_baseline: pct(energy(Architecture::Baseline)),
-                    vs_heterogeneous: pct(energy(Architecture::Heterogeneous)),
-                    vs_hybrid: pct(energy(Architecture::Hybrid)),
-                });
-            }
+        // Model-major cell order, as `experiment::savings_matrix`
+        // always produced.
+        let pairs: Vec<(Scenario, TinyMlModel)> = models
+            .iter()
+            .flat_map(|&model| scenarios.iter().map(move |&scenario| (scenario, model)))
+            .collect();
+        let threads = self.threads.min(pairs.len()).max(1);
+        let mut slots: Vec<Option<Result<SavingsCell, SessionError>>> = Vec::new();
+        slots.resize_with(pairs.len(), || None);
+        let (scenario_params, cost_params, opt_config) =
+            (self.scenario_params, self.cost_params, self.opt_config);
+        let store = &self.store;
+        if threads == 1 {
+            Self::sweep_chunk(
+                &pairs,
+                &mut slots,
+                scenario_params,
+                cost_params,
+                opt_config,
+                store,
+            );
+        } else {
+            let chunk = pairs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (pair_chunk, slot_chunk) in pairs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        Self::sweep_chunk(
+                            pair_chunk,
+                            slot_chunk,
+                            scenario_params,
+                            cost_params,
+                            opt_config,
+                            store,
+                        );
+                    });
+                }
+            });
         }
+        // Slots were filled chunk-by-chunk in pair order, so the
+        // result ordering is deterministic regardless of thread
+        // timing; the first error in pair order wins, as in the
+        // serial path.
+        let cells = slots
+            .into_iter()
+            .map(|cell| cell.expect("every sweep slot is filled"))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(SavingsMatrix { cells })
+    }
+
+    /// Computes a contiguous run of cells in pair order, hoisting the
+    /// four prepared processors per model (cells are model-major, so a
+    /// chunk re-prepares only at model boundaries). The serial path
+    /// and every parallel worker share this walker, and a cell's
+    /// arithmetic never depends on which chunk computed it — matrices
+    /// are bit-identical regardless of thread count.
+    fn sweep_chunk(
+        pairs: &[(Scenario, TinyMlModel)],
+        slots: &mut [Option<Result<SavingsCell, SessionError>>],
+        scenario_params: ScenarioParams,
+        cost_params: CostParams,
+        opt_config: OptimizerConfig,
+        store: &PlacementStore,
+    ) {
+        let mut procs: Option<(TinyMlModel, Vec<(Architecture, Processor)>)> = None;
+        for (&(scenario, model), slot) in pairs.iter().zip(slots.iter_mut()) {
+            *slot = Some(Self::sweep_cell(
+                scenario,
+                model,
+                &mut procs,
+                scenario_params,
+                cost_params,
+                opt_config,
+                store,
+            ));
+        }
+    }
+
+    /// One sweep cell, reusing (or refreshing) the walker's per-model
+    /// processor set.
+    fn sweep_cell(
+        scenario: Scenario,
+        model: TinyMlModel,
+        procs: &mut Option<(TinyMlModel, Vec<(Architecture, Processor)>)>,
+        scenario_params: ScenarioParams,
+        cost_params: CostParams,
+        opt_config: OptimizerConfig,
+        store: &PlacementStore,
+    ) -> Result<SavingsCell, SessionError> {
+        if procs.as_ref().is_none_or(|(m, _)| *m != model) {
+            let built = Architecture::ALL
+                .iter()
+                .map(|&arch| {
+                    Processor::with_policy_in(
+                        arch,
+                        model,
+                        cost_params,
+                        opt_config,
+                        default_policy(arch),
+                        store,
+                    )
+                    .map(|p| (arch, p))
+                })
+                .collect::<Result<Vec<_>, CostModelError>>()?;
+            *procs = Some((model, built));
+        }
+        let (_, procs) = procs.as_ref().expect("processors prepared above");
+        let trace = LoadTrace::try_generate(scenario, scenario_params)?;
+        let energy = |arch: Architecture| {
+            procs
+                .iter()
+                .find(|(a, _)| *a == arch)
+                .expect("all architectures built")
+                .1
+                .run_trace(&trace)
+                .total_energy()
+        };
+        let e_hh = energy(Architecture::HhPim);
+        let pct = |e_other: hhpim_mem::Energy| (1.0 - e_hh / e_other) * 100.0;
+        Ok(SavingsCell {
+            scenario,
+            model,
+            vs_baseline: pct(energy(Architecture::Baseline)),
+            vs_heterogeneous: pct(energy(Architecture::Heterogeneous)),
+            vs_hybrid: pct(energy(Architecture::Hybrid)),
+        })
     }
 
     /// [`Session::sweep`] over the full paper grid (6 scenarios × 3

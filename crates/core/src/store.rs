@@ -1,0 +1,440 @@
+//! The placement store: a thread-safe, memoized cache of prepared
+//! placement state shared across the DP → policy → session layers.
+//!
+//! The §III-B allocation LUT is precomputed once per (architecture,
+//! model, latency-constraint) configuration in the paper — but before
+//! this module every [`crate::Processor`] construction re-ran the DP,
+//! so a dual-backend session, a deprecated shim and every cell of a
+//! [`crate::session::Session::sweep`] each paid the full Algorithm 1+2
+//! cost again. A [`PlacementStore`] memoizes the built
+//! [`AllocationLut`]s (and the cheaper [`crate::FixedHome`] resolved
+//! homes) behind a hashable [`PlacementKey`], so the DP runs **once
+//! per distinct configuration per process**:
+//!
+//! ```text
+//!            SessionBuilder ──.store(..)──┐
+//!                 │                       ▼
+//!            Processor ──prepare──▶ PlacementPolicy
+//!                 │                       │
+//!                 ▼                       ▼
+//!           CycleBackend          PlacementStore ── PlacementKey ──▶ Arc<AllocationLut>
+//!           AnalyticBackend         (hits / misses / build time)
+//! ```
+//!
+//! Sharing is by [`Arc`]: a hit clones a pointer, never the table.
+//! Distinct configurations (different architecture geometry, model
+//! footprint, calibration, optimizer resolution or deadline budget)
+//! hash to distinct keys and never alias. [`CacheStats`] reports
+//! hits, misses, LUT DP builds and total build wall time — surfaced
+//! per run in [`crate::session::RunArtifacts::cache`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hhpim::{PlacementStore, Architecture, CostModel, CostParams, WorkloadProfile};
+//! use hhpim::{OptimizerConfig, RuntimeConfig};
+//! use hhpim_nn::TinyMlModel;
+//!
+//! let store = PlacementStore::new();
+//! let cost = CostModel::new(
+//!     Architecture::HhPim.spec(),
+//!     WorkloadProfile::from_spec(&TinyMlModel::MobileNetV2.spec()),
+//!     CostParams::default(),
+//! )
+//! .unwrap();
+//! let runtime = RuntimeConfig::reference(TinyMlModel::MobileNetV2, CostParams::default()).unwrap();
+//! let opt = OptimizerConfig { time_buckets: 300, ..OptimizerConfig::default() };
+//!
+//! let first = store.lut(&cost, &runtime, &opt);   // cold: runs the DP
+//! let second = store.lut(&cost, &runtime, &opt);  // warm: pointer clone
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! let stats = store.stats();
+//! assert_eq!((stats.lut_builds, stats.hits), (1, 1));
+//! ```
+
+use crate::cost::{CostModel, CostModelError};
+use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
+use crate::runtime::RuntimeConfig;
+use crate::space::Placement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// What a [`PlacementKey`] identifies inside the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyVariant {
+    /// A DP-built allocation LUT.
+    Lut,
+    /// A resolved fixed home (architecture default or a caller pin).
+    FixedHome(Option<Placement>),
+}
+
+/// Canonical, hashable identity of one prepared-placement
+/// configuration: the architecture's Table I geometry, the model's
+/// weight/MAC footprint, the cost-model calibration, the optimizer
+/// resolution and the deadline budget the LUT was sized against.
+///
+/// Two cost models that agree on every field produce bit-identical
+/// LUTs, so the store may serve one build to both; any divergence in
+/// any field yields a distinct key and a distinct entry. Floating
+/// calibration knobs are keyed by their exact bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacementKey {
+    // Architecture geometry (determines capacities and parallelism).
+    arch: crate::arch::Architecture,
+    hp_modules: usize,
+    lp_modules: usize,
+    mram_per_module: usize,
+    sram_per_module: usize,
+    // Model identity as the cost model sees it.
+    weight_bytes: usize,
+    pim_macs: u64,
+    // Cost-model calibration.
+    group_size: usize,
+    act_reserve_per_module: usize,
+    include_input_reads: bool,
+    time_scale_bits: u64,
+    // Optimizer resolution.
+    time_buckets: usize,
+    amortize_static: bool,
+    retention_factor_bits: u64,
+    // Deadline budget the LUT covers.
+    usable_slice_ps: u64,
+    max_tasks: u32,
+    variant: KeyVariant,
+}
+
+impl PlacementKey {
+    fn base(cost: &CostModel, variant: KeyVariant) -> Self {
+        let arch = cost.arch();
+        let params = cost.params();
+        let profile = cost.profile();
+        PlacementKey {
+            arch: arch.arch,
+            hp_modules: arch.hp_modules,
+            lp_modules: arch.lp_modules,
+            mram_per_module: arch.mram_per_module,
+            sram_per_module: arch.sram_per_module,
+            weight_bytes: profile.weight_bytes,
+            pim_macs: profile.pim_macs,
+            group_size: params.group_size,
+            act_reserve_per_module: params.act_reserve_per_module,
+            include_input_reads: params.include_input_reads,
+            time_scale_bits: params.time_scale.to_bits(),
+            time_buckets: 0,
+            amortize_static: false,
+            retention_factor_bits: 0,
+            usable_slice_ps: 0,
+            max_tasks: 0,
+            variant,
+        }
+    }
+
+    /// The key of the allocation LUT built for `cost` under `runtime`
+    /// deadlines at `opt` resolution.
+    pub fn for_lut(cost: &CostModel, runtime: &RuntimeConfig, opt: &OptimizerConfig) -> Self {
+        let (time_buckets, amortize_static, retention_factor_bits) = opt.canonical_bits();
+        PlacementKey {
+            time_buckets,
+            amortize_static,
+            retention_factor_bits,
+            usable_slice_ps: runtime.usable_slice().as_ps(),
+            max_tasks: runtime.max_tasks,
+            ..Self::base(cost, KeyVariant::Lut)
+        }
+    }
+
+    /// The key of a resolved fixed home for `cost` (`pinned` when the
+    /// caller supplied one, otherwise the architecture's default).
+    pub fn for_fixed_home(cost: &CostModel, pinned: Option<Placement>) -> Self {
+        Self::base(cost, KeyVariant::FixedHome(pinned))
+    }
+}
+
+/// A snapshot of one store's cache behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache (pointer clones, no DP).
+    pub hits: u64,
+    /// Lookups that had to build a new entry.
+    pub misses: u64,
+    /// LUT DP builds — the expensive subset of `misses` (fixed-home
+    /// resolutions also miss but cost microseconds).
+    pub lut_builds: u64,
+    /// Total wall time spent building entries.
+    pub build_time: Duration,
+}
+
+/// One LUT slot: a `OnceLock` so concurrent misses on the *same* key
+/// serialize on the slot (exactly one build) while distinct keys build
+/// in parallel.
+type LutCell = Arc<OnceLock<Arc<AllocationLut>>>;
+
+/// A thread-safe, memoized cache of prepared placement state. See the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct PlacementStore {
+    luts: Mutex<HashMap<PlacementKey, LutCell>>,
+    homes: Mutex<HashMap<PlacementKey, Placement>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    lut_builds: AtomicU64,
+    build_ns: AtomicU64,
+}
+
+static GLOBAL: OnceLock<Arc<PlacementStore>> = OnceLock::new();
+
+impl PlacementStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store, ready to share (`Arc::new(Self::new())`).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The process-local store: the default for every
+    /// [`crate::session::SessionBuilder`], [`crate::Processor`]
+    /// constructor and deprecated shim, so independently built
+    /// sessions in one process still share one DP run per distinct
+    /// configuration. Use [`crate::session::SessionBuilder::store`]
+    /// with a private store when isolated [`CacheStats`] matter (e.g.
+    /// in tests).
+    pub fn global() -> Arc<PlacementStore> {
+        GLOBAL
+            .get_or_init(|| Arc::new(PlacementStore::new()))
+            .clone()
+    }
+
+    /// The allocation LUT for `(cost, runtime, opt)`: built by the DP
+    /// on the first request for its [`PlacementKey`], served as an
+    /// [`Arc`] clone afterwards. Concurrent first requests for the
+    /// same key block on one build; distinct keys build concurrently.
+    pub fn lut(
+        &self,
+        cost: &CostModel,
+        runtime: &RuntimeConfig,
+        opt: &OptimizerConfig,
+    ) -> Arc<AllocationLut> {
+        let key = PlacementKey::for_lut(cost, runtime, opt);
+        let cell: LutCell = {
+            let mut luts = self.luts.lock().expect("placement store poisoned");
+            luts.entry(key).or_default().clone()
+        };
+        let mut built_here = false;
+        let lut = cell
+            .get_or_init(|| {
+                built_here = true;
+                let start = Instant::now();
+                let optimizer = PlacementOptimizer::new(cost, *opt);
+                let lut =
+                    AllocationLut::build(&optimizer, runtime.usable_slice(), runtime.max_tasks);
+                self.build_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Arc::new(lut)
+            })
+            .clone();
+        if built_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.lut_builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        lut
+    }
+
+    /// The resolved fixed home for `cost` (the architecture's Table I
+    /// default, or `pinned` when supplied), validated once per key.
+    /// Resolution costs microseconds, so it runs under the map lock —
+    /// concurrent misses on one key serialize into exactly one
+    /// recorded build, matching the LUT path's guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`CostModelError::InvalidPlacement`] when a pinned placement
+    /// violates capacities or does not place all weight groups —
+    /// invalid pins are *not* cached.
+    pub fn fixed_home(
+        &self,
+        cost: &CostModel,
+        pinned: Option<Placement>,
+    ) -> Result<Placement, CostModelError> {
+        let key = PlacementKey::for_fixed_home(cost, pinned);
+        let mut homes = self.homes.lock().expect("placement store poisoned");
+        if let Some(&home) = homes.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(home);
+        }
+        let start = Instant::now();
+        let home = pinned.unwrap_or_else(|| crate::policy::arch_fixed_home(cost.arch().arch, cost));
+        if !cost.is_valid(&home) {
+            return Err(CostModelError::InvalidPlacement { placement: home });
+        }
+        self.build_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        homes.insert(key, home);
+        Ok(home)
+    }
+
+    /// Whether a built LUT for `(cost, runtime, opt)` is already
+    /// cached (without touching the hit/miss counters).
+    pub fn contains_lut(
+        &self,
+        cost: &CostModel,
+        runtime: &RuntimeConfig,
+        opt: &OptimizerConfig,
+    ) -> bool {
+        let key = PlacementKey::for_lut(cost, runtime, opt);
+        self.luts
+            .lock()
+            .expect("placement store poisoned")
+            .get(&key)
+            .is_some_and(|cell| cell.get().is_some())
+    }
+
+    /// A snapshot of this store's hit/miss/build counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            lut_builds: self.lut_builds.load(Ordering::Relaxed),
+            build_time: Duration::from_nanos(self.build_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Number of cached entries (LUTs + resolved homes).
+    pub fn len(&self) -> usize {
+        self.luts.lock().expect("placement store poisoned").len()
+            + self.homes.lock().expect("placement store poisoned").len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (counters are kept — stats describe
+    /// the store's lifetime, not its current contents).
+    pub fn clear(&self) {
+        self.luts.lock().expect("placement store poisoned").clear();
+        self.homes.lock().expect("placement store poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::cost::{CostParams, WorkloadProfile};
+    use hhpim_nn::TinyMlModel;
+
+    fn fixture(
+        arch: Architecture,
+        model: TinyMlModel,
+        buckets: usize,
+    ) -> (CostModel, RuntimeConfig, OptimizerConfig) {
+        let params = CostParams::default();
+        let cost = CostModel::new(
+            arch.spec(),
+            WorkloadProfile::from_spec(&model.spec()),
+            params,
+        )
+        .unwrap();
+        let runtime = RuntimeConfig::reference(model, params).unwrap();
+        let opt = OptimizerConfig {
+            time_buckets: buckets,
+            ..OptimizerConfig::default()
+        };
+        (cost, runtime, opt)
+    }
+
+    #[test]
+    fn same_key_serves_one_build() {
+        let store = PlacementStore::new();
+        let (cost, runtime, opt) = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 250);
+        let a = store.lut(&cost, &runtime, &opt);
+        let b = store.lut(&cost, &runtime, &opt);
+        assert!(Arc::ptr_eq(&a, &b), "hit must be a pointer clone");
+        assert_eq!(*a, *b);
+        let stats = store.stats();
+        assert_eq!(stats.lut_builds, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.build_time > Duration::ZERO);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configurations_get_distinct_entries() {
+        let store = PlacementStore::new();
+        let (cost, runtime, opt) = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 250);
+        store.lut(&cost, &runtime, &opt);
+        // Different optimizer resolution.
+        let coarser = OptimizerConfig {
+            time_buckets: 120,
+            ..opt
+        };
+        store.lut(&cost, &runtime, &coarser);
+        // Different model.
+        let (cost2, runtime2, opt2) =
+            fixture(Architecture::HhPim, TinyMlModel::EfficientNetB0, 250);
+        store.lut(&cost2, &runtime2, &opt2);
+        // Different architecture geometry.
+        let (cost3, runtime3, opt3) = fixture(Architecture::Hybrid, TinyMlModel::MobileNetV2, 250);
+        store.lut(&cost3, &runtime3, &opt3);
+        let stats = store.stats();
+        assert_eq!(stats.lut_builds, 4, "four distinct keys, four builds");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn fixed_homes_cache_and_reject_invalid_pins() {
+        let store = PlacementStore::new();
+        let (cost, ..) = fixture(Architecture::Hybrid, TinyMlModel::MobileNetV2, 250);
+        let a = store.fixed_home(&cost, None).unwrap();
+        let b = store.fixed_home(&cost, None).unwrap();
+        assert_eq!(a, b);
+        let stats = store.stats();
+        assert_eq!((stats.misses, stats.hits, stats.lut_builds), (1, 1, 0));
+
+        let bogus = Placement::all_in(crate::space::StorageSpace::HpSram, 1);
+        let err = store.fixed_home(&cost, Some(bogus)).unwrap_err();
+        assert!(matches!(err, CostModelError::InvalidPlacement { .. }));
+        // Invalid pins are not cached.
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_lifetime_stats() {
+        let store = PlacementStore::new();
+        let (cost, runtime, opt) = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 200);
+        store.lut(&cost, &runtime, &opt);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().lut_builds, 1);
+        // A fresh request rebuilds.
+        store.lut(&cost, &runtime, &opt);
+        assert_eq!(store.stats().lut_builds, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_build_once() {
+        let store = Arc::new(PlacementStore::new());
+        let (cost, runtime, opt) = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 200);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                let (cost, runtime, opt) = (&cost, &runtime, &opt);
+                s.spawn(move || store.lut(cost, runtime, opt));
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.lut_builds, 1, "one build despite concurrent misses");
+        assert_eq!(stats.hits + stats.misses, 4);
+    }
+}

@@ -1,6 +1,7 @@
 //! Head-to-head of all four Table I architectures across all six Fig. 4
 //! scenarios for one model — a condensed Fig. 5, driven entirely
-//! through `Session::sweep`.
+//! through `Session::sweep` with the parallel executor fanning cells
+//! across threads over one shared `PlacementStore`.
 //!
 //! ```sh
 //! cargo run --release --example arch_shootout [effnet|mbv2|resnet]
@@ -21,6 +22,11 @@ fn main() {
 
     let session = SessionBuilder::new()
         .model(model)
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
         .build()
         .expect("model fits all architectures");
     let matrix = session
@@ -49,4 +55,15 @@ fn main() {
     );
     println!("\nCompare with the paper: Case 1 savings up to 86.23/78.7/66.5 %,");
     println!("Case 2 up to 41.46/3.72/39.69 %, averages up to 60.43/36.3/48.58 %.");
+
+    let cache = session.cache_stats();
+    println!(
+        "\nplacement store: {} LUT DP build(s) for the whole sweep \
+         ({} hits, {} misses, {:.1} ms building) on {} thread(s)",
+        cache.lut_builds,
+        cache.hits,
+        cache.misses,
+        cache.build_time.as_secs_f64() * 1e3,
+        session.threads(),
+    );
 }

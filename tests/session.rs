@@ -8,9 +8,9 @@
 
 use hhpim::session::SessionBuilder;
 use hhpim::{
-    AnalyticBackend, Architecture, BackendKind, CostParams, CycleBackend, ExecutionBackend,
-    ExecutionReport, FixedHome, GreedyBaseline, LutAdaptive, OptimizerConfig, Processor,
-    StorageSpace, WeightHome,
+    AnalyticBackend, Architecture, BackendKind, CostModel, CostParams, CycleBackend,
+    ExecutionBackend, ExecutionReport, FixedHome, GreedyBaseline, LutAdaptive, OptimizerConfig,
+    PlacementStore, Processor, RuntimeConfig, StorageSpace, WeightHome, WorkloadProfile,
 };
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
@@ -145,6 +145,78 @@ fn deprecated_cycle_constructors_match_the_builder() {
         .build_cycle()
         .unwrap();
     assert_reports_identical(&old.execute(&trace).unwrap(), &new.execute(&trace).unwrap());
+}
+
+/// Satellite: the deprecated shims route through the process-local
+/// `PlacementStore` — constructing a shim leaves its LUT in the global
+/// cache, and the builder path drawing on the same configuration
+/// produces bit-identical reports without a second DP.
+#[test]
+fn deprecated_shims_route_through_the_process_local_store() {
+    // A DP resolution no other test uses, so this key's presence in
+    // the global store is attributable to this test alone.
+    let opt = OptimizerConfig {
+        time_buckets: 517,
+        ..OptimizerConfig::default()
+    };
+    let cost_params = CostParams::default();
+    let cost = CostModel::new(
+        Architecture::HhPim.spec(),
+        WorkloadProfile::from_spec(&TinyMlModel::MobileNetV2.spec()),
+        cost_params,
+    )
+    .unwrap();
+    let runtime = RuntimeConfig::reference(TinyMlModel::MobileNetV2, cost_params).unwrap();
+    let global = PlacementStore::global();
+    assert!(
+        !global.contains_lut(&cost, &runtime, &opt),
+        "key must be cold before the shim runs"
+    );
+
+    let mut shim = AnalyticBackend::with_params(
+        Architecture::HhPim,
+        TinyMlModel::MobileNetV2,
+        cost_params,
+        opt,
+    )
+    .unwrap();
+    assert!(
+        global.contains_lut(&cost, &runtime, &opt),
+        "the deprecated shim must populate the process-local store"
+    );
+
+    // The builder path reuses the shim's cached LUT and agrees to the
+    // bit; the experiment shim rides the same cache.
+    let mut via_builder = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .optimizer(opt)
+        .build_analytic()
+        .unwrap();
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, params(6, 7));
+    assert_reports_identical(
+        &shim.execute(&trace).unwrap(),
+        &via_builder.execute(&trace).unwrap(),
+    );
+    let shim_case = hhpim::run_case(
+        Architecture::HhPim,
+        TinyMlModel::MobileNetV2,
+        Scenario::PeriodicSpike,
+        &hhpim::ExperimentConfig {
+            optimizer: opt,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut session = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .optimizer(opt)
+        .scenario(Scenario::PeriodicSpike)
+        .build()
+        .unwrap();
+    let artifacts = session.run().unwrap();
+    assert_reports_identical(&shim_case, artifacts.primary());
 }
 
 /// Invalid pins are rejected with the backend's placement error, as
