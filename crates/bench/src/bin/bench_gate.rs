@@ -27,6 +27,7 @@
 //! checked-in baseline after an intentional change, run `measure` on
 //! the reference machine and commit the output (see `docs/ci.md`).
 
+use hhpim::engine::Engine;
 use hhpim::session::SessionBuilder;
 use hhpim::{
     AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig,
@@ -238,6 +239,54 @@ fn measure(samples: usize) -> GateFile {
         "sweep_all_parallel".into(),
         bench(samples, || {
             std::hint::black_box(sweep_session.sweep_all().unwrap())
+        }),
+    );
+
+    // engine_step_hot: the streaming engine's steady-state single-slice
+    // step (submit + step on an already-open analytic stream), ×100 per
+    // iteration; events are drained so the buffer never caps. This is
+    // the per-slice cost of the online serving path.
+    let mut step_engine = Engine::new(
+        SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .build_analytic()
+            .unwrap(),
+    );
+    file.benches.insert(
+        "engine_step_hot".into(),
+        bench(samples, || {
+            for i in 0..100 {
+                step_engine
+                    .submit(if i % 2 == 0 { 1.0 } else { 0.1 })
+                    .unwrap();
+                step_engine.step().unwrap();
+            }
+            std::hint::black_box(step_engine.events().count())
+        }),
+    );
+
+    // engine_submit_drain: one full streaming round trip — 12 slices
+    // submitted, drained into a report, events consumed — on a reused
+    // engine (drain resets it, so every iteration opens a fresh run).
+    let mut drain_engine = Engine::new(
+        SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .build_analytic()
+            .unwrap(),
+    );
+    file.benches.insert(
+        "engine_submit_drain".into(),
+        bench(samples, || {
+            for i in 0..12 {
+                drain_engine
+                    .submit(if i % 2 == 0 { 1.0 } else { 0.1 })
+                    .unwrap();
+            }
+            let reports = drain_engine.drain().unwrap();
+            drain_engine.events().count();
+            std::hint::black_box(reports)
         }),
     );
 
@@ -694,12 +743,14 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 9);
+        assert_eq!(f.benches.len(), 11);
         for key in [
             "session_build_and_run",
             "lut_build_cold",
             "lut_store_warm",
             "sweep_all_parallel",
+            "engine_step_hot",
+            "engine_submit_drain",
         ] {
             assert!(f.benches.contains_key(key), "missing bench `{key}`");
         }

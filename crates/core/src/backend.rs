@@ -49,14 +49,15 @@ use crate::arch::{Architecture, GatingPolicy};
 use crate::compile::{compile_model, CompileError, CompiledProgram, LayerOp, WeightHome};
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
+use crate::engine::{AnalyticRun, CycleRun, LayerAcc, ReplacementDecision, SliceOutcome};
 use crate::policy::{FixedHome, PlacementPolicy};
-use crate::runtime::Processor;
+use crate::runtime::{Processor, RuntimeConfig};
 use crate::space::{movement_legs, MovementLeg, Placement, StorageSpace};
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind};
 use hhpim_nn::{QuantizedModel, TinyMlModel};
 use hhpim_pim::{MachineConfig, MachineError, ModuleConfig, PimMachine};
-use hhpim_sim::{Control, SimDuration, SimTime, Simulation};
+use hhpim_sim::{SimDuration, SimTime};
 use hhpim_workload::LoadTrace;
 use std::fmt;
 use std::ops::Range;
@@ -306,23 +307,73 @@ impl From<MachineError> for BackendError {
     }
 }
 
-/// A machine model that can execute load traces.
+/// A machine model that can execute load slices.
 ///
-/// Implementations must be rerunnable: `execute` may be called with
-/// several traces in sequence, each producing an independent report.
-pub trait ExecutionBackend {
+/// The primary interface is *streaming*: a run is opened with
+/// [`ExecutionBackend::begin_stream`], fed one slice at a time through
+/// the resumable [`ExecutionBackend::step_slice`] (where the placement
+/// policy is consulted and any re-placement traffic moves), and closed
+/// into a report by [`ExecutionBackend::finish_stream`]. The
+/// [`crate::engine::Engine`] drives this path online; the batch
+/// [`ExecutionBackend::execute`] is a provided loop over it and stays
+/// bit-identical to the former monolithic runs.
+///
+/// Implementations must be rerunnable: streams (and `execute` calls)
+/// may be opened in sequence, each producing an independent report.
+/// `Send` is required so comparison harnesses can fan backends out
+/// across threads.
+pub trait ExecutionBackend: Send {
     /// Which backend this is.
     fn kind(&self) -> BackendKind;
 
     /// The architecture being executed.
     fn architecture(&self) -> Architecture;
 
-    /// Runs `trace`, producing the unified report.
+    /// The runtime configuration shared with the analytic twin (slice
+    /// duration, per-slice task cap) — what the engine needs to
+    /// convert loads into task counts.
+    fn runtime_config(&self) -> &RuntimeConfig;
+
+    /// Opens a fresh streaming run, discarding any run in progress.
     ///
     /// # Errors
     ///
     /// Backend-specific; see [`BackendError`].
-    fn execute(&mut self, trace: &LoadTrace) -> Result<ExecutionReport, BackendError>;
+    fn begin_stream(&mut self) -> Result<(), BackendError>;
+
+    /// Executes the next slice of the open stream (opening one if
+    /// necessary): decides the slice's placement, pays any migration,
+    /// runs `n_tasks` tasks and accounts the energy. The returned
+    /// [`SliceOutcome`] carries the record and boundary decisions for
+    /// the engine's event stream.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; after an error the stream is poisoned and
+    /// must be reopened with [`ExecutionBackend::begin_stream`].
+    fn step_slice(&mut self, n_tasks: u32) -> Result<SliceOutcome, BackendError>;
+
+    /// Closes the open stream into the unified report (an empty report
+    /// if no slice was stepped).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`BackendError`].
+    fn finish_stream(&mut self) -> Result<ExecutionReport, BackendError>;
+
+    /// Runs a complete `trace`, producing the unified report — a batch
+    /// loop over the streaming path above.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`BackendError`].
+    fn execute(&mut self, trace: &LoadTrace) -> Result<ExecutionReport, BackendError> {
+        self.begin_stream()?;
+        for &n in &trace.task_counts(self.runtime_config().max_tasks) {
+            self.step_slice(n)?;
+        }
+        self.finish_stream()
+    }
 }
 
 /// The closed-form backend: wraps [`Processor`] (and through it the
@@ -330,6 +381,8 @@ pub trait ExecutionBackend {
 #[derive(Debug, Clone)]
 pub struct AnalyticBackend {
     processor: Processor,
+    /// The open streaming run, if any.
+    run: Option<AnalyticRun>,
 }
 
 impl AnalyticBackend {
@@ -341,6 +394,7 @@ impl AnalyticBackend {
     pub fn new(arch: Architecture, model: TinyMlModel) -> Result<Self, BackendError> {
         Ok(AnalyticBackend {
             processor: Processor::new(arch, model)?,
+            run: None,
         })
     }
 
@@ -387,12 +441,16 @@ impl AnalyticBackend {
                 OptimizerConfig::default(),
                 policy,
             )?,
+            run: None,
         })
     }
 
     /// Wraps an already-built processor.
     pub fn from_processor(processor: Processor) -> Self {
-        AnalyticBackend { processor }
+        AnalyticBackend {
+            processor,
+            run: None,
+        }
     }
 
     /// The wrapped processor.
@@ -410,8 +468,29 @@ impl ExecutionBackend for AnalyticBackend {
         self.processor.arch().arch
     }
 
-    fn execute(&mut self, trace: &LoadTrace) -> Result<ExecutionReport, BackendError> {
-        Ok(self.processor.run_trace(trace))
+    fn runtime_config(&self) -> &RuntimeConfig {
+        self.processor.runtime()
+    }
+
+    fn begin_stream(&mut self) -> Result<(), BackendError> {
+        self.run = Some(self.processor.begin_run());
+        Ok(())
+    }
+
+    fn step_slice(&mut self, n_tasks: u32) -> Result<SliceOutcome, BackendError> {
+        if self.run.is_none() {
+            self.run = Some(self.processor.begin_run());
+        }
+        let run = self.run.as_mut().expect("stream opened above");
+        Ok(self.processor.step_run(run, n_tasks))
+    }
+
+    fn finish_stream(&mut self) -> Result<ExecutionReport, BackendError> {
+        let run = self
+            .run
+            .take()
+            .unwrap_or_else(|| self.processor.begin_run());
+        Ok(self.processor.finish_run(run))
     }
 }
 
@@ -454,32 +533,8 @@ pub struct CycleBackend {
     head_override: Option<WeightHome>,
     head_modules: Vec<usize>,
     time_scale: f64,
-}
-
-/// A slice's worth of work scheduled on the event engine.
-#[derive(Debug, Clone, Copy)]
-struct SliceJob {
-    slice: usize,
-    n_tasks: u32,
-}
-
-/// Per-layer accumulator (native machine units, scaled at report time).
-#[derive(Debug, Clone, Copy, Default)]
-struct LayerAcc {
-    macs: u64,
-    time: SimDuration,
-    energy_pj: f64,
-}
-
-/// Mutable run state threaded through the event engine.
-#[derive(Debug)]
-struct RunState {
-    records: Vec<SliceRecord>,
-    migrations: Vec<MigrationRecord>,
-    accs: Vec<LayerAcc>,
-    migration_dyn: EnergyLedger<hhpim_pim::EnergyCat>,
-    prev_total: Energy,
-    failure: Option<BackendError>,
+    /// The open streaming run, if any.
+    run: Option<CycleRun>,
 }
 
 fn mem_select(kind: MemKind) -> MemSelect {
@@ -645,6 +700,7 @@ impl CycleBackend {
             head_override,
             head_modules: Vec::new(),
             time_scale: params.time_scale,
+            run: None,
         };
         backend.refresh_head()?;
         backend.enter_idle()?;
@@ -1009,20 +1065,20 @@ impl CycleBackend {
     /// run the tasks, then gate down for the idle remainder.
     fn do_slice(
         &mut self,
-        st: &mut RunState,
+        run: &mut CycleRun,
         event_now: SimTime,
-        native_slice: SimDuration,
-        job: SliceJob,
+        slice: usize,
+        n_tasks: u32,
     ) -> Result<(), BackendError> {
         // Work may overrun a slice; the backlog then delays the next
         // slice's start, exactly like a busy port.
         let slice_start = event_now.max(self.machine.now());
         self.machine.idle_until(slice_start);
 
-        let target = self.placement_for(job.n_tasks);
+        let target = self.placement_for(n_tasks);
         self.wake_for(self.placement, target)?;
         let migration = if target != self.placement {
-            Some(self.migrate(job.slice, target, &mut st.migration_dyn)?)
+            Some(self.migrate(slice, target, &mut run.migration_dyn)?)
         } else {
             // Idle gating may have powered down volatile SRAM banks
             // that carried head rows (their contents are physically
@@ -1037,7 +1093,7 @@ impl CycleBackend {
         let movement_native = self.machine.now().saturating_since(slice_start);
 
         let busy_start = self.machine.now();
-        for _ in 0..job.n_tasks {
+        for _ in 0..n_tasks {
             Self::run_task(
                 &mut self.machine,
                 &self.program,
@@ -1046,39 +1102,83 @@ impl CycleBackend {
                 self.head_home,
                 &self.input,
                 self.processor.arch(),
-                &mut st.accs,
+                &mut run.accs,
             )?;
         }
         let busy = self.machine.now().saturating_since(busy_start);
         // Statics accrue across the idle remainder of the slice under
         // the architecture's gating policy.
         self.enter_idle()?;
-        self.machine.idle_until(event_now + native_slice);
+        self.machine.idle_until(event_now + run.native_slice);
 
         let scale = self.time_scale;
         let slice_duration = self.processor.runtime().slice_duration;
         let movement_time = movement_native.mul_f64(scale);
         let usable = slice_duration.saturating_sub(movement_time);
-        let n = job.n_tasks.max(1) as u64;
+        let n = n_tasks.max(1) as u64;
         let t_constraint = usable / n;
         let task_time = busy.mul_f64(scale) / n;
         let total = self.machine.report().total_energy();
-        st.records.push(SliceRecord {
-            slice: job.slice,
-            n_tasks: job.n_tasks,
+        run.records.push(SliceRecord {
+            slice,
+            n_tasks,
             placement: Some(self.placement),
             t_constraint,
             task_time,
             movement_time,
             groups_moved: migration.as_ref().map(|m| m.groups).unwrap_or(0),
             deadline_met: task_time <= t_constraint,
-            energy: total.saturating_sub(st.prev_total) * scale,
+            energy: total.saturating_sub(run.prev_total) * scale,
         });
-        st.prev_total = total;
+        run.prev_total = total;
         if let Some(m) = migration {
-            st.migrations.push(m);
+            run.migrations.push(m);
         }
         Ok(())
+    }
+
+    /// One streaming step: boot on the first slice (its placement is
+    /// adopted for free, mirroring the analytic runtime), execute the
+    /// slice at its nominal start time, and package the boundary
+    /// decisions for the engine.
+    fn step_cycle(
+        &mut self,
+        run: &mut CycleRun,
+        n_tasks: u32,
+    ) -> Result<SliceOutcome, BackendError> {
+        if !run.booted {
+            self.apply_placement_free(self.placement_for(n_tasks))?;
+            run.booted = true;
+        }
+        // The same instant the former event loop scheduled this slice
+        // at: nominal starts on the native timeline, back-to-back.
+        let event_now = run.start_now + run.native_slice * run.slice as u64;
+        let slice = run.slice;
+        let from = self.placement;
+        self.do_slice(run, event_now, slice, n_tasks)?;
+        let to = self.placement;
+        let record = run
+            .records
+            .last()
+            .expect("do_slice pushes a record")
+            .clone();
+        let migration = run.migrations.last().filter(|m| m.slice == slice).cloned();
+        let idle = self
+            .processor
+            .runtime()
+            .slice_duration
+            .saturating_sub(record.movement_time + record.task_time * n_tasks.max(1) as u64);
+        run.slice += 1;
+        Ok(SliceOutcome {
+            record,
+            replacement: (from != to).then(|| ReplacementDecision {
+                from,
+                to,
+                legs: movement_legs(&from, &to),
+            }),
+            migration,
+            idle,
+        })
     }
 }
 
@@ -1091,69 +1191,65 @@ impl ExecutionBackend for CycleBackend {
         self.arch
     }
 
-    fn execute(&mut self, trace: &LoadTrace) -> Result<ExecutionReport, BackendError> {
-        let tasks = trace.task_counts(self.processor.runtime().max_tasks);
+    fn runtime_config(&self) -> &RuntimeConfig {
+        self.processor.runtime()
+    }
+
+    fn begin_stream(&mut self) -> Result<(), BackendError> {
         let scale = self.time_scale;
-        // The machine runs in native (uncalibrated) time; slices are
-        // scheduled at the calibrated duration divided back down so the
-        // two timelines describe the same physical slice.
-        let native_slice = self.processor.runtime().slice_duration.mul_f64(1.0 / scale);
         let start_now = self.machine.now();
         let start_report = self.machine.report();
-
-        // Mirror the analytic runtime: the first slice's placement is
-        // adopted for free (weights are loaded there at boot).
-        self.apply_placement_free(self.placement_for(*tasks.first().unwrap_or(&1)))?;
-
-        let mut sim: Simulation<RunState, SliceJob> = Simulation::new(RunState {
-            records: Vec::with_capacity(tasks.len()),
+        self.run = Some(CycleRun {
+            records: Vec::new(),
             migrations: Vec::new(),
             accs: vec![LayerAcc::default(); self.program.layers().len()],
             migration_dyn: EnergyLedger::new(),
             prev_total: start_report.total_energy(),
-            failure: None,
+            start_now,
+            start_report,
+            // The machine runs in native (uncalibrated) time; slices
+            // are paced at the calibrated duration divided back down so
+            // the two timelines describe the same physical slice.
+            native_slice: self.processor.runtime().slice_duration.mul_f64(1.0 / scale),
+            booted: false,
+            slice: 0,
         });
-        for (i, &n) in tasks.iter().enumerate() {
-            sim.schedule(
-                start_now + native_slice * i as u64,
-                SliceJob {
-                    slice: i,
-                    n_tasks: n,
-                },
-            )
-            .expect("slice starts are monotone");
-        }
-        sim.run(|st, ctx, job| {
-            let event_now = ctx.now();
-            match self.do_slice(st, event_now, native_slice, job) {
-                Ok(()) => Control::Continue,
-                Err(e) => {
-                    st.failure = Some(e);
-                    Control::Stop
-                }
-            }
-        });
-        let st = sim.into_state();
-        if let Some(e) = st.failure {
-            return Err(e);
-        }
+        Ok(())
+    }
 
-        // Report only this trace's share: previous execute() calls on
-        // the same machine already accounted for their energy. Dynamic
-        // traffic spent inside migrations is reclassified from its
-        // per-bank category into the shared Movement category.
+    fn step_slice(&mut self, n_tasks: u32) -> Result<SliceOutcome, BackendError> {
+        if self.run.is_none() {
+            self.begin_stream()?;
+        }
+        let mut run = self.run.take().expect("stream opened above");
+        let result = self.step_cycle(&mut run, n_tasks);
+        self.run = Some(run);
+        result
+    }
+
+    fn finish_stream(&mut self) -> Result<ExecutionReport, BackendError> {
+        if self.run.is_none() {
+            self.begin_stream()?;
+        }
+        let run = self.run.take().expect("stream opened above");
+        let scale = self.time_scale;
+
+        // Report only this stream's share: previous runs on the same
+        // machine already accounted for their energy. Dynamic traffic
+        // spent inside migrations is reclassified from its per-bank
+        // category into the shared Movement category.
         let run_report = self.machine.report();
         let mut energy = EnergyLedger::new();
         for (&cat, e) in run_report.energy.iter() {
-            let mut delta = e.saturating_sub(start_report.energy.get(cat));
+            let mut delta = e.saturating_sub(run.start_report.energy.get(cat));
             if matches!(cat, hhpim_pim::EnergyCat::MemDynamic(..)) {
-                delta = delta.saturating_sub(st.migration_dyn.get(cat));
+                delta = delta.saturating_sub(run.migration_dyn.get(cat));
             }
             if delta.as_pj() > 0.0 {
                 energy.add(unify_machine_cat(cat), delta * scale);
             }
         }
-        let moved = st.migration_dyn.total();
+        let moved = run.migration_dyn.total();
         if moved.as_pj() > 0.0 {
             energy.add(EnergyCat::Movement, moved * scale);
         }
@@ -1161,7 +1257,7 @@ impl ExecutionBackend for CycleBackend {
             .program
             .layers()
             .iter()
-            .zip(&st.accs)
+            .zip(&run.accs)
             .map(|(l, a)| LayerRecord {
                 layer: l.layer,
                 label: l.label.clone(),
@@ -1170,25 +1266,25 @@ impl ExecutionBackend for CycleBackend {
                 energy: Energy::from_pj(a.energy_pj * scale),
             })
             .collect();
-        let deadline_misses = st.records.iter().filter(|r| !r.deadline_met).count();
+        let deadline_misses = run.records.iter().filter(|r| !r.deadline_met).count();
         Ok(ExecutionReport {
             backend: BackendKind::Cycle,
             arch: self.arch,
-            records: st.records,
+            records: run.records,
             layers,
-            migrations: st.migrations,
+            migrations: run.migrations,
             energy,
-            // Trace-local, like the analytic backend's elapsed, so
+            // Stream-local, like the analytic backend's elapsed, so
             // reruns on the same machine stay comparable.
             elapsed: SimTime::ZERO
                 + self
                     .machine
                     .now()
-                    .saturating_since(start_now)
+                    .saturating_since(run.start_now)
                     .mul_f64(scale),
             deadline_misses,
-            instructions: run_report.instructions - start_report.instructions,
-            macs: run_report.macs - start_report.macs,
+            instructions: run_report.instructions - run.start_report.instructions,
+            macs: run_report.macs - run.start_report.macs,
         })
     }
 }

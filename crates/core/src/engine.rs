@@ -1,0 +1,923 @@
+//! The streaming execution engine: slices in, events out.
+//!
+//! HH-PIM's core contribution is *online* adaptation — the runtime
+//! consults the allocation LUT as queue depth changes and migrates
+//! weights between HP-MPIM and LP-FPIM mid-flight — yet until this
+//! module the public API was batch-only: a [`crate::TraceSource`] had
+//! to hand over a complete finite [`LoadTrace`] and
+//! [`crate::Session::run`] blocked until everything had executed.
+//! [`Engine`] inverts that shape into an incremental submit/observe
+//! loop:
+//!
+//! ```text
+//!   submit(load) ──▶ bounded queue ──step()──▶ every backend's
+//!        │                                     step_slice()
+//!        ▼                                          │
+//!   SubmitOutcome::Accepted | Deferred              ▼
+//!                                    EngineEvent stream
+//!                                    (iterator + EngineObservers)
+//!                                          │
+//!                              drain() ──▶ Vec<ExecutionReport>
+//! ```
+//!
+//! Both execution backends implement the resumable
+//! [`ExecutionBackend::step_slice`] path, so the engine owns the
+//! execution loop that used to be monolithic inside
+//! `Processor::run_trace` and `CycleBackend::execute`: the LUT lookup
+//! / re-placement decision happens per step behind the engine
+//! boundary, surfaced as [`EngineEvent::Replacement`]. The batch
+//! facade ([`crate::Session::run`], `execute`) is now a loop over this
+//! API and stays bit-identical to the former monolithic runs.
+//!
+//! Traces no longer need a known length: [`StreamSource`] generates
+//! loads forever, and [`Engine::pump`] executes as many slices of it
+//! as the caller wants before coming back for more.
+//!
+//! # Examples
+//!
+//! Drive the analytic backend slice by slice and watch the events:
+//!
+//! ```
+//! use hhpim::engine::{Engine, EngineEvent, SubmitOutcome};
+//! use hhpim::session::SessionBuilder;
+//!
+//! let backend = SessionBuilder::new().build_analytic().unwrap();
+//! let mut engine = Engine::new(backend);
+//! for slice in 0..4 {
+//!     let load = if slice % 2 == 0 { 1.0 } else { 0.1 };
+//!     assert_eq!(engine.submit(load).unwrap(), SubmitOutcome::Accepted);
+//!     engine.step().unwrap();
+//! }
+//! let reports = engine.drain().unwrap();
+//! assert_eq!(reports[0].records.len(), 4);
+//! let events: Vec<EngineEvent> = engine.events().collect();
+//! assert!(events
+//!     .iter()
+//!     .any(|e| matches!(e, EngineEvent::SliceCompleted { .. })));
+//! assert!(events
+//!     .iter()
+//!     .any(|e| matches!(e, EngineEvent::Replacement { .. })));
+//! ```
+//!
+//! Serve an unbounded load stream in batches of ten slices:
+//!
+//! ```
+//! use hhpim::engine::{Engine, StreamSource};
+//! use hhpim::session::SessionBuilder;
+//!
+//! let mut engine = Engine::new(SessionBuilder::new().build_analytic().unwrap());
+//! let mut live = StreamSource::new(|slice| if slice % 7 == 0 { 0.9 } else { 0.2 });
+//! engine.pump(&mut live, 10).unwrap();
+//! engine.pump(&mut live, 10).unwrap(); // the stream has no end; keep going
+//! assert_eq!(engine.slices_executed(), 20);
+//! ```
+
+use crate::backend::{
+    BackendError, BackendKind, EnergyCat, ExecutionBackend, ExecutionReport, MigrationRecord,
+    SliceRecord,
+};
+use crate::cost::CostParams;
+use crate::space::{MovementLeg, Placement};
+use hhpim_mem::{Energy, EnergyLedger};
+use hhpim_pim::RunReport;
+use hhpim_sim::{SimDuration, SimTime};
+use hhpim_workload::LoadTrace;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Loads a fresh engine will buffer before deferring submissions.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Pending [`EngineEvent`]s kept for the iterator before the oldest
+/// are dropped (observers always see every event at emission time).
+const EVENT_BUFFER_CAP: usize = 8192;
+
+/// Whether [`Engine::submit`] enqueued the load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubmitOutcome {
+    /// The load was enqueued and will execute on a later
+    /// [`Engine::step`].
+    Accepted,
+    /// The bounded queue is full — the load was *not* enqueued. Step
+    /// the engine (or [`Engine::drain`] it) and resubmit.
+    Deferred,
+}
+
+impl SubmitOutcome {
+    /// Whether the load was enqueued.
+    pub fn is_accepted(self) -> bool {
+        self == SubmitOutcome::Accepted
+    }
+}
+
+/// One observation from the streaming run, tagged with the backend
+/// that produced it. Per slice and backend, events are emitted in a
+/// fixed order: [`EngineEvent::Replacement`] →
+/// [`EngineEvent::Migration`] → [`EngineEvent::SliceCompleted`] →
+/// [`EngineEvent::DeadlineMiss`] → [`EngineEvent::IdleAccrued`]
+/// (absent stages are skipped); backends are visited in engine order.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineEvent {
+    /// A slice finished executing on one backend.
+    SliceCompleted {
+        /// Backend that executed the slice.
+        backend: BackendKind,
+        /// The slice's full record (index, placement, timing, energy).
+        record: SliceRecord,
+    },
+    /// The placement policy decided to re-place at a slice boundary —
+    /// the LUT lookup (or greedy repair) behind the engine boundary.
+    Replacement {
+        /// Backend that made the move.
+        backend: BackendKind,
+        /// Slice whose start pays the movement.
+        slice: usize,
+        /// Placement before the move.
+        from: Placement,
+        /// Placement after the move.
+        to: Placement,
+        /// The deterministic movement plan both backends execute.
+        legs: Vec<MovementLeg>,
+    },
+    /// The weight migration traffic realizing a replacement.
+    Migration {
+        /// Backend that moved the weights.
+        backend: BackendKind,
+        /// The migration's measured/modelled traffic.
+        record: MigrationRecord,
+    },
+    /// A slice's tasks overran their per-task deadline.
+    DeadlineMiss {
+        /// Backend that missed.
+        backend: BackendKind,
+        /// The offending slice.
+        slice: usize,
+        /// Tasks the slice had to absorb.
+        n_tasks: u32,
+        /// Per-task latency achieved.
+        task_time: SimDuration,
+        /// Per-task budget after movement overhead.
+        t_constraint: SimDuration,
+    },
+    /// Idle time accrued in a slice after movement and compute — the
+    /// window bank-level gating converts into leakage savings.
+    IdleAccrued {
+        /// Backend that idled.
+        backend: BackendKind,
+        /// The slice in question.
+        slice: usize,
+        /// Idle share of the slice.
+        idle: SimDuration,
+    },
+}
+
+/// A callback receiving every [`EngineEvent`] at emission time,
+/// before it enters the iterator buffer.
+pub trait EngineObserver {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &EngineEvent);
+}
+
+impl<F: FnMut(&EngineEvent)> EngineObserver for F {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self(event)
+    }
+}
+
+/// Errors surfaced while streaming slices through an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A submitted load is not a finite value in `[0, 1]`.
+    InvalidLoad {
+        /// Index the slice would have had.
+        slice: usize,
+        /// The offending load.
+        load: f64,
+    },
+    /// A backend failed mid-stream; the stream is poisoned — its
+    /// queued loads and buffered events are discarded, and the next
+    /// `step`/`drain` restarts every backend from slice 0.
+    Backend {
+        /// The failing backend.
+        backend: BackendKind,
+        /// Its error.
+        error: BackendError,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidLoad { slice, load } => {
+                write!(f, "submitted load {load} for slice {slice} outside [0, 1]")
+            }
+            EngineError::Backend { backend, error } => {
+                write!(f, "backend `{backend}` failed mid-stream: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Backend { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`ExecutionBackend::step_slice`] call yields back to the
+/// engine: the slice's record plus the boundary decisions that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceOutcome {
+    /// The completed slice's record (also appended to the backend's
+    /// final [`ExecutionReport`]).
+    pub record: SliceRecord,
+    /// The re-placement decision taken at the slice boundary, if the
+    /// policy moved (`None` on the free boot adoption).
+    pub replacement: Option<ReplacementDecision>,
+    /// The migration traffic realizing the replacement, if any.
+    pub migration: Option<MigrationRecord>,
+    /// Idle time left in the slice after movement and compute.
+    pub idle: SimDuration,
+}
+
+/// A placement change decided at a slice boundary — the output of the
+/// LUT lookup (or whatever policy is bound) before any traffic moves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplacementDecision {
+    /// Placement before the move.
+    pub from: Placement,
+    /// Placement after the move.
+    pub to: Placement,
+    /// The deterministic leg plan ([`crate::movement_legs`]) both
+    /// backends execute for this transition.
+    pub legs: Vec<MovementLeg>,
+}
+
+/// An unbounded load source: a closure sampled at an ever-advancing
+/// slice cursor. Unlike [`crate::TraceSource`], it never produces a
+/// finite trace — it demonstrates that the streaming engine does not
+/// need to know a workload's length up front. Feed it to
+/// [`Engine::pump`], or pull [`StreamSource::next_load`] yourself.
+pub struct StreamSource<F> {
+    f: F,
+    cursor: usize,
+}
+
+impl<F: FnMut(usize) -> f64> StreamSource<F> {
+    /// A source sampling `f(slice_index)` forever.
+    pub fn new(f: F) -> Self {
+        StreamSource { f, cursor: 0 }
+    }
+
+    /// The next slice index the source will sample.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Samples the next load and advances the cursor.
+    pub fn next_load(&mut self) -> f64 {
+        let load = (self.f)(self.cursor);
+        self.cursor += 1;
+        load
+    }
+}
+
+impl<F> fmt::Debug for StreamSource<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSource")
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(usize) -> f64> Iterator for StreamSource<F> {
+    type Item = f64;
+
+    /// Never `None`: the stream is unbounded. Take what you need
+    /// (`by_ref().take(n)`) or use [`Engine::pump`].
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_load())
+    }
+}
+
+/// The streaming, event-driven execution engine. See the
+/// [module docs](self) for the API shape and examples.
+///
+/// An engine is reusable: after [`Engine::drain`] returns the reports
+/// it resets to slice 0 and the next [`Engine::step`] opens a fresh
+/// run on every backend (backends are rerunnable by contract).
+pub struct Engine {
+    backends: Vec<Box<dyn ExecutionBackend>>,
+    max_tasks: u32,
+    queue_capacity: usize,
+    queue: VecDeque<f64>,
+    next_slice: usize,
+    started: bool,
+    events: VecDeque<EngineEvent>,
+    events_dropped: u64,
+    observers: Vec<Box<dyn EngineObserver>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("backends", &self.backend_kinds())
+            .field("queued", &self.queue.len())
+            .field("next_slice", &self.next_slice)
+            .field("started", &self.started)
+            .field("pending_events", &self.events.len())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine over one backend with the default queue capacity.
+    pub fn new(backend: impl ExecutionBackend + 'static) -> Self {
+        Self::from_backends(vec![Box::new(backend)])
+    }
+
+    /// An engine over several backends (every submitted slice executes
+    /// on each of them, in order — the streaming analogue of
+    /// [`crate::Session::compare`]). The per-slice task cap comes from
+    /// the first backend's runtime configuration.
+    pub fn from_backends(backends: Vec<Box<dyn ExecutionBackend>>) -> Self {
+        let max_tasks = backends
+            .first()
+            .map(|b| b.runtime_config().max_tasks)
+            .unwrap_or(CostParams::default().max_tasks_per_slice);
+        Engine {
+            backends,
+            max_tasks,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            queue: VecDeque::new(),
+            next_slice: 0,
+            started: false,
+            events: VecDeque::new(),
+            events_dropped: 0,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the bounded queue's capacity (clamped to at least 1);
+    /// submissions beyond it come back [`SubmitOutcome::Deferred`].
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Registers an observer that receives every future event at
+    /// emission time (events also remain iterable via
+    /// [`Engine::events`]).
+    pub fn observe(&mut self, observer: impl EngineObserver + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// The configured backends' kinds, in execution order.
+    pub fn backend_kinds(&self) -> Vec<BackendKind> {
+        self.backends.iter().map(|b| b.kind()).collect()
+    }
+
+    /// Consumes the engine, handing the backends back (used by the
+    /// batch facade, which borrows its session's backends per run).
+    pub fn into_backends(self) -> Vec<Box<dyn ExecutionBackend>> {
+        self.backends
+    }
+
+    /// The per-slice task cap used to convert loads to task counts.
+    pub fn max_tasks(&self) -> u32 {
+        self.max_tasks
+    }
+
+    /// Loads accepted but not yet executed.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Slices executed in the current stream (resets when
+    /// [`Engine::drain`] closes it, or when a backend error poisons
+    /// it).
+    pub fn slices_executed(&self) -> usize {
+        self.next_slice
+    }
+
+    /// Events dropped from the iterator buffer because nobody drained
+    /// [`Engine::events`] (observers still saw them).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Offers one load slice to the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidLoad`] when `load` is not a finite value
+    /// in `[0, 1]` (the same contract as [`LoadTrace::replay`]).
+    pub fn submit(&mut self, load: f64) -> Result<SubmitOutcome, EngineError> {
+        if !load.is_finite() || !(0.0..=1.0).contains(&load) {
+            return Err(EngineError::InvalidLoad {
+                slice: self.next_slice + self.queue.len(),
+                load,
+            });
+        }
+        if self.queue.len() >= self.queue_capacity {
+            return Ok(SubmitOutcome::Deferred);
+        }
+        self.queue.push_back(load);
+        Ok(SubmitOutcome::Accepted)
+    }
+
+    /// [`Engine::submit`] that makes room by stepping the engine when
+    /// the queue is full — never returns [`SubmitOutcome::Deferred`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit`] and [`Engine::step`].
+    pub fn submit_blocking(&mut self, load: f64) -> Result<(), EngineError> {
+        loop {
+            match self.submit(load)? {
+                SubmitOutcome::Accepted => return Ok(()),
+                SubmitOutcome::Deferred => {
+                    self.step()?;
+                }
+            }
+        }
+    }
+
+    /// Executes the oldest queued slice on every backend, emitting
+    /// events. Returns the executed slice's index, or `None` when the
+    /// queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Backend`] when a backend fails; the stream is
+    /// then poisoned and the next `step` restarts every backend.
+    pub fn step(&mut self) -> Result<Option<usize>, EngineError> {
+        let Some(load) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        self.ensure_started()?;
+        let slice = self.next_slice;
+        let n_tasks = LoadTrace::task_count_for(load, self.max_tasks);
+        for i in 0..self.backends.len() {
+            let kind = self.backends[i].kind();
+            let outcome = match self.backends[i].step_slice(n_tasks) {
+                Ok(outcome) => outcome,
+                Err(error) => {
+                    // Poison: discard the aborted stream wholesale —
+                    // queued loads and buffered events belong to a run
+                    // that will never produce a report, and the next
+                    // step restarts every backend at slice 0, so the
+                    // engine's counter resets in lockstep.
+                    self.started = false;
+                    self.next_slice = 0;
+                    self.queue.clear();
+                    self.events.clear();
+                    return Err(EngineError::Backend {
+                        backend: kind,
+                        error,
+                    });
+                }
+            };
+            self.emit_outcome(kind, slice, n_tasks, outcome);
+        }
+        self.next_slice += 1;
+        Ok(Some(slice))
+    }
+
+    /// Executes every queued slice, closes the stream and returns one
+    /// report per backend (builder order). The engine then resets to
+    /// slice 0, ready for a fresh stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::step`]; backend finalization errors surface as
+    /// [`EngineError::Backend`].
+    pub fn drain(&mut self) -> Result<Vec<ExecutionReport>, EngineError> {
+        while self.step()?.is_some() {}
+        // A zero-slice drain still opens a stream so there is one to
+        // close; backends return an empty (but well-formed) report.
+        self.ensure_started()?;
+        let mut reports = Vec::with_capacity(self.backends.len());
+        for backend in &mut self.backends {
+            let kind = backend.kind();
+            reports.push(
+                backend
+                    .finish_stream()
+                    .map_err(|error| EngineError::Backend {
+                        backend: kind,
+                        error,
+                    })?,
+            );
+        }
+        self.started = false;
+        self.next_slice = 0;
+        Ok(reports)
+    }
+
+    /// Feeds a complete [`LoadTrace`] into the queue — the adapter
+    /// that lets any [`crate::TraceSource`] drive the engine. Slices
+    /// beyond the queue capacity are executed on the fly
+    /// (backpressure is honored by stepping, not by growing the
+    /// queue); call [`Engine::drain`] for the reports.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::step`] (trace loads are pre-validated, so
+    /// [`EngineError::InvalidLoad`] cannot occur here).
+    pub fn ingest(&mut self, trace: &LoadTrace) -> Result<(), EngineError> {
+        for &load in trace.loads() {
+            self.submit_blocking(load)?;
+        }
+        Ok(())
+    }
+
+    /// Pulls `slices` loads from an unbounded [`StreamSource`] and
+    /// executes them all, leaving the queue empty. Call repeatedly to
+    /// keep serving the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidLoad`] when the source produces a load
+    /// outside `[0, 1]`; see [`Engine::step`] for backend failures.
+    pub fn pump<F: FnMut(usize) -> f64>(
+        &mut self,
+        source: &mut StreamSource<F>,
+        slices: usize,
+    ) -> Result<(), EngineError> {
+        for _ in 0..slices {
+            let load = source.next_load();
+            self.submit_blocking(load)?;
+        }
+        while self.step()?.is_some() {}
+        Ok(())
+    }
+
+    /// Drains the pending event buffer as an iterator (events already
+    /// delivered to observers are not replayed).
+    pub fn events(&mut self) -> std::collections::vec_deque::Drain<'_, EngineEvent> {
+        self.events.drain(..)
+    }
+
+    fn ensure_started(&mut self) -> Result<(), EngineError> {
+        if self.started {
+            return Ok(());
+        }
+        for backend in &mut self.backends {
+            let kind = backend.kind();
+            backend
+                .begin_stream()
+                .map_err(|error| EngineError::Backend {
+                    backend: kind,
+                    error,
+                })?;
+        }
+        self.started = true;
+        Ok(())
+    }
+
+    fn emit_outcome(
+        &mut self,
+        backend: BackendKind,
+        slice: usize,
+        n_tasks: u32,
+        outcome: SliceOutcome,
+    ) {
+        if let Some(decision) = outcome.replacement {
+            self.emit(EngineEvent::Replacement {
+                backend,
+                slice,
+                from: decision.from,
+                to: decision.to,
+                legs: decision.legs,
+            });
+        }
+        if let Some(record) = outcome.migration {
+            self.emit(EngineEvent::Migration { backend, record });
+        }
+        let missed = !outcome.record.deadline_met;
+        let (task_time, t_constraint) = (outcome.record.task_time, outcome.record.t_constraint);
+        self.emit(EngineEvent::SliceCompleted {
+            backend,
+            record: outcome.record,
+        });
+        if missed {
+            self.emit(EngineEvent::DeadlineMiss {
+                backend,
+                slice,
+                n_tasks,
+                task_time,
+                t_constraint,
+            });
+        }
+        if outcome.idle > SimDuration::ZERO {
+            self.emit(EngineEvent::IdleAccrued {
+                backend,
+                slice,
+                idle: outcome.idle,
+            });
+        }
+    }
+
+    fn emit(&mut self, event: EngineEvent) {
+        for observer in &mut self.observers {
+            observer.on_event(&event);
+        }
+        if self.events.len() >= EVENT_BUFFER_CAP {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-backend incremental run state. These structs hold everything the
+// former monolithic run loops kept in local variables, so a run can
+// pause between slices: the engine (or the batch facade's loop) owns
+// *when* the next slice executes, the backend owns *how*.
+
+/// Incremental state of one analytic streaming run (the locals of the
+/// former `Processor::run_trace` loop).
+#[derive(Debug, Clone)]
+pub(crate) struct AnalyticRun {
+    pub(crate) ledger: EnergyLedger<EnergyCat>,
+    pub(crate) records: Vec<SliceRecord>,
+    pub(crate) migrations: Vec<MigrationRecord>,
+    /// Placement of the previous slice; `None` before the first slice
+    /// (whose placement is adopted for free, as at boot).
+    pub(crate) prev: Option<Placement>,
+    pub(crate) task_seconds: SimDuration,
+    pub(crate) dynamic: Energy,
+    pub(crate) total_tasks: u64,
+    pub(crate) slice: usize,
+}
+
+impl Default for AnalyticRun {
+    fn default() -> Self {
+        AnalyticRun {
+            ledger: EnergyLedger::new(),
+            records: Vec::new(),
+            migrations: Vec::new(),
+            prev: None,
+            task_seconds: SimDuration::ZERO,
+            dynamic: Energy::ZERO,
+            total_tasks: 0,
+            slice: 0,
+        }
+    }
+}
+
+/// Incremental state of one cycle-level streaming run (the locals and
+/// sim-threaded state of the former `CycleBackend::execute`).
+#[derive(Debug)]
+pub(crate) struct CycleRun {
+    pub(crate) records: Vec<SliceRecord>,
+    pub(crate) migrations: Vec<MigrationRecord>,
+    pub(crate) accs: Vec<LayerAcc>,
+    pub(crate) migration_dyn: EnergyLedger<hhpim_pim::EnergyCat>,
+    pub(crate) prev_total: Energy,
+    pub(crate) start_now: SimTime,
+    pub(crate) start_report: RunReport,
+    pub(crate) native_slice: SimDuration,
+    pub(crate) booted: bool,
+    pub(crate) slice: usize,
+}
+
+/// Per-layer accumulator (native machine units, scaled at report
+/// time).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LayerAcc {
+    pub(crate) macs: u64,
+    pub(crate) time: SimDuration,
+    pub(crate) energy_pj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use hhpim_workload::{Scenario, ScenarioParams};
+
+    fn analytic_engine() -> Engine {
+        Engine::new(SessionBuilder::new().build_analytic().unwrap())
+    }
+
+    #[test]
+    fn submit_step_drain_round_trip() {
+        let mut engine = analytic_engine();
+        for i in 0..5 {
+            assert!(engine
+                .submit(if i % 2 == 0 { 1.0 } else { 0.1 })
+                .unwrap()
+                .is_accepted());
+        }
+        assert_eq!(engine.pending(), 5);
+        assert_eq!(engine.step().unwrap(), Some(0));
+        assert_eq!(engine.pending(), 4);
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].records.len(), 5);
+        // Drained engines reset and can stream again.
+        assert_eq!(engine.slices_executed(), 0);
+        engine.submit(0.5).unwrap();
+        let again = engine.drain().unwrap();
+        assert_eq!(again[0].records.len(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_defers_and_recovers() {
+        let mut engine = analytic_engine().with_queue_capacity(2);
+        assert!(engine.submit(0.5).unwrap().is_accepted());
+        assert!(engine.submit(0.5).unwrap().is_accepted());
+        assert_eq!(engine.submit(0.5).unwrap(), SubmitOutcome::Deferred);
+        assert_eq!(engine.pending(), 2, "deferred loads are not enqueued");
+        engine.step().unwrap();
+        assert!(engine.submit(0.5).unwrap().is_accepted());
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports[0].records.len(), 3);
+    }
+
+    #[test]
+    fn invalid_loads_are_typed_errors() {
+        let mut engine = analytic_engine();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                engine.submit(bad).unwrap_err(),
+                EngineError::InvalidLoad { .. }
+            ));
+        }
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn events_follow_the_documented_order() {
+        let mut engine = analytic_engine();
+        // Low → high forces a replacement (and its migration) at the
+        // second slice on HH-PIM's LUT policy.
+        engine.submit(0.1).unwrap();
+        engine.submit(1.0).unwrap();
+        engine.drain().unwrap();
+        let events: Vec<EngineEvent> = engine.events().collect();
+        let kinds: Vec<&'static str> = events
+            .iter()
+            .map(|e| match e {
+                EngineEvent::SliceCompleted { .. } => "slice",
+                EngineEvent::Replacement { .. } => "replace",
+                EngineEvent::Migration { .. } => "migrate",
+                EngineEvent::DeadlineMiss { .. } => "miss",
+                EngineEvent::IdleAccrued { .. } => "idle",
+            })
+            .collect();
+        // Slice 0: boot adoption is free (no replacement), mostly idle.
+        // Slice 1: replacement → migration → completion.
+        assert_eq!(
+            kinds,
+            vec!["slice", "idle", "replace", "migrate", "slice", "idle"],
+            "{events:#?}"
+        );
+        // Replacement and migration agree on the transition.
+        let (from, to) = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::Replacement { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .unwrap();
+        let record = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::Migration { record, .. } => Some(record.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!((record.from, record.to), (from, to));
+        assert_eq!(record.slice, 1);
+    }
+
+    #[test]
+    fn observers_see_every_event_in_order() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut engine = analytic_engine();
+        engine.observe(move |event: &EngineEvent| {
+            sink.lock().unwrap().push(event.clone());
+        });
+        engine.submit(0.3).unwrap();
+        engine.submit(0.9).unwrap();
+        engine.drain().unwrap();
+        let buffered: Vec<EngineEvent> = engine.events().collect();
+        assert_eq!(*seen.lock().unwrap(), buffered);
+    }
+
+    #[test]
+    fn ingest_honors_backpressure_without_losing_slices() {
+        let trace = LoadTrace::generate(
+            Scenario::PeriodicSpike,
+            ScenarioParams {
+                slices: 10,
+                ..ScenarioParams::default()
+            },
+        );
+        let mut engine = analytic_engine().with_queue_capacity(3);
+        engine.ingest(&trace).unwrap();
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports[0].records.len(), 10);
+    }
+
+    #[test]
+    fn stream_source_is_unbounded() {
+        let mut source = StreamSource::new(|i| (i % 2) as f64);
+        assert_eq!(source.position(), 0);
+        let first: Vec<f64> = source.by_ref().take(4).collect();
+        assert_eq!(first, vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(source.position(), 4);
+        assert_eq!(source.next_load(), 0.0, "the stream never ends");
+    }
+
+    /// A backend that fails on a chosen slice index, for exercising
+    /// the engine's poison path.
+    #[derive(Debug)]
+    struct FailingBackend {
+        inner: crate::backend::AnalyticBackend,
+        fail_on: usize,
+        stepped: usize,
+    }
+
+    impl ExecutionBackend for FailingBackend {
+        fn kind(&self) -> BackendKind {
+            self.inner.kind()
+        }
+
+        fn architecture(&self) -> crate::arch::Architecture {
+            self.inner.architecture()
+        }
+
+        fn runtime_config(&self) -> &crate::runtime::RuntimeConfig {
+            self.inner.runtime_config()
+        }
+
+        fn begin_stream(&mut self) -> Result<(), BackendError> {
+            self.stepped = 0;
+            self.inner.begin_stream()
+        }
+
+        fn step_slice(&mut self, n_tasks: u32) -> Result<SliceOutcome, BackendError> {
+            if self.stepped == self.fail_on {
+                return Err(BackendError::NoPimLayer {
+                    model: hhpim_nn::TinyMlModel::MobileNetV2,
+                });
+            }
+            self.stepped += 1;
+            self.inner.step_slice(n_tasks)
+        }
+
+        fn finish_stream(&mut self) -> Result<ExecutionReport, BackendError> {
+            self.inner.finish_stream()
+        }
+    }
+
+    #[test]
+    fn poisoned_stream_discards_state_and_restarts_cleanly() {
+        let mut engine = Engine::new(FailingBackend {
+            inner: SessionBuilder::new().build_analytic().unwrap(),
+            fail_on: 2,
+            stepped: 0,
+        });
+        for _ in 0..5 {
+            engine.submit(0.5).unwrap();
+        }
+        assert_eq!(engine.step().unwrap(), Some(0));
+        assert_eq!(engine.step().unwrap(), Some(1));
+        let err = engine.step().unwrap_err();
+        assert!(matches!(err, EngineError::Backend { .. }));
+        // The aborted stream's state is gone: no stale loads, no stale
+        // events, slice numbering back to zero.
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.slices_executed(), 0);
+        assert_eq!(engine.events().count(), 0);
+        // The engine restarts cleanly: a fresh stream runs from slice
+        // 0 (the mock resets its own counter in begin_stream).
+        engine.submit(0.5).unwrap();
+        assert_eq!(engine.step().unwrap(), Some(0));
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports[0].records.len(), 1);
+        assert_eq!(reports[0].records[0].slice, 0);
+    }
+
+    #[test]
+    fn zero_slice_drain_yields_empty_reports() {
+        let mut engine = analytic_engine();
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].records.is_empty());
+        assert_eq!(reports[0].deadline_misses, 0);
+    }
+}

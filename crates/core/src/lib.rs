@@ -4,9 +4,13 @@
 //! Performance with Heterogeneous-Hybrid PIM for Edge AI Devices*
 //! (DAC 2025). This crate is the paper's primary contribution:
 //!
-//! * [`session`] — **the entry point**: [`SessionBuilder`] composes an
-//!   architecture, model, trace source, placement policy and backends
-//!   into a [`Session`] that runs, compares, or sweeps,
+//! * [`session`] — **the batch entry point**: [`SessionBuilder`]
+//!   composes an architecture, model, trace source, placement policy
+//!   and backends into a [`Session`] that runs, compares, or sweeps,
+//! * [`engine`] — **the streaming entry point**: [`Engine`] accepts
+//!   load slices online (`submit`/`step`/`drain`), emits a typed
+//!   [`EngineEvent`] stream and backpressures through a bounded
+//!   queue; the batch facade is a wrapper over it,
 //! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
 //!   (Baseline-, Heterogeneous-, Hybrid- and HH-PIM) with their gating
 //!   and placement modes,
@@ -51,6 +55,7 @@ pub mod backend;
 pub mod compile;
 pub mod cost;
 pub mod dp;
+pub mod engine;
 pub mod experiment;
 pub mod policy;
 pub mod runtime;
@@ -73,6 +78,10 @@ pub use compile::{
 };
 pub use cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 pub use dp::{AllocationLut, OptimalPlacement, OptimizerConfig, PlacementOptimizer};
+pub use engine::{
+    Engine, EngineError, EngineEvent, EngineObserver, ReplacementDecision, SliceOutcome,
+    StreamSource, SubmitOutcome,
+};
 #[allow(deprecated)]
 pub use experiment::{run_case, savings_matrix, ExperimentConfig};
 pub use experiment::{SavingsCell, SavingsMatrix};

@@ -35,8 +35,9 @@ use std::sync::Arc;
 /// Implementations must be deterministic: the same prepared policy
 /// asked about the same task count must always answer the same
 /// placement (the runtime replays decisions slice by slice on both
-/// backends and the reports must agree).
-pub trait PlacementPolicy: fmt::Debug {
+/// backends and the reports must agree). `Send` is required so
+/// policy-holding backends can fan out across comparison threads.
+pub trait PlacementPolicy: fmt::Debug + Send {
     /// Short machine-readable name (used in artifacts and reports).
     fn name(&self) -> &'static str;
 

@@ -14,6 +14,7 @@ use crate::backend::{
 };
 use crate::cost::{CostModel, CostModelError, CostParams, WorkloadProfile};
 use crate::dp::OptimizerConfig;
+use crate::engine::{AnalyticRun, ReplacementDecision, SliceOutcome};
 use crate::policy::{default_policy, FixedHome, PlacementPolicy};
 use crate::space::{movement_legs, Placement, StorageSpace};
 use crate::store::PlacementStore;
@@ -405,67 +406,110 @@ impl Processor {
         }
     }
 
-    /// Runs a full load trace, returning per-slice records and the
-    /// energy breakdown as a unified [`ExecutionReport`].
-    ///
-    /// The closed-form model has no native layer notion; its
-    /// [`LayerRecord`]s apportion the per-task latency and dynamic
-    /// energy across the model's PIM layers by MAC share, so they
-    /// compare layer-by-layer with the cycle backend's measured records.
-    pub fn run_trace(&self, trace: &LoadTrace) -> ExecutionReport {
-        let tasks = trace.task_counts(self.runtime.max_tasks);
-        let mut ledger = EnergyLedger::new();
-        let mut records = Vec::with_capacity(tasks.len());
-        let mut migrations = Vec::new();
-        let mut prev = self.placement_for_tasks(*tasks.first().unwrap_or(&1));
-        let mut task_seconds = SimDuration::ZERO;
-        let mut dynamic = Energy::ZERO;
-        for (i, &n) in tasks.iter().enumerate() {
-            let placement = self.placement_for_tasks(n);
-            let (mt, me, moved) = self.movement_cost(&prev, &placement);
-            if moved > 0 {
-                migrations.push(MigrationRecord {
-                    slice: i,
-                    from: prev,
-                    to: placement,
-                    groups: moved,
-                    bytes: moved * self.cost.params().group_size,
-                    time: mt,
-                    energy: me,
-                });
-            }
-            let record = self.evaluate_slice(i, placement, n, mt, me, moved, &mut ledger);
-            task_seconds += record.task_time * n as u64;
-            dynamic += self.cost.dynamic_energy_per_task(&placement) * n as u64;
-            records.push(record);
-            prev = placement;
+    /// Opens a resumable streaming run: the returned state is fed one
+    /// slice at a time through [`Processor::step_run`] and closed by
+    /// [`Processor::finish_run`]. [`Processor::run_trace`] (and with
+    /// it the whole batch facade) is a loop over exactly this path.
+    pub(crate) fn begin_run(&self) -> AnalyticRun {
+        AnalyticRun::default()
+    }
+
+    /// Executes one slice of `n_tasks` incrementally: consults the
+    /// placement policy (the LUT lookup on HH-PIM), charges any
+    /// movement at the boundary, accounts the slice's energy and
+    /// returns the decisions for the engine's event stream. The first
+    /// slice's placement is adopted for free, as at boot.
+    pub(crate) fn step_run(&self, run: &mut AnalyticRun, n_tasks: u32) -> SliceOutcome {
+        let placement = self.placement_for_tasks(n_tasks);
+        let from = run.prev.unwrap_or(placement);
+        let (mt, me, moved) = self.movement_cost(&from, &placement);
+        let migration = (moved > 0).then(|| MigrationRecord {
+            slice: run.slice,
+            from,
+            to: placement,
+            groups: moved,
+            bytes: moved * self.cost.params().group_size,
+            time: mt,
+            energy: me,
+        });
+        if let Some(m) = &migration {
+            run.migrations.push(m.clone());
         }
-        let total_tasks: u64 = tasks.iter().map(|&n| n as u64).sum();
+        let record = self.evaluate_slice(
+            run.slice,
+            placement,
+            n_tasks,
+            mt,
+            me,
+            moved,
+            &mut run.ledger,
+        );
+        run.task_seconds += record.task_time * n_tasks as u64;
+        run.dynamic += self.cost.dynamic_energy_per_task(&placement) * n_tasks as u64;
+        run.total_tasks += n_tasks as u64;
+        run.records.push(record.clone());
+        run.prev = Some(placement);
+        run.slice += 1;
+        let idle = self
+            .runtime
+            .slice_duration
+            .saturating_sub(mt + record.task_time * n_tasks as u64);
+        SliceOutcome {
+            record,
+            replacement: (moved > 0).then(|| ReplacementDecision {
+                from,
+                to: placement,
+                legs: movement_legs(&from, &placement),
+            }),
+            migration,
+            idle,
+        }
+    }
+
+    /// Closes a streaming run into the unified [`ExecutionReport`].
+    pub(crate) fn finish_run(&self, run: AnalyticRun) -> ExecutionReport {
         let layers = self
             .layer_shares
             .iter()
             .map(|(idx, label, share)| LayerRecord {
                 layer: *idx,
                 label: label.clone(),
-                macs: (self.cost.profile().pim_macs as f64 * share * total_tasks as f64).round()
+                macs: (self.cost.profile().pim_macs as f64 * share * run.total_tasks as f64).round()
                     as u64,
-                time: task_seconds.mul_f64(*share),
-                energy: dynamic * *share,
+                time: run.task_seconds.mul_f64(*share),
+                energy: run.dynamic * *share,
             })
             .collect();
-        let deadline_misses = records.iter().filter(|r| !r.deadline_met).count();
+        let deadline_misses = run.records.iter().filter(|r| !r.deadline_met).count();
         ExecutionReport {
             backend: BackendKind::Analytic,
             arch: self.arch.arch,
-            records,
+            elapsed: SimTime::ZERO + self.runtime.slice_duration * run.records.len() as u64,
+            records: run.records,
             layers,
-            migrations,
-            energy: ledger,
-            elapsed: SimTime::ZERO + self.runtime.slice_duration * tasks.len() as u64,
+            migrations: run.migrations,
+            energy: run.ledger,
             deadline_misses,
             instructions: 0,
-            macs: self.cost.profile().pim_macs * tasks.iter().map(|&n| n as u64).sum::<u64>(),
+            macs: self.cost.profile().pim_macs * run.total_tasks,
         }
+    }
+
+    /// Runs a full load trace, returning per-slice records and the
+    /// energy breakdown as a unified [`ExecutionReport`] — a batch
+    /// loop over the resumable `begin_run → step_run → finish_run`
+    /// streaming path (bit-identical to the former monolithic loop).
+    ///
+    /// The closed-form model has no native layer notion; its
+    /// [`LayerRecord`]s apportion the per-task latency and dynamic
+    /// energy across the model's PIM layers by MAC share, so they
+    /// compare layer-by-layer with the cycle backend's measured records.
+    pub fn run_trace(&self, trace: &LoadTrace) -> ExecutionReport {
+        let mut run = self.begin_run();
+        for &n in &trace.task_counts(self.runtime.max_tasks) {
+            self.step_run(&mut run, n);
+        }
+        self.finish_run(run)
     }
 }
 

@@ -89,6 +89,7 @@ use crate::backend::{
 use crate::compile::WeightHome;
 use crate::cost::{CostModelError, CostParams};
 use crate::dp::OptimizerConfig;
+use crate::engine::EngineError;
 use crate::experiment::{SavingsCell, SavingsMatrix};
 use crate::policy::{default_policy, PlacementPolicy};
 use crate::runtime::Processor;
@@ -172,6 +173,17 @@ impl From<BackendError> for SessionError {
 impl From<TraceError> for SessionError {
     fn from(e: TraceError) -> Self {
         SessionError::Trace(e)
+    }
+}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Backend { error, .. } => SessionError::Backend(error),
+            EngineError::InvalidLoad { slice, load } => {
+                SessionError::Trace(TraceError::LoadOutOfRange { index: slice, load })
+            }
+        }
     }
 }
 
@@ -302,6 +314,13 @@ impl<F: Fn(usize) -> f64> TraceSource for ClosureSource<F> {
     }
 
     fn trace(&self) -> Result<LoadTrace, SessionError> {
+        // A zero-slice closure describes no run at all; reject it up
+        // front with the same typed error `LoadTrace::try_generate`
+        // returns for `slices == 0` instead of building a degenerate
+        // empty replay.
+        if self.slices == 0 {
+            return Err(SessionError::Trace(TraceError::Empty));
+        }
         Ok(LoadTrace::replay((0..self.slices).map(&self.f).collect())?)
     }
 }
@@ -419,7 +438,8 @@ impl SessionBuilder {
     }
 
     /// Worker threads for [`Session::sweep`]/[`Session::sweep_all`]
-    /// (default 1 = serial). The parallel executor fans sweep cells
+    /// and [`Session::compare`] (default 1 = serial). The parallel
+    /// executor fans sweep cells — and, on `compare`, whole backends —
     /// across scoped threads sharing the session's warm store; results
     /// are ordered deterministically and bit-identical to the serial
     /// run. Values are clamped to at least 1.
@@ -723,13 +743,20 @@ impl Session {
         self.store.stats()
     }
 
-    /// Worker threads [`Session::sweep`] fans out across.
+    /// Worker threads [`Session::sweep`] and [`Session::compare`] fan
+    /// out across.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     /// Pulls one trace from the source and executes it on every
     /// configured backend.
+    ///
+    /// The batch facade is a wrapper over the streaming path: each
+    /// backend executes the trace slice by slice through its resumable
+    /// `step_slice`, bit-identical to the former monolithic loops. For
+    /// online (unbounded) workloads, events or backpressure, drive a
+    /// [`crate::engine::Engine`] directly — see [`crate::engine`].
     ///
     /// # Errors
     ///
@@ -742,10 +769,7 @@ impl Session {
             .as_ref()
             .ok_or(SessionError::NoTraceSource)?
             .trace()?;
-        let mut reports = Vec::with_capacity(self.backends.len());
-        for backend in &mut self.backends {
-            reports.push(backend.execute(&trace).map_err(SessionError::Backend)?);
-        }
+        let reports = self.execute_trace(&trace)?;
         Ok(RunArtifacts {
             trace,
             policy: self.policy_name,
@@ -754,8 +778,26 @@ impl Session {
         })
     }
 
+    /// Runs `trace` on every backend (builder order) via the provided
+    /// streaming loop — `execute` is `begin_stream` → `step_slice` per
+    /// slice → `finish_stream`, the same resumable path a
+    /// [`crate::engine::Engine`] drives online, without the engine's
+    /// queue/event machinery that a batch run would only discard.
+    fn execute_trace(&mut self, trace: &LoadTrace) -> Result<Vec<ExecutionReport>, SessionError> {
+        let mut reports = Vec::with_capacity(self.backends.len());
+        for backend in &mut self.backends {
+            reports.push(backend.execute(trace).map_err(SessionError::Backend)?);
+        }
+        Ok(reports)
+    }
+
     /// Runs every backend on the same trace and wraps the reports in
     /// agreement checks — the parity harness as a method.
+    ///
+    /// With [`SessionBuilder::threads`] above 1 the backends fan out
+    /// across scoped worker threads, one per backend (each thread
+    /// loops the streaming API over its own backend); reports are
+    /// ordered by builder order and bit-identical to the serial run.
     ///
     /// # Errors
     ///
@@ -767,8 +809,41 @@ impl Session {
                 backends: self.backends.len(),
             });
         }
+        if self.threads <= 1 {
+            return Ok(Comparison {
+                artifacts: self.run()?,
+            });
+        }
+        let trace = self
+            .source
+            .as_ref()
+            .ok_or(SessionError::NoTraceSource)?
+            .trace()?;
+        // One slot per backend, filled in place so report order never
+        // depends on thread timing; backends are independent, so the
+        // fan-out cannot change any report's arithmetic.
+        let mut slots: Vec<Option<Result<ExecutionReport, BackendError>>> = Vec::new();
+        slots.resize_with(self.backends.len(), || None);
+        let trace_ref = &trace;
+        std::thread::scope(|scope| {
+            for (backend, slot) in self.backends.iter_mut().zip(slots.iter_mut()) {
+                scope.spawn(move || {
+                    *slot = Some(backend.execute(trace_ref));
+                });
+            }
+        });
+        let reports = slots
+            .into_iter()
+            .map(|slot| slot.expect("every compare slot is filled"))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(SessionError::Backend)?;
         Ok(Comparison {
-            artifacts: self.run()?,
+            artifacts: RunArtifacts {
+                trace,
+                policy: self.policy_name,
+                reports,
+                cache: self.store.stats(),
+            },
         })
     }
 

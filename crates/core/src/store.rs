@@ -164,6 +164,9 @@ pub struct CacheStats {
     pub lut_builds: u64,
     /// Total wall time spent building entries.
     pub build_time: Duration,
+    /// Entries evicted by the bounded-capacity LRU mode (always 0 on
+    /// the default unbounded store).
+    pub evictions: u64,
 }
 
 /// One LUT slot: a `OnceLock` so concurrent misses on the *same* key
@@ -173,14 +176,50 @@ type LutCell = Arc<OnceLock<Arc<AllocationLut>>>;
 
 /// A thread-safe, memoized cache of prepared placement state. See the
 /// [module docs](self).
+///
+/// By default a store never evicts — the right trade for batch
+/// processes whose configuration population is bounded by the
+/// experiment grid. Long-lived streaming processes loading many
+/// models should bound it with [`PlacementStore::with_capacity`]:
+/// each map (LUTs, fixed homes) then keeps at most that many entries,
+/// evicting the least-recently-used one past the cap and counting the
+/// eviction in [`CacheStats::evictions`]. An evicted entry is rebuilt
+/// on its next request; in-flight builds are unaffected (the builder
+/// holds the slot alive).
 #[derive(Debug, Default)]
 pub struct PlacementStore {
-    luts: Mutex<HashMap<PlacementKey, LutCell>>,
-    homes: Mutex<HashMap<PlacementKey, Placement>>,
+    luts: Mutex<HashMap<PlacementKey, (LutCell, u64)>>,
+    homes: Mutex<HashMap<PlacementKey, (Placement, u64)>>,
+    /// Per-map entry cap; `None` = unbounded (the default).
+    capacity: Option<usize>,
+    /// Monotone LRU clock; bumped on every lookup.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     lut_builds: AtomicU64,
     build_ns: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Evicts the least-recently-used entry other than `keep` when `map`
+/// exceeds `capacity`, returning whether an entry was dropped.
+fn evict_lru<V>(
+    map: &mut HashMap<PlacementKey, (V, u64)>,
+    capacity: usize,
+    keep: PlacementKey,
+) -> bool {
+    if map.len() <= capacity {
+        return false;
+    }
+    let victim = map
+        .iter()
+        .filter(|(k, _)| **k != keep)
+        .min_by_key(|(_, (_, stamp))| *stamp)
+        .map(|(k, _)| *k);
+    match victim {
+        Some(key) => map.remove(&key).is_some(),
+        None => false,
+    }
 }
 
 static GLOBAL: OnceLock<Arc<PlacementStore>> = OnceLock::new();
@@ -194,6 +233,24 @@ impl PlacementStore {
     /// An empty store, ready to share (`Arc::new(Self::new())`).
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// An empty store that keeps at most `capacity` entries per map
+    /// (LUTs and fixed homes each), evicting least-recently-used
+    /// entries past the cap. `capacity` is clamped to at least 1.
+    /// Intended for long-lived engine processes that stream many
+    /// model/architecture configurations; the default stores stay
+    /// unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlacementStore {
+            capacity: Some(capacity.max(1)),
+            ..Default::default()
+        }
+    }
+
+    /// The per-map entry cap, if this store is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The process-local store: the default for every
@@ -222,7 +279,16 @@ impl PlacementStore {
         let key = PlacementKey::for_lut(cost, runtime, opt);
         let cell: LutCell = {
             let mut luts = self.luts.lock().expect("placement store poisoned");
-            luts.entry(key).or_default().clone()
+            let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+            let entry = luts.entry(key).or_default();
+            entry.1 = stamp;
+            let cell = entry.0.clone();
+            if let Some(cap) = self.capacity {
+                if evict_lru(&mut luts, cap, key) {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            cell
         };
         let mut built_here = false;
         let lut = cell
@@ -264,9 +330,11 @@ impl PlacementStore {
     ) -> Result<Placement, CostModelError> {
         let key = PlacementKey::for_fixed_home(cost, pinned);
         let mut homes = self.homes.lock().expect("placement store poisoned");
-        if let Some(&home) = homes.get(&key) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = homes.get_mut(&key) {
+            entry.1 = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(home);
+            return Ok(entry.0);
         }
         let start = Instant::now();
         let home = pinned.unwrap_or_else(|| crate::policy::arch_fixed_home(cost.arch().arch, cost));
@@ -276,7 +344,12 @@ impl PlacementStore {
         self.build_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        homes.insert(key, home);
+        homes.insert(key, (home, stamp));
+        if let Some(cap) = self.capacity {
+            if evict_lru(&mut homes, cap, key) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(home)
     }
 
@@ -293,7 +366,7 @@ impl PlacementStore {
             .lock()
             .expect("placement store poisoned")
             .get(&key)
-            .is_some_and(|cell| cell.get().is_some())
+            .is_some_and(|(cell, _)| cell.get().is_some())
     }
 
     /// A snapshot of this store's hit/miss/build counters.
@@ -303,6 +376,7 @@ impl PlacementStore {
             misses: self.misses.load(Ordering::Relaxed),
             lut_builds: self.lut_builds.load(Ordering::Relaxed),
             build_time: Duration::from_nanos(self.build_ns.load(Ordering::Relaxed)),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -420,6 +494,57 @@ mod tests {
         // A fresh request rebuilds.
         store.lut(&cost, &runtime, &opt);
         assert_eq!(store.stats().lut_builds, 2);
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let store = PlacementStore::with_capacity(2);
+        assert_eq!(store.capacity(), Some(2));
+        let a = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 120);
+        let b = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 130);
+        let c = fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, 140);
+        store.lut(&a.0, &a.1, &a.2);
+        store.lut(&b.0, &b.1, &b.2);
+        // Touch `a` so `b` is the least recently used, then overflow.
+        store.lut(&a.0, &a.1, &a.2);
+        store.lut(&c.0, &c.1, &c.2);
+        assert_eq!(store.len(), 2, "capacity 2 must hold after overflow");
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.contains_lut(&a.0, &a.1, &a.2), "recently used stays");
+        assert!(store.contains_lut(&c.0, &c.1, &c.2), "newest stays");
+        assert!(!store.contains_lut(&b.0, &b.1, &b.2), "LRU entry evicted");
+        // The evicted key rebuilds on its next request.
+        let builds_before = store.stats().lut_builds;
+        store.lut(&b.0, &b.1, &b.2);
+        assert_eq!(store.stats().lut_builds, builds_before + 1);
+    }
+
+    #[test]
+    fn bounded_store_caps_fixed_homes_too() {
+        let store = PlacementStore::with_capacity(1);
+        let (cost_a, ..) = fixture(Architecture::Hybrid, TinyMlModel::MobileNetV2, 120);
+        let (cost_b, ..) = fixture(Architecture::Baseline, TinyMlModel::MobileNetV2, 120);
+        store.fixed_home(&cost_a, None).unwrap();
+        store.fixed_home(&cost_b, None).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().evictions, 1);
+        // Re-resolving the evicted home is a fresh miss, not a hit.
+        let misses_before = store.stats().misses;
+        store.fixed_home(&cost_a, None).unwrap();
+        assert_eq!(store.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let store = PlacementStore::new();
+        assert_eq!(store.capacity(), None);
+        for buckets in [110, 115, 125, 135] {
+            let (cost, runtime, opt) =
+                fixture(Architecture::HhPim, TinyMlModel::MobileNetV2, buckets);
+            store.lut(&cost, &runtime, &opt);
+        }
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.stats().evictions, 0);
     }
 
     #[test]

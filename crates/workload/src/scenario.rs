@@ -299,15 +299,21 @@ impl LoadTrace {
         self.loads.is_empty()
     }
 
-    /// Converts loads to integer task counts given the maximum number of
-    /// inferences a slice can hold; every slice issues at least one task
-    /// (an idle camera still runs detection).
+    /// Quantizes one load level into an integer task count given the
+    /// maximum number of inferences a slice can hold; every slice
+    /// issues at least one task (an idle camera still runs detection).
+    /// This is the single quantization rule — batch replays and the
+    /// streaming engine both call it, so they cannot diverge.
+    pub fn task_count_for(load: f64, max_tasks_per_slice: u32) -> u32 {
+        ((load * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
+    }
+
+    /// Converts loads to integer task counts via
+    /// [`LoadTrace::task_count_for`].
     pub fn task_counts(&self, max_tasks_per_slice: u32) -> Vec<u32> {
         self.loads
             .iter()
-            .map(|&l| {
-                ((l * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
-            })
+            .map(|&l| Self::task_count_for(l, max_tasks_per_slice))
             .collect()
     }
 

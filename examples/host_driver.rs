@@ -1,100 +1,116 @@
-//! End-to-end stack demo: an RV32IM program (the "benchmark app" of the
-//! paper's Fig. 3) drives the cycle-level PIM machine through the
-//! memory-mapped queue, computing a dot product on HP module 0, and the
-//! host reads the accumulator back over MMIO.
+//! The host-side serving loop: a long-lived driver feeding load
+//! slices to the streaming `hhpim::engine` as they arrive, instead of
+//! handing over a complete trace up front.
 //!
-//! This is the one example that deliberately sits *below* the
-//! `hhpim::session` facade: it exercises the raw ISA/MMIO path that
-//! `SessionBuilder`'s cycle backend drives for you (see `quickstart`
-//! for the facade-level equivalent).
+//! This example plays the role of the paper's host processor under
+//! live traffic: an unbounded `StreamSource` stands in for the
+//! camera/sensor feed (it has no known length — the engine never needs
+//! one), each slice is `submit`ted and `step`ped individually, a
+//! bounded queue backpressures the producer (`SubmitOutcome::Deferred`
+//! means "the machine is behind — step before submitting more"), and
+//! an `EngineObserver` watches the runtime's online decisions: LUT
+//! re-placements, the migration traffic realizing them, idle windows
+//! the gating converts into leakage savings, and any deadline misses.
+//!
+//! The cycle-level backend is used, so every submitted slice really
+//! executes the model's full PIM layer stack on the structural
+//! machine. See `quickstart` for the batch facade over the same
+//! stack.
 //!
 //! ```sh
 //! cargo run --release --example host_driver
 //! ```
 
-use hhpim_isa::{encode, MemSelect, ModuleMask, PimInstruction};
-use hhpim_pim::{MachineConfig, PimMachine};
-use hhpim_riscv::{assemble_rv, Cpu, SystemBus, PIM_BASE};
+use hhpim::engine::{Engine, EngineEvent, StreamSource, SubmitOutcome};
+use hhpim::session::SessionBuilder;
+use hhpim::Architecture;
+use hhpim_nn::TinyMlModel;
 
 fn main() {
-    // Weights and activations preloaded into HP module 0 (host DMA).
-    let weights: Vec<u8> = vec![1, 2, 3, 4, 5, 6, 7, 8];
-    let acts: Vec<u8> = vec![8, 7, 6, 5, 4, 3, 2, 1];
-    let expected: i32 = weights
-        .iter()
-        .zip(&acts)
-        .map(|(&w, &a)| (w as i8 as i32) * (a as i8 as i32))
-        .sum();
+    // The machine under service: HH-PIM running MobileNetV2 on the
+    // cycle-accurate backend (same builder surface as batch runs).
+    let backend = SessionBuilder::new()
+        .architecture(Architecture::HhPim)
+        .model(TinyMlModel::MobileNetV2)
+        .build_cycle()
+        .expect("MobileNetV2 fits HH-PIM");
 
-    let mut pim = PimMachine::new(MachineConfig::default());
-    pim.preload(0, MemSelect::Mram, 0, &weights)
-        .expect("preload weights");
-    pim.preload_activations(0, &acts)
-        .expect("preload activations");
+    // A deliberately small queue so the demo exercises backpressure.
+    let mut engine = Engine::new(backend).with_queue_capacity(2);
 
-    // The driver program pushes CLR then MAC x8 then BARRIER through the
-    // queue registers, rings the doorbell and reads the accumulator.
-    let clr = encode(PimInstruction::ClearAcc {
-        modules: ModuleMask::single(0),
+    // A live observer: print each online decision as it happens.
+    engine.observe(|event: &EngineEvent| match event {
+        EngineEvent::Replacement {
+            slice,
+            from,
+            to,
+            legs,
+            ..
+        } => println!(
+            "  slice {slice:2}: LUT re-placement {from} -> {to} ({} legs)",
+            legs.len()
+        ),
+        EngineEvent::Migration { record, .. } => println!(
+            "  slice {:2}: migrated {} groups ({} B) in {}",
+            record.slice, record.groups, record.bytes, record.time
+        ),
+        EngineEvent::DeadlineMiss { slice, n_tasks, .. } => {
+            println!("  slice {slice:2}: DEADLINE MISS at {n_tasks} tasks")
+        }
+        _ => {}
     });
-    let mac = encode(PimInstruction::Mac {
-        modules: ModuleMask::single(0),
-        mem: MemSelect::Mram,
-        addr: 0,
-        count: weights.len() as u8,
-    });
-    let program = format!(
-        "li x1, {pim_base}
-         # push CLR
-         li x2, {clr_lo}
-         sw x2, 0(x1)
-         li x2, {clr_hi}
-         sw x2, 4(x1)
-         # push MAC
-         li x2, {mac_lo}
-         sw x2, 0(x1)
-         li x2, {mac_hi}
-         sw x2, 4(x1)
-         # doorbell (barrier)
-         li x2, 1
-         sw x2, 12(x1)
-         # select module 0 and read the accumulator into x10
-         sw x0, 16(x1)
-         lw x10, 20(x1)
-         ecall",
-        pim_base = PIM_BASE,
-        clr_lo = clr as u32,
-        clr_hi = (clr >> 32) as u32,
-        mac_lo = mac as u32,
-        mac_hi = (mac >> 32) as u32,
-    );
 
-    let code = assemble_rv(&program).expect("driver assembles");
-    let mut bus = SystemBus::new(64 * 1024).with_pim(pim);
-    bus.load_program(0, &code);
-    let mut cpu = Cpu::new();
-    let halt = cpu.run(&mut bus, 100_000).expect("driver runs to ecall");
+    // The "traffic": an unbounded stream of loads — a quiet feed that
+    // spikes every fifth slice. No length is ever declared.
+    let mut feed = StreamSource::new(|slice| if slice % 5 == 0 { 1.0 } else { 0.15 });
 
-    println!(
-        "driver halted via {halt:?} after {} instructions",
-        cpu.retired()
-    );
-    println!("expected dot product : {expected}");
-    println!("accumulator via MMIO : {}", cpu.reg(10) as i32);
-    assert_eq!(
-        cpu.reg(10) as i32,
-        expected,
-        "PIM result must match the CPU-side reference"
-    );
-
-    let report = bus.pim_mut().expect("pim attached").report();
-    println!("\nPIM machine report:");
-    println!("  finished at : {}", report.finished_at);
-    println!("  MACs retired: {}", report.macs);
-    println!("  total energy: {}", report.total_energy());
-    for (cat, e) in report.energy.iter() {
-        if e.as_pj() > 0.0 {
-            println!("    {cat:?}: {e}");
+    println!("streaming 12 slices into the engine:");
+    let mut deferred = 0u32;
+    for _ in 0..12 {
+        let load = feed.next_load();
+        loop {
+            match engine.submit(load).expect("loads are in [0, 1]") {
+                SubmitOutcome::Accepted => break,
+                SubmitOutcome::Deferred => {
+                    // Queue full: make progress, then offer again.
+                    deferred += 1;
+                    engine.step().expect("slice executes");
+                }
+            }
         }
     }
+
+    // Finish the backlog and close the stream into a report.
+    let reports = engine.drain().expect("stream drains");
+    let report = &reports[0];
+
+    // Summarize what the iterator side of the event stream saw.
+    let events: Vec<EngineEvent> = engine.events().collect();
+    let replacements = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::Replacement { .. }))
+        .count();
+    let idle_slices = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::IdleAccrued { .. }))
+        .count();
+
+    println!("\nstream closed: {report}");
+    println!("  re-placements     : {replacements}");
+    println!("  slices with idle  : {idle_slices}");
+    println!("  submissions held  : {deferred} (bounded-queue backpressure)");
+    println!("  MACs retired      : {}", report.macs);
+    println!("  energy total      : {}", report.total_energy());
+
+    assert_eq!(report.records.len(), 12);
+    assert!(replacements > 0, "a spiky feed must trigger re-placement");
+
+    // The engine resets after drain — keep serving the same feed.
+    engine.pump(&mut feed, 5).expect("next batch serves");
+    let more = engine.drain().expect("second stream drains");
+    println!(
+        "\nsecond batch of 5 slices (feed cursor now at {}): {}",
+        feed.position(),
+        more[0]
+    );
 }

@@ -1,0 +1,23 @@
+//! Helpers shared by the integration tests (a directory module, so it
+//! is not compiled as a test binary of its own).
+
+use hhpim::ExecutionReport;
+
+/// Reports carry floats throughout; identical runs must agree to the
+/// bit, not within a tolerance.
+pub fn assert_reports_identical(a: &ExecutionReport, b: &ExecutionReport) {
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(a.arch, b.arch);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.layers, b.layers);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.deadline_misses, b.deadline_misses);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.macs, b.macs);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(
+        a.total_energy().as_pj().to_bits(),
+        b.total_energy().as_pj().to_bits(),
+        "energy must be bit-identical"
+    );
+}

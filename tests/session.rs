@@ -9,12 +9,15 @@
 use hhpim::session::SessionBuilder;
 use hhpim::{
     AnalyticBackend, Architecture, BackendKind, CostModel, CostParams, CycleBackend,
-    ExecutionBackend, ExecutionReport, FixedHome, GreedyBaseline, LutAdaptive, OptimizerConfig,
-    PlacementStore, Processor, RuntimeConfig, StorageSpace, WeightHome, WorkloadProfile,
+    ExecutionBackend, FixedHome, GreedyBaseline, LutAdaptive, OptimizerConfig, PlacementStore,
+    Processor, RuntimeConfig, StorageSpace, WeightHome, WorkloadProfile,
 };
 use hhpim_nn::TinyMlModel;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use proptest::prelude::*;
+
+mod common;
+use common::assert_reports_identical;
 
 fn params(slices: usize, seed: u64) -> ScenarioParams {
     ScenarioParams {
@@ -22,25 +25,6 @@ fn params(slices: usize, seed: u64) -> ScenarioParams {
         seed,
         ..ScenarioParams::default()
     }
-}
-
-/// Reports carry floats throughout; identical runs must agree to the
-/// bit, not within a tolerance.
-fn assert_reports_identical(a: &ExecutionReport, b: &ExecutionReport) {
-    assert_eq!(a.backend, b.backend);
-    assert_eq!(a.arch, b.arch);
-    assert_eq!(a.records, b.records);
-    assert_eq!(a.layers, b.layers);
-    assert_eq!(a.migrations, b.migrations);
-    assert_eq!(a.deadline_misses, b.deadline_misses);
-    assert_eq!(a.instructions, b.instructions);
-    assert_eq!(a.macs, b.macs);
-    assert_eq!(a.elapsed, b.elapsed);
-    assert_eq!(
-        a.total_energy().as_pj().to_bits(),
-        b.total_energy().as_pj().to_bits(),
-        "energy must be bit-identical"
-    );
 }
 
 /// Satellite: same seed ⇒ identical `LoadTrace` and identical
@@ -271,6 +255,56 @@ fn three_policies_select_and_flow_through_both_backends() {
     assert_eq!(fixed_moves, 0, "fixed home never migrates");
     assert_eq!(fixed_misses, 0);
     assert_eq!(greedy_misses, 0, "greedy must stay schedulable");
+}
+
+/// Satellite: a `ClosureSource` with `slices == 0` is rejected with
+/// the same typed `TraceError` `LoadTrace::try_generate` returns,
+/// instead of building a degenerate empty trace.
+#[test]
+fn zero_slice_closure_source_is_a_typed_trace_error() {
+    let mut session = SessionBuilder::new()
+        .trace_source(hhpim::ClosureSource::new(0, |_| 0.5))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        session.run().unwrap_err(),
+        hhpim::SessionError::Trace(hhpim_workload::TraceError::Empty)
+    ));
+}
+
+/// Satellite: `Session::compare` fans its backends out across scoped
+/// threads when `threads(n) > 1`, bit-identical to the serial run.
+#[test]
+fn parallel_compare_is_bit_identical_to_serial() {
+    let build = |threads: usize| {
+        SessionBuilder::new()
+            .model(TinyMlModel::MobileNetV2)
+            .scenario(Scenario::PeriodicSpike)
+            .scenario_params(params(4, 5))
+            .backend(BackendKind::Analytic)
+            .backend(BackendKind::Cycle)
+            .threads(threads)
+            .build()
+            .unwrap()
+    };
+    let serial = build(1).compare().unwrap();
+    for threads in [2, 4] {
+        let parallel = build(threads).compare().unwrap();
+        assert_eq!(parallel.artifacts.trace, serial.artifacts.trace);
+        assert_eq!(
+            parallel.artifacts.reports.len(),
+            serial.artifacts.reports.len()
+        );
+        for (p, s) in parallel
+            .artifacts
+            .reports
+            .iter()
+            .zip(&serial.artifacts.reports)
+        {
+            assert_reports_identical(p, s);
+        }
+        assert!(parallel.deadline_misses_agree());
+    }
 }
 
 proptest! {
