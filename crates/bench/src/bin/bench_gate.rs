@@ -28,7 +28,8 @@
 //! the reference machine and commit the output (see `docs/ci.md`).
 
 use hhpim::engine::Engine;
-use hhpim::session::SessionBuilder;
+use hhpim::server::{QosClass, Server, ShedOnPressure, TenantSpec};
+use hhpim::session::{ScenarioSource, SessionBuilder};
 use hhpim::{
     AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig,
     PlacementOptimizer, PlacementStore, Processor,
@@ -36,6 +37,7 @@ use hhpim::{
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
 use hhpim_pim::{MachineConfig, PimMachine};
+use hhpim_sim::SimDuration;
 use hhpim_workload::{LoadTrace, Scenario, ScenarioParams};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -287,6 +289,110 @@ fn measure(samples: usize) -> GateFile {
             let reports = drain_engine.drain().unwrap();
             drain_engine.events().count();
             std::hint::black_box(reports)
+        }),
+    );
+
+    // server_steady_state: the serving layer's happy path — a
+    // two-tenant server under AlwaysAdmit, DRR rounds to completion
+    // (12 slices per tenant, analytic backends, warm shared store).
+    // The single-tenant case is bit-identical to a session run, so
+    // this entry is the scheduler's overhead made visible.
+    let mut steady_server = Server::builder()
+        .architecture(Architecture::HhPim)
+        .store(PlacementStore::shared())
+        .tenant(
+            TenantSpec::new(
+                "camera",
+                TinyMlModel::MobileNetV2,
+                ScenarioSource::new(
+                    Scenario::PeriodicSpike,
+                    ScenarioParams {
+                        slices: 12,
+                        ..ScenarioParams::default()
+                    },
+                ),
+            )
+            .qos(QosClass::default().with_priority(3).with_queue_cap(4)),
+        )
+        .tenant(
+            TenantSpec::new(
+                "keyword",
+                TinyMlModel::MobileNetV2,
+                ScenarioSource::new(
+                    Scenario::LowConstant,
+                    ScenarioParams {
+                        slices: 12,
+                        ..ScenarioParams::default()
+                    },
+                ),
+            )
+            .qos(QosClass::default().with_queue_cap(4)),
+        )
+        .build()
+        .unwrap();
+    file.benches.insert(
+        "server_steady_state".into(),
+        bench(samples, || {
+            let report = steady_server.run().unwrap();
+            steady_server.events().count();
+            std::hint::black_box(report)
+        }),
+    );
+
+    // server_admission_overload: the control path under pressure — an
+    // unmeetable SLO forces ShedOnPressure through its full
+    // miss-window / shed / defer machinery every round.
+    let mut overload_server = Server::builder()
+        .architecture(Architecture::HhPim)
+        .store(PlacementStore::shared())
+        .admission(ShedOnPressure::new().with_min_samples(2))
+        .miss_window(4)
+        .tenant(
+            TenantSpec::new(
+                "strict",
+                TinyMlModel::MobileNetV2,
+                ScenarioSource::new(
+                    Scenario::HighConstant,
+                    ScenarioParams {
+                        slices: 12,
+                        ..ScenarioParams::default()
+                    },
+                ),
+            )
+            .qos(
+                QosClass::default()
+                    .with_priority(3)
+                    .with_queue_cap(2)
+                    .with_deadline(SimDuration::ZERO)
+                    .with_max_miss_rate(0.0),
+            ),
+        )
+        .tenant(
+            TenantSpec::new(
+                "lax",
+                TinyMlModel::MobileNetV2,
+                ScenarioSource::new(
+                    Scenario::HighConstant,
+                    ScenarioParams {
+                        slices: 12,
+                        ..ScenarioParams::default()
+                    },
+                ),
+            )
+            .qos(
+                QosClass::default()
+                    .with_queue_cap(2)
+                    .with_deadline(SimDuration::ZERO),
+            ),
+        )
+        .build()
+        .unwrap();
+    file.benches.insert(
+        "server_admission_overload".into(),
+        bench(samples, || {
+            let report = overload_server.run().unwrap();
+            overload_server.events().count();
+            std::hint::black_box(report)
         }),
     );
 
@@ -743,7 +849,7 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 11);
+        assert_eq!(f.benches.len(), 13);
         for key in [
             "session_build_and_run",
             "lut_build_cold",
@@ -751,6 +857,8 @@ mod tests {
             "sweep_all_parallel",
             "engine_step_hot",
             "engine_submit_drain",
+            "server_steady_state",
+            "server_admission_overload",
         ] {
             assert!(f.benches.contains_key(key), "missing bench `{key}`");
         }

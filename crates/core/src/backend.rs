@@ -26,6 +26,12 @@
 //! retires them — see [`ExecutionReport::macs`]), consult the same
 //! allocation LUT, and move the same re-placement traffic.
 //!
+//! Every driving layer selects its backend through the same
+//! [`BackendKind`] switch: [`crate::session::SessionBuilder::backend`]
+//! for batch runs, [`crate::engine::Engine::from_backends`] for
+//! streaming, and [`crate::server::ServerBuilder::backend`] for every
+//! tenant engine of the multi-tenant server.
+//!
 //! # Examples
 //!
 //! ```

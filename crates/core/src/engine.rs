@@ -67,8 +67,8 @@
 //!
 //! let mut engine = Engine::new(SessionBuilder::new().build_analytic().unwrap());
 //! let mut live = StreamSource::new(|slice| if slice % 7 == 0 { 0.9 } else { 0.2 });
-//! engine.pump(&mut live, 10).unwrap();
-//! engine.pump(&mut live, 10).unwrap(); // the stream has no end; keep going
+//! engine.pump(&mut live, Some(10)).unwrap();
+//! engine.pump(&mut live, Some(10)).unwrap(); // the stream has no end; keep going
 //! assert_eq!(engine.slices_executed(), 20);
 //! ```
 
@@ -90,10 +90,12 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Pending [`EngineEvent`]s kept for the iterator before the oldest
 /// are dropped (observers always see every event at emission time).
-const EVENT_BUFFER_CAP: usize = 8192;
+/// Override per engine with [`Engine::with_event_capacity`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 8192;
 
 /// Whether [`Engine::submit`] enqueued the load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum SubmitOutcome {
     /// The load was enqueued and will execute on a later
     /// [`Engine::step`].
@@ -233,6 +235,7 @@ impl std::error::Error for EngineError {
 /// engine: the slice's record plus the boundary decisions that
 /// produced it.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SliceOutcome {
     /// The completed slice's record (also appended to the backend's
     /// final [`ExecutionReport`]).
@@ -244,6 +247,33 @@ pub struct SliceOutcome {
     pub migration: Option<MigrationRecord>,
     /// Idle time left in the slice after movement and compute.
     pub idle: SimDuration,
+}
+
+impl SliceOutcome {
+    /// An outcome with no boundary decisions — the struct is
+    /// `#[non_exhaustive]`, so out-of-crate [`ExecutionBackend`]
+    /// implementations build outcomes through this constructor and
+    /// the `with_*` setters instead of literal syntax.
+    pub fn new(record: SliceRecord, idle: SimDuration) -> Self {
+        SliceOutcome {
+            record,
+            replacement: None,
+            migration: None,
+            idle,
+        }
+    }
+
+    /// Attaches the boundary re-placement decision.
+    pub fn with_replacement(mut self, decision: ReplacementDecision) -> Self {
+        self.replacement = Some(decision);
+        self
+    }
+
+    /// Attaches the migration traffic realizing the replacement.
+    pub fn with_migration(mut self, record: MigrationRecord) -> Self {
+        self.migration = Some(record);
+        self
+    }
 }
 
 /// A placement change decided at a slice boundary — the output of the
@@ -316,6 +346,7 @@ pub struct Engine {
     backends: Vec<Box<dyn ExecutionBackend>>,
     max_tasks: u32,
     queue_capacity: usize,
+    event_capacity: usize,
     queue: VecDeque<f64>,
     next_slice: usize,
     started: bool,
@@ -356,6 +387,7 @@ impl Engine {
             backends,
             max_tasks,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
             queue: VecDeque::new(),
             next_slice: 0,
             started: false,
@@ -372,11 +404,40 @@ impl Engine {
         self
     }
 
+    /// Sets the event-iterator buffer's capacity (clamped to at least
+    /// 1; default [`DEFAULT_EVENT_CAPACITY`]). When the buffer is
+    /// full the oldest pending event is dropped and
+    /// [`Engine::events_dropped`] counts it; observers always see
+    /// every event regardless.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity.max(1);
+        self
+    }
+
     /// Registers an observer that receives every future event at
     /// emission time (events also remain iterable via
     /// [`Engine::events`]).
+    ///
+    /// Observer lifetime is an explicit contract: observers are bound
+    /// to the *engine*, not to any one stream. They survive
+    /// [`Engine::drain`] and the error poison path unchanged, so a
+    /// metrics sink registered once keeps receiving events across
+    /// every stream the engine serves. Detach them explicitly with
+    /// [`Engine::clear_observers`].
     pub fn observe(&mut self, observer: impl EngineObserver + 'static) {
         self.observers.push(Box::new(observer));
+    }
+
+    /// Detaches every registered observer (the other half of the
+    /// [`Engine::observe`] lifetime contract: nothing else ever
+    /// removes them).
+    pub fn clear_observers(&mut self) {
+        self.observers.clear();
+    }
+
+    /// Number of currently registered observers.
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
     }
 
     /// The configured backends' kinds, in execution order.
@@ -408,7 +469,10 @@ impl Engine {
     }
 
     /// Events dropped from the iterator buffer because nobody drained
-    /// [`Engine::events`] (observers still saw them).
+    /// [`Engine::events`] (observers still saw them). The counter is
+    /// per stream: [`Engine::drain`] and the error poison path reset
+    /// it to zero along with the rest of the stream state, so a reused
+    /// engine never reports a previous stream's losses.
     pub fn events_dropped(&self) -> u64 {
         self.events_dropped
     }
@@ -479,6 +543,7 @@ impl Engine {
                     self.next_slice = 0;
                     self.queue.clear();
                     self.events.clear();
+                    self.events_dropped = 0;
                     return Err(EngineError::Backend {
                         backend: kind,
                         error,
@@ -493,7 +558,10 @@ impl Engine {
 
     /// Executes every queued slice, closes the stream and returns one
     /// report per backend (builder order). The engine then resets to
-    /// slice 0, ready for a fresh stream.
+    /// slice 0, ready for a fresh stream: the slice counter and the
+    /// [`Engine::events_dropped`] counter restart at zero, while
+    /// registered observers and any undrained [`Engine::events`]
+    /// survive (see [`Engine::observe`] for the lifetime contract).
     ///
     /// # Errors
     ///
@@ -518,6 +586,7 @@ impl Engine {
         }
         self.started = false;
         self.next_slice = 0;
+        self.events_dropped = 0;
         Ok(reports)
     }
 
@@ -538,9 +607,16 @@ impl Engine {
         Ok(())
     }
 
-    /// Pulls `slices` loads from an unbounded [`StreamSource`] and
-    /// executes them all, leaving the queue empty. Call repeatedly to
-    /// keep serving the stream.
+    /// Serves an unbounded [`StreamSource`]: pulls loads, executes
+    /// them, and leaves the queue empty. `max_steps` makes the
+    /// unbounded-source semantics explicit at the call site:
+    ///
+    /// * `Some(n)` — pull and execute exactly `n` slices, then return
+    ///   `Ok(n)`. Call repeatedly to keep serving the stream.
+    /// * `None` — serve the source *forever*. The source never ends by
+    ///   construction, so this only returns on error; it is the
+    ///   run-loop form for callers whose process lifetime *is* the
+    ///   stream.
     ///
     /// # Errors
     ///
@@ -549,14 +625,35 @@ impl Engine {
     pub fn pump<F: FnMut(usize) -> f64>(
         &mut self,
         source: &mut StreamSource<F>,
-        slices: usize,
-    ) -> Result<(), EngineError> {
-        for _ in 0..slices {
+        max_steps: Option<usize>,
+    ) -> Result<usize, EngineError> {
+        let mut executed = 0usize;
+        loop {
+            if max_steps.is_some_and(|n| executed >= n) {
+                break;
+            }
             let load = source.next_load();
             self.submit_blocking(load)?;
+            executed += 1;
         }
         while self.step()?.is_some() {}
-        Ok(())
+        Ok(executed)
+    }
+
+    /// The old fixed-count form of [`Engine::pump`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::pump`].
+    #[deprecated(
+        note = "use `pump(source, Some(slices))`; `pump(source, None)` serves the source forever"
+    )]
+    pub fn pump_slices<F: FnMut(usize) -> f64>(
+        &mut self,
+        source: &mut StreamSource<F>,
+        slices: usize,
+    ) -> Result<(), EngineError> {
+        self.pump(source, Some(slices)).map(|_| ())
     }
 
     /// Drains the pending event buffer as an iterator (events already
@@ -629,7 +726,7 @@ impl Engine {
         for observer in &mut self.observers {
             observer.on_event(&event);
         }
-        if self.events.len() >= EVENT_BUFFER_CAP {
+        if self.events.len() >= self.event_capacity {
             self.events.pop_front();
             self.events_dropped += 1;
         }
@@ -910,6 +1007,85 @@ mod tests {
         let reports = engine.drain().unwrap();
         assert_eq!(reports[0].records.len(), 1);
         assert_eq!(reports[0].records[0].slice, 0);
+    }
+
+    #[test]
+    fn observers_survive_drain_and_poison_by_contract() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(0usize));
+        let sink = Arc::clone(&seen);
+        let mut engine = analytic_engine();
+        engine.observe(move |_: &EngineEvent| {
+            *sink.lock().unwrap() += 1;
+        });
+        assert_eq!(engine.observer_count(), 1);
+        engine.submit(0.5).unwrap();
+        engine.drain().unwrap();
+        let after_first = *seen.lock().unwrap();
+        assert!(after_first > 0);
+        // The observer is bound to the engine, not the stream: a
+        // second stream keeps feeding it.
+        engine.submit(0.5).unwrap();
+        engine.drain().unwrap();
+        assert!(*seen.lock().unwrap() > after_first);
+        assert_eq!(engine.observer_count(), 1);
+        engine.clear_observers();
+        assert_eq!(engine.observer_count(), 0);
+        let final_count = *seen.lock().unwrap();
+        engine.submit(0.5).unwrap();
+        engine.drain().unwrap();
+        assert_eq!(*seen.lock().unwrap(), final_count, "detached");
+    }
+
+    #[test]
+    fn drop_counter_is_per_stream_and_capacity_is_tunable() {
+        let mut engine = analytic_engine().with_event_capacity(1);
+        engine.submit(0.1).unwrap();
+        engine.submit(1.0).unwrap();
+        engine.drain().unwrap();
+        // A capacity-1 buffer dropped everything but the last event of
+        // the stream — but drain closed the stream, resetting the
+        // per-stream counter.
+        assert_eq!(engine.events_dropped(), 0);
+        // Mid-stream the counter is live.
+        engine.submit(0.1).unwrap();
+        engine.submit(1.0).unwrap();
+        while engine.step().unwrap().is_some() {}
+        assert!(engine.events_dropped() > 0);
+        assert!(engine.events().count() <= 1);
+        engine.drain().unwrap();
+        assert_eq!(engine.events_dropped(), 0);
+    }
+
+    #[test]
+    fn pump_with_a_budget_executes_exactly_that_many() {
+        let mut engine = analytic_engine();
+        let mut live = StreamSource::new(|i| if i % 2 == 0 { 0.9 } else { 0.2 });
+        assert_eq!(engine.pump(&mut live, Some(6)).unwrap(), 6);
+        assert_eq!(engine.slices_executed(), 6);
+        assert_eq!(engine.pending(), 0, "pump leaves the queue empty");
+        assert_eq!(live.position(), 6);
+        // The deprecated fixed-count shim delegates to the same path.
+        #[allow(deprecated)]
+        engine.pump_slices(&mut live, 4).unwrap();
+        assert_eq!(engine.slices_executed(), 10);
+        let reports = engine.drain().unwrap();
+        assert_eq!(reports[0].records.len(), 10);
+    }
+
+    #[test]
+    fn unbounded_pump_returns_only_on_error() {
+        // `pump(source, None)` serves forever; a failing backend is
+        // the only way out, and proves the loop was actually running.
+        let mut engine = Engine::new(FailingBackend {
+            inner: SessionBuilder::new().build_analytic().unwrap(),
+            fail_on: 7,
+            stepped: 0,
+        });
+        let mut live = StreamSource::new(|_| 0.5);
+        let err = engine.pump(&mut live, None).unwrap_err();
+        assert!(matches!(err, EngineError::Backend { .. }));
+        assert!(live.position() >= 7, "served until the backend failed");
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!   load slices online (`submit`/`step`/`drain`), emits a typed
 //!   [`EngineEvent`] stream and backpressures through a bounded
 //!   queue; the batch facade is a wrapper over it,
+//! * [`server`] — **the serving entry point**: [`Server`] multiplexes
+//!   N tenants (model + trace + [`QosClass`]) over per-tenant engines
+//!   with pluggable [`AdmissionPolicy`] admission control and a
+//!   deficit-round-robin scheduler,
+//! * [`error`] — the facade [`enum@Error`]: one enum over every
+//!   layer's failure modes, with `From` impls and source chaining,
 //! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
 //!   (Baseline-, Heterogeneous-, Hybrid- and HH-PIM) with their gating
 //!   and placement modes,
@@ -56,9 +62,11 @@ pub mod compile;
 pub mod cost;
 pub mod dp;
 pub mod engine;
+pub mod error;
 pub mod experiment;
 pub mod policy;
 pub mod runtime;
+pub mod server;
 pub mod session;
 pub mod space;
 pub mod store;
@@ -82,11 +90,17 @@ pub use engine::{
     Engine, EngineError, EngineEvent, EngineObserver, ReplacementDecision, SliceOutcome,
     StreamSource, SubmitOutcome,
 };
+pub use error::{Error, Result};
 #[allow(deprecated)]
 pub use experiment::{run_case, savings_matrix, ExperimentConfig};
 pub use experiment::{SavingsCell, SavingsMatrix};
 pub use policy::{default_policy, FixedHome, GreedyBaseline, LutAdaptive, PlacementPolicy};
 pub use runtime::{Processor, RuntimeConfig};
+pub use server::{
+    AdmissionDecision, AdmissionPolicy, AlwaysAdmit, BatchCoalesce, QosClass, ServeReport, Server,
+    ServerBuilder, ServerError, ServerEvent, ServerObserver, ShedOnPressure, TenantId,
+    TenantReport, TenantSnapshot, TenantSpec, TenantStats,
+};
 pub use session::{
     ClosureSource, Comparison, ReplaySource, RunArtifacts, ScenarioSource, Session, SessionBuilder,
     SessionError, TraceSource,

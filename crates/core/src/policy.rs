@@ -88,6 +88,44 @@ impl Clone for Box<dyn PlacementPolicy> {
     }
 }
 
+/// A boxed policy is itself a policy, delegating every method to its
+/// contents. This lets call sites that select policies dynamically —
+/// per-tenant overrides in [`crate::server::ServerBuilder`], config
+/// tables, CLI dispatch — hand a `Box<dyn PlacementPolicy>` straight
+/// to [`crate::session::SessionBuilder::policy`] without a concrete
+/// type in sight.
+impl PlacementPolicy for Box<dyn PlacementPolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn prepare(
+        &mut self,
+        cost: &CostModel,
+        runtime: &RuntimeConfig,
+        opt: &OptimizerConfig,
+        store: &PlacementStore,
+    ) -> Result<(), CostModelError> {
+        (**self).prepare(cost, runtime, opt, store)
+    }
+
+    fn placement_for(&self, cost: &CostModel, n_tasks: u32) -> Placement {
+        (**self).placement_for(cost, n_tasks)
+    }
+
+    fn boot_placement(&self, cost: &CostModel) -> Placement {
+        (**self).boot_placement(cost)
+    }
+
+    fn is_adaptive(&self) -> bool {
+        (**self).is_adaptive()
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        (**self).clone_box()
+    }
+}
+
 /// The architecture's Table I default policy: the DP LUT for
 /// [`PlacementMode::DynamicDp`] designs, the fixed architectural home
 /// otherwise.
@@ -443,6 +481,23 @@ mod tests {
                 "n={n}: greedy {e_greedy} vs lut {e_lut}"
             );
         }
+    }
+
+    #[test]
+    fn boxed_policies_delegate_transparently() {
+        let boxed: Box<dyn PlacementPolicy> = Box::new(LutAdaptive::new());
+        let (cost, direct) = prepared(Architecture::HhPim, Box::new(LutAdaptive::new()));
+        let (_, via_box) = prepared(Architecture::HhPim, Box::new(boxed));
+        assert_eq!(via_box.name(), "lut-adaptive");
+        assert!(via_box.is_adaptive());
+        for n in 1..=10u32 {
+            assert_eq!(
+                via_box.placement_for(&cost, n),
+                direct.placement_for(&cost, n)
+            );
+        }
+        assert_eq!(via_box.boot_placement(&cost), direct.boot_placement(&cost));
+        assert_eq!(via_box.clone_box().name(), "lut-adaptive");
     }
 
     #[test]

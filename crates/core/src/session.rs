@@ -511,6 +511,25 @@ impl SessionBuilder {
         )?)
     }
 
+    /// Builds one backend of the requested kind as a trait object —
+    /// the dispatch point for callers that pick backends at runtime
+    /// (the [`crate::server::ServerBuilder`] builds every tenant's
+    /// engine through this) without matching on [`BackendKind`]
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionBuilder::build`].
+    pub fn build_backend(
+        &self,
+        kind: BackendKind,
+    ) -> Result<Box<dyn ExecutionBackend>, SessionError> {
+        Ok(match kind {
+            BackendKind::Analytic => Box::new(self.build_analytic()?),
+            BackendKind::Cycle => Box::new(self.build_cycle()?),
+        })
+    }
+
     /// Builds the session: prepares the policy, instantiates every
     /// requested backend and binds the trace source. A session with a
     /// source but no explicit backend gets the analytic one; a

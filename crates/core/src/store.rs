@@ -28,6 +28,12 @@
 //! hits, misses, LUT DP builds and total build wall time — surfaced
 //! per run in [`crate::session::RunArtifacts::cache`].
 //!
+//! The multi-tenant [`crate::server::Server`] leans on the same
+//! mechanism: every tenant engine draws from one shared store
+//! ([`crate::server::ServerBuilder::store`], defaulting to
+//! [`PlacementStore::global`]), so tenants serving the same model on
+//! the same architecture share a single DP build.
+//!
 //! # Examples
 //!
 //! ```

@@ -308,6 +308,24 @@ impl LoadTrace {
         ((load * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
     }
 
+    /// Merges a pending (accumulated) load with a newly offered one
+    /// without exceeding a full slice: returns `(merged, overflow)`
+    /// where `merged` is the combined load clamped to `1.0` and
+    /// `overflow` is whatever did not fit. Load-coalescing admission
+    /// policies use this to pack several small offered loads into one
+    /// saturated slice — the point at which the fastest placement's
+    /// per-slice task cap is reached — while conserving total load:
+    /// `merged + overflow == accum + load` (both inputs are treated as
+    /// non-negative; negative inputs are clamped to zero).
+    pub fn saturating_merge(accum: f64, load: f64) -> (f64, f64) {
+        let total = accum.max(0.0) + load.max(0.0);
+        if total <= 1.0 {
+            (total, 0.0)
+        } else {
+            (1.0, total - 1.0)
+        }
+    }
+
     /// Converts loads to integer task counts via
     /// [`LoadTrace::task_count_for`].
     pub fn task_counts(&self, max_tasks_per_slice: u32) -> Vec<u32> {
@@ -402,6 +420,26 @@ mod tests {
         assert!(z.task_counts(10).iter().all(|&n| n == 1));
         let h = LoadTrace::generate(Scenario::HighConstant, params());
         assert!(h.task_counts(10).iter().all(|&n| n == 10));
+    }
+
+    #[test]
+    fn saturating_merge_conserves_load_and_clamps() {
+        // Under a full slice: everything merges, nothing overflows.
+        assert_eq!(LoadTrace::saturating_merge(0.2, 0.3), (0.5, 0.0));
+        // Over a full slice: the merged load saturates at 1.0 and the
+        // remainder carries over.
+        let (merged, overflow) = LoadTrace::saturating_merge(0.8, 0.5);
+        assert_eq!(merged, 1.0);
+        assert!((overflow - 0.3).abs() < 1e-12);
+        // Conservation across arbitrary pairs.
+        for (a, l) in [(0.0, 0.0), (0.4, 0.9), (1.0, 1.0), (0.7, 0.2)] {
+            let (m, o) = LoadTrace::saturating_merge(a, l);
+            assert!((0.0..=1.0).contains(&m));
+            assert!(o >= 0.0);
+            assert!((m + o - (a + l)).abs() < 1e-12, "{a} + {l}");
+        }
+        // Negative inputs are clamped, not propagated.
+        assert_eq!(LoadTrace::saturating_merge(-0.5, 0.25), (0.25, 0.0));
     }
 
     #[test]

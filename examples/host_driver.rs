@@ -71,8 +71,10 @@ fn main() {
         loop {
             match engine.submit(load).expect("loads are in [0, 1]") {
                 SubmitOutcome::Accepted => break,
-                SubmitOutcome::Deferred => {
-                    // Queue full: make progress, then offer again.
+                // `SubmitOutcome` is `#[non_exhaustive]` — treat
+                // anything else as "queue full: make progress, then
+                // offer again".
+                _ => {
                     deferred += 1;
                     engine.step().expect("slice executes");
                 }
@@ -106,7 +108,7 @@ fn main() {
     assert!(replacements > 0, "a spiky feed must trigger re-placement");
 
     // The engine resets after drain — keep serving the same feed.
-    engine.pump(&mut feed, 5).expect("next batch serves");
+    engine.pump(&mut feed, Some(5)).expect("next batch serves");
     let more = engine.drain().expect("second stream drains");
     println!(
         "\nsecond batch of 5 slices (feed cursor now at {}): {}",

@@ -60,7 +60,10 @@ fn streamed(
         loop {
             match engine.submit(load).unwrap() {
                 SubmitOutcome::Accepted => break,
-                SubmitOutcome::Deferred => {
+                // `SubmitOutcome` is `#[non_exhaustive]`: downstream
+                // matches need a fallback arm for future outcomes.
+                // Anything that is not an acceptance frees a slot first.
+                _ => {
                     engine.step().unwrap();
                 }
             }
@@ -220,6 +223,79 @@ fn replacement_events_carry_the_movement_plan() {
         e,
         EngineEvent::Replacement { .. } | EngineEvent::Migration { .. }
     )));
+}
+
+/// `Engine::pump` with a budget is just sugar over the manual
+/// submit/step loop: pumping `n` slices from a closure source produces
+/// the same report as ingesting the equivalent finite trace.
+#[test]
+fn budgeted_pump_matches_ingest() {
+    use hhpim::engine::StreamSource;
+
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, params(6, 3));
+    let loads = trace.loads().to_vec();
+
+    let mut pumped = Engine::from_backends(vec![boxed_backend(BackendKind::Analytic, "greedy")]);
+    let mut live = StreamSource::new(|slice| loads[slice]);
+    let executed = pumped.pump(&mut live, Some(loads.len())).unwrap();
+    assert_eq!(executed, loads.len());
+    let pumped_reports = pumped.drain().unwrap();
+
+    let mut ingested = Engine::from_backends(vec![boxed_backend(BackendKind::Analytic, "greedy")]);
+    ingested.ingest(&trace).unwrap();
+    let ingested_reports = ingested.drain().unwrap();
+
+    assert_reports_identical(&pumped_reports[0], &ingested_reports[0]);
+
+    // The deprecated fixed-count form still routes to the same path.
+    let mut shimmed = Engine::from_backends(vec![boxed_backend(BackendKind::Analytic, "greedy")]);
+    let mut live = StreamSource::new(|slice| loads[slice]);
+    #[allow(deprecated)]
+    shimmed.pump_slices(&mut live, loads.len()).unwrap();
+    let shimmed_reports = shimmed.drain().unwrap();
+    assert_reports_identical(&shimmed_reports[0], &ingested_reports[0]);
+}
+
+/// Observer lifetime is an explicit contract: observers registered
+/// before a `drain` keep firing on the engine's next epoch, and
+/// `drain` resets the per-stream `events_dropped` counter.
+#[test]
+fn observers_outlive_drain_and_drop_counter_resets() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let seen = Arc::new(AtomicUsize::new(0));
+    let hook = Arc::clone(&seen);
+    let mut engine = Engine::from_backends(vec![boxed_backend(BackendKind::Analytic, "greedy")])
+        .with_event_capacity(1);
+    engine.observe(move |_: &EngineEvent| {
+        hook.fetch_add(1, Ordering::SeqCst);
+    });
+
+    let trace = LoadTrace::generate(Scenario::PeriodicSpike, params(4, 7));
+    engine.ingest(&trace).unwrap();
+    while engine.step().unwrap().is_some() {}
+    let first_epoch = seen.load(Ordering::SeqCst);
+    assert!(first_epoch > 0, "observer fires during the first epoch");
+    assert!(
+        engine.events_dropped() > 0,
+        "a capacity-1 buffer must shed events (observers still saw all of them)"
+    );
+
+    engine.drain().unwrap();
+    assert_eq!(
+        engine.events_dropped(),
+        0,
+        "drain starts a fresh event stream: the drop counter resets"
+    );
+    assert_eq!(engine.observer_count(), 1, "observers survive drain");
+
+    engine.ingest(&trace).unwrap();
+    engine.drain().unwrap();
+    assert!(
+        seen.load(Ordering::SeqCst) > first_epoch,
+        "the same observer keeps firing after drain"
+    );
 }
 
 /// Backends are `Send` by contract (the parallel `compare` fan-out
