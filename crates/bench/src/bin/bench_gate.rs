@@ -31,8 +31,8 @@ use hhpim::engine::Engine;
 use hhpim::server::{QosClass, Server, ShedOnPressure, TenantSpec};
 use hhpim::session::{ScenarioSource, SessionBuilder};
 use hhpim::{
-    AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig,
-    PlacementOptimizer, PlacementStore, Processor,
+    run_paced, AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig, Pacer,
+    PlacementOptimizer, PlacementStore, Processor, TrafficConfig, TrafficEngine,
 };
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
@@ -436,6 +436,41 @@ fn measure(samples: usize) -> GateFile {
     file.benches.insert(
         "nn_mobilenet_int8_inference".into(),
         bench(samples, || qm.infer(&input)),
+    );
+
+    // traffic_gen_poisson: 10k Poisson arrivals drawn, sampled and
+    // binned into per-slice loads by the live traffic generator.
+    file.benches.insert(
+        "traffic_gen_poisson".into(),
+        bench(samples, || {
+            let mut traffic = TrafficEngine::new(TrafficConfig::poisson(5.0).with_seed(1));
+            while traffic.arrivals() < 10_000 {
+                std::hint::black_box(traffic.next_load());
+            }
+            traffic.arrivals()
+        }),
+    );
+
+    // paced_steady_state: the paced driver over the hot engine with a
+    // 1 ns interval — always behind schedule, so the pacer never
+    // sleeps and the entry prices its pace()/complete() bookkeeping
+    // against the free-running engine_step_hot path.
+    let mut paced_engine = Engine::new(
+        SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .build_analytic()
+            .unwrap(),
+    );
+    file.benches.insert(
+        "paced_steady_state".into(),
+        bench(samples, || {
+            let mut traffic = TrafficEngine::new(TrafficConfig::constant(3.0).with_seed(1));
+            let mut pacer = Pacer::new(std::time::Duration::from_nanos(1));
+            let report = run_paced(&mut paced_engine, &mut traffic, &mut pacer, 64).unwrap();
+            paced_engine.drain().unwrap();
+            std::hint::black_box(report)
+        }),
     );
 
     // Deterministic per-scenario energies (the fig5/table6 substrate),
@@ -849,7 +884,7 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 13);
+        assert_eq!(f.benches.len(), 15);
         for key in [
             "session_build_and_run",
             "lut_build_cold",
@@ -859,6 +894,8 @@ mod tests {
             "engine_submit_drain",
             "server_steady_state",
             "server_admission_overload",
+            "traffic_gen_poisson",
+            "paced_steady_state",
         ] {
             assert!(f.benches.contains_key(key), "missing bench `{key}`");
         }

@@ -186,7 +186,11 @@ pub struct MigrationRecord {
 }
 
 /// The unified outcome of running one [`LoadTrace`] on any backend.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit for bit — the determinism
+/// contracts ("same seed ⇒ bit-identical report") are stated, and
+/// tested, as report equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// Backend that produced the report.
     pub backend: BackendKind,

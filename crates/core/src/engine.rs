@@ -618,6 +618,21 @@ impl Engine {
     ///   run-loop form for callers whose process lifetime *is* the
     ///   stream.
     ///
+    /// ## Termination contract
+    ///
+    /// `pump(source, None)` **does not terminate** on success — an
+    /// unbounded [`StreamSource`] (a closure, or a live
+    /// [`crate::TrafficEngine`] via [`crate::stream`]) has no end, and
+    /// the engine will not invent one. The only ways out are an error
+    /// (`Err` poisons and returns) or an external budget: pass
+    /// `Some(n)` to stop after exactly `n` pulled-and-executed slices.
+    /// A budgeted pump is exact and lossless: it pulls exactly `n`
+    /// loads (the source's cursor advances by `n`, no read-ahead),
+    /// executes all of them before returning, and every per-slice
+    /// event is emitted — observers see all `n`, and with an event
+    /// buffer of capacity ≥ the emitted count,
+    /// [`Engine::events_dropped`] stays 0.
+    ///
     /// # Errors
     ///
     /// [`EngineError::InvalidLoad`] when the source produces a load

@@ -15,6 +15,12 @@
 //!   N tenants (model + trace + [`QosClass`]) over per-tenant engines
 //!   with pluggable [`AdmissionPolicy`] admission control and a
 //!   deficit-round-robin scheduler,
+//! * [`traffic`] — **load generation**: seeded stochastic
+//!   [`ArrivalProcess`]es ([`Poisson`], [`BurstyOnOff`], [`Diurnal`],
+//!   [`ConstantRate`]) driving sessions, engines and servers;
+//!   record/replay with time warp ([`ReplayTraffic`]); [`ClosedLoop`]
+//!   AIMD load control; and a wall-clock [`Pacer`] producing
+//!   [`LoadReport`]s of sustained slices/sec and latency tails,
 //! * [`error`] — the facade [`enum@Error`]: one enum over every
 //!   layer's failure modes, with `From` impls and source chaining,
 //! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
@@ -70,6 +76,7 @@ pub mod server;
 pub mod session;
 pub mod space;
 pub mod store;
+pub mod traffic;
 
 pub use analysis::{
     inference_times, mram_only_fastest, peak_sram_split, placement_sweep, progression_summary,
@@ -107,3 +114,9 @@ pub use session::{
 };
 pub use space::{movement_legs, MovementLeg, Placement, StorageSpace};
 pub use store::{CacheStats, PlacementKey, PlacementStore};
+pub use traffic::{
+    drive_closed_loop, record_slices, run_paced, serve_paced, stream, ArrivalProcess, BurstyOnOff,
+    ClosedLoop, ClosedLoopConfig, ClosedLoopReport, ConstantRate, Diurnal, LoadDistribution,
+    LoadFeedback, LoadReport, Pacer, Poisson, RecordedArrival, RecordedTrace, ReplayTraffic,
+    TraceRecorder, TrafficConfig, TrafficEngine, TrafficError, TrafficSource, TRACE_FORMAT_VERSION,
+};

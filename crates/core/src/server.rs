@@ -1023,6 +1023,15 @@ impl Server {
         self.round
     }
 
+    /// The per-slice task cap shared by every tenant engine (tenants
+    /// share one architecture and cost model, so the cap is uniform).
+    pub fn max_tasks(&self) -> u32 {
+        self.tenants
+            .first()
+            .map(|t| t.engine.max_tasks())
+            .unwrap_or(0)
+    }
+
     /// Per-tenant stats snapshots in build order, with
     /// [`TenantStats::service_share`] computed over all executed
     /// slices so far.

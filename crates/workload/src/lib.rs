@@ -22,7 +22,13 @@
 pub mod buffer;
 pub mod object_trace;
 pub mod scenario;
+pub mod traffic;
 
 pub use buffer::{t_constraint_ps, Task, TaskBuffer};
 pub use object_trace::{object_loads, object_task_counts, ObjectStreamParams};
 pub use scenario::{LoadTrace, Scenario, ScenarioParams, TraceError, TraceOrigin};
+pub use traffic::{
+    ArrivalProcess, BurstyOnOff, ClosedLoop, ClosedLoopConfig, ConstantRate, Diurnal,
+    LoadDistribution, LoadFeedback, LoadReport, Pacer, Poisson, RecordedArrival, RecordedTrace,
+    ReplayTraffic, TraceRecorder, TrafficConfig, TrafficEngine, TrafficError, TRACE_FORMAT_VERSION,
+};

@@ -300,12 +300,18 @@ impl LoadTrace {
     }
 
     /// Quantizes one load level into an integer task count given the
-    /// maximum number of inferences a slice can hold; every slice
-    /// issues at least one task (an idle camera still runs detection).
-    /// This is the single quantization rule — batch replays and the
-    /// streaming engine both call it, so they cannot diverge.
+    /// maximum number of inferences a slice can hold. A zero load is
+    /// an idle slice and executes nothing; any positive load issues at
+    /// least one task (a near-idle camera still runs detection), and
+    /// the count saturates at `max_tasks_per_slice`. This is the
+    /// single quantization rule — batch replays, the streaming engine,
+    /// and traffic replay all call it, so they cannot diverge.
     pub fn task_count_for(load: f64, max_tasks_per_slice: u32) -> u32 {
-        ((load * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
+        if load <= 0.0 {
+            0
+        } else {
+            ((load * max_tasks_per_slice as f64).round() as u32).clamp(1, max_tasks_per_slice)
+        }
     }
 
     /// Merges a pending (accumulated) load with a newly offered one
@@ -409,7 +415,7 @@ mod tests {
     fn task_counts_round_and_clamp() {
         let t = LoadTrace::generate(Scenario::LowConstant, params());
         assert!(t.task_counts(10).iter().all(|&n| n == 2));
-        // A zero-load trace still issues one task per slice.
+        // A zero-load trace is idle: no tasks issued.
         let z = LoadTrace::generate(
             Scenario::LowConstant,
             ScenarioParams {
@@ -417,7 +423,9 @@ mod tests {
                 ..params()
             },
         );
-        assert!(z.task_counts(10).iter().all(|&n| n == 1));
+        assert!(z.task_counts(10).iter().all(|&n| n == 0));
+        // But any positive load issues at least one task.
+        assert_eq!(LoadTrace::task_count_for(0.01, 10), 1);
         let h = LoadTrace::generate(Scenario::HighConstant, params());
         assert!(h.task_counts(10).iter().all(|&n| n == 10));
     }

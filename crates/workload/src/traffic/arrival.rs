@@ -1,0 +1,465 @@
+//! Stochastic arrival processes: *when* the next inference request
+//! lands, measured in slice units.
+//!
+//! Every process is a deterministic state machine over the vendored
+//! SplitMix64 generator: given the same seed and the same
+//! configuration, the gap sequence is bit-identical across runs and
+//! platforms (the [determinism contract](super) the traffic engine
+//! builds on). Rates are expressed in **arrivals per slice**, so a
+//! `Poisson::new(3.0)` feed offers on average three requests every
+//! time slice regardless of the wall-clock slice duration a pacer
+//! later chooses.
+
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A point process producing inter-arrival gaps in slice units.
+///
+/// Implementations draw *all* their randomness from the `StdRng`
+/// handed to [`ArrivalProcess::next_gap`] — never from ambient state —
+/// so a process cloned before first use and replayed against an
+/// identically seeded generator reproduces the same arrival sequence
+/// bit for bit.
+pub trait ArrivalProcess: fmt::Debug + Send {
+    /// Human-readable description, e.g. `poisson(λ=3)` (used in
+    /// source labels and reports).
+    fn label(&self) -> String;
+
+    /// The next inter-arrival gap in slice units: finite and
+    /// strictly positive. Advances the process's internal state (the
+    /// MMPP phase, the diurnal clock) as a pure function of the draws
+    /// it makes on `rng`.
+    fn next_gap(&mut self, rng: &mut StdRng) -> f64;
+
+    /// Boxed clone. Cloning snapshots the process state; cloning a
+    /// never-advanced process yields a pristine one.
+    fn clone_box(&self) -> Box<dyn ArrivalProcess>;
+}
+
+impl Clone for Box<dyn ArrivalProcess> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+fn assert_rate(rate: f64, what: &str) {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "{what} must be a positive finite rate, got {rate}"
+    );
+}
+
+/// Memoryless arrivals at a constant mean rate λ: exponential gaps
+/// with mean `1/λ` — the standard open-loop traffic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson process offering `rate` arrivals per slice on
+    /// average.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert_rate(rate, "poisson rate");
+        Poisson { rate }
+    }
+
+    /// The configured mean arrival rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn label(&self) -> String {
+        format!("poisson(λ={})", self.rate)
+    }
+
+    fn next_gap(&mut self, rng: &mut StdRng) -> f64 {
+        rng.gen_exp(self.rate).max(f64::MIN_POSITIVE)
+    }
+
+    fn clone_box(&self) -> Box<dyn ArrivalProcess> {
+        Box::new(*self)
+    }
+}
+
+/// A metronome: arrivals at exactly `1/rate` slice intervals, no
+/// randomness at all. The control case for every statistical claim
+/// about the stochastic processes, and the right feed for replaying
+/// fixed-rate SLO experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantRate {
+    rate: f64,
+}
+
+impl ConstantRate {
+    /// A deterministic process offering exactly `rate` arrivals per
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert_rate(rate, "constant rate");
+        ConstantRate { rate }
+    }
+
+    /// The configured arrival rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn label(&self) -> String {
+        format!("constant({}/slice)", self.rate)
+    }
+
+    fn next_gap(&mut self, _rng: &mut StdRng) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn clone_box(&self) -> Box<dyn ArrivalProcess> {
+        Box::new(*self)
+    }
+}
+
+/// Which phase a [`BurstyOnOff`] process is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Burst,
+    Idle,
+}
+
+/// A two-state Markov-modulated Poisson process (MMPP-2): the process
+/// alternates between a *burst* phase (high rate) and an *idle* phase
+/// (low rate), dwelling in each for an exponentially distributed
+/// time. This is the classic model for bursty edge traffic — a camera
+/// that streams frames while motion is detected and trickles
+/// keep-alives otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyOnOff {
+    burst_rate: f64,
+    idle_rate: f64,
+    mean_burst: f64,
+    mean_idle: f64,
+    phase: Phase,
+    /// Dwell time left in the current phase; `None` until the first
+    /// gap draws it.
+    remaining: Option<f64>,
+}
+
+impl BurstyOnOff {
+    /// An MMPP-2 starting in the burst phase.
+    ///
+    /// `burst_rate`/`idle_rate` are arrivals per slice within each
+    /// phase; `mean_burst`/`mean_idle` are the mean phase dwell times
+    /// in slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four parameters are finite and positive.
+    pub fn new(burst_rate: f64, idle_rate: f64, mean_burst: f64, mean_idle: f64) -> Self {
+        assert_rate(burst_rate, "burst rate");
+        assert_rate(idle_rate, "idle rate");
+        assert_rate(mean_burst, "mean burst dwell");
+        assert_rate(mean_idle, "mean idle dwell");
+        BurstyOnOff {
+            burst_rate,
+            idle_rate,
+            mean_burst,
+            mean_idle,
+            phase: Phase::Burst,
+            remaining: None,
+        }
+    }
+
+    /// The long-run mean arrival rate: the dwell-weighted average of
+    /// the two phase rates.
+    pub fn mean_rate(&self) -> f64 {
+        (self.burst_rate * self.mean_burst + self.idle_rate * self.mean_idle)
+            / (self.mean_burst + self.mean_idle)
+    }
+
+    fn phase_rate(&self) -> f64 {
+        match self.phase {
+            Phase::Burst => self.burst_rate,
+            Phase::Idle => self.idle_rate,
+        }
+    }
+
+    fn mean_dwell(&self) -> f64 {
+        match self.phase {
+            Phase::Burst => self.mean_burst,
+            Phase::Idle => self.mean_idle,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyOnOff {
+    fn label(&self) -> String {
+        format!(
+            "bursty(burst λ={} for ~{}, idle λ={} for ~{})",
+            self.burst_rate, self.mean_burst, self.idle_rate, self.mean_idle
+        )
+    }
+
+    fn next_gap(&mut self, rng: &mut StdRng) -> f64 {
+        let mut elapsed = 0.0;
+        loop {
+            let remaining = match self.remaining {
+                Some(r) => r,
+                None => {
+                    let dwell = rng.gen_exp(1.0 / self.mean_dwell());
+                    self.remaining = Some(dwell);
+                    dwell
+                }
+            };
+            // The exponential clock is memoryless, so a candidate gap
+            // that overshoots the phase boundary can be discarded and
+            // redrawn at the next phase's rate without biasing either
+            // phase's statistics.
+            let gap = rng.gen_exp(self.phase_rate());
+            if gap <= remaining {
+                self.remaining = Some(remaining - gap);
+                return (elapsed + gap).max(f64::MIN_POSITIVE);
+            }
+            elapsed += remaining;
+            self.remaining = None;
+            self.phase = match self.phase {
+                Phase::Burst => Phase::Idle,
+                Phase::Idle => Phase::Burst,
+            };
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ArrivalProcess> {
+        Box::new(*self)
+    }
+}
+
+/// A non-homogeneous Poisson process whose rate follows a periodic
+/// curve — the day/night cycle of real serving traffic, scaled down
+/// to slice units.
+///
+/// The curve is a piecewise-constant profile of non-negative rate
+/// multipliers spread evenly over `period` slices; the instantaneous
+/// rate at time `t` is `base_rate × curve[⌊(t mod period) / seg⌋]`.
+/// Sampling uses Lewis–Shedler thinning against the curve's peak, so
+/// the sequence stays exact (not slice-discretized) and deterministic
+/// per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diurnal {
+    base_rate: f64,
+    curve: Vec<f64>,
+    period: f64,
+    /// Absolute time of the last arrival (the process's own clock).
+    clock: f64,
+}
+
+impl Diurnal {
+    /// A diurnal process over `period` slices with the given rate
+    /// `curve` (multipliers of `base_rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base_rate` and `period` are finite and
+    /// positive, the curve is non-empty, every multiplier is finite
+    /// and non-negative, and at least one multiplier is positive.
+    pub fn new(base_rate: f64, period: f64, curve: Vec<f64>) -> Self {
+        assert_rate(base_rate, "diurnal base rate");
+        assert_rate(period, "diurnal period");
+        assert!(!curve.is_empty(), "diurnal curve must be non-empty");
+        assert!(
+            curve.iter().all(|&m| m.is_finite() && m >= 0.0),
+            "diurnal curve multipliers must be finite and non-negative: {curve:?}"
+        );
+        assert!(
+            curve.iter().any(|&m| m > 0.0),
+            "diurnal curve must have at least one positive multiplier"
+        );
+        Diurnal {
+            base_rate,
+            curve,
+            period,
+            clock: 0.0,
+        }
+    }
+
+    /// The instantaneous arrival rate at absolute time `t` (slices).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let pos = (t.rem_euclid(self.period)) / self.period * self.curve.len() as f64;
+        self.base_rate * self.curve[(pos as usize).min(self.curve.len() - 1)]
+    }
+
+    /// The curve's peak rate (the thinning envelope).
+    pub fn peak_rate(&self) -> f64 {
+        self.base_rate * self.curve.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The long-run mean arrival rate (curve average × base rate).
+    pub fn mean_rate(&self) -> f64 {
+        self.base_rate * self.curve.iter().sum::<f64>() / self.curve.len() as f64
+    }
+}
+
+impl ArrivalProcess for Diurnal {
+    fn label(&self) -> String {
+        format!(
+            "diurnal(base λ={}, period {}, {} segments)",
+            self.base_rate,
+            self.period,
+            self.curve.len()
+        )
+    }
+
+    fn next_gap(&mut self, rng: &mut StdRng) -> f64 {
+        let peak = self.peak_rate();
+        let start = self.clock;
+        loop {
+            self.clock += rng.gen_exp(peak).max(f64::MIN_POSITIVE);
+            // Thinning: accept a candidate with probability
+            // rate(t)/peak; rejected candidates only advance the
+            // envelope clock.
+            if rng.gen_bool((self.rate_at(self.clock) / peak).clamp(0.0, 1.0)) {
+                return (self.clock - start).max(f64::MIN_POSITIVE);
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ArrivalProcess> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gaps(process: &mut dyn ArrivalProcess, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| process.next_gap(&mut rng)).collect()
+    }
+
+    #[test]
+    fn gaps_are_positive_and_finite() {
+        let mut procs: Vec<Box<dyn ArrivalProcess>> = vec![
+            Box::new(Poisson::new(3.0)),
+            Box::new(ConstantRate::new(0.5)),
+            Box::new(BurstyOnOff::new(8.0, 0.2, 4.0, 6.0)),
+            Box::new(Diurnal::new(2.0, 24.0, vec![0.2, 1.0, 0.6, 0.1])),
+        ];
+        for p in &mut procs {
+            for g in gaps(p.as_mut(), 99, 2000) {
+                assert!(g.is_finite() && g > 0.0, "{}: gap {g}", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_gaps() {
+        let mut a = BurstyOnOff::new(8.0, 0.2, 4.0, 6.0);
+        let mut b = a;
+        assert_eq!(gaps(&mut a, 7, 500), gaps(&mut b, 7, 500));
+        let mut c = BurstyOnOff::new(8.0, 0.2, 4.0, 6.0);
+        assert_ne!(gaps(&mut a, 7, 500), gaps(&mut c, 8, 500));
+    }
+
+    #[test]
+    fn constant_rate_is_a_metronome() {
+        let mut c = ConstantRate::new(4.0);
+        assert!(gaps(&mut c, 0, 100).iter().all(|&g| g == 0.25));
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        let mut p = Poisson::new(5.0);
+        let gs = gaps(&mut p, 42, 50_000);
+        let mean = gs.iter().sum::<f64>() / gs.len() as f64;
+        assert!((mean * 5.0 - 1.0).abs() < 0.03, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_dwell_weighted_mean() {
+        let mut p = BurstyOnOff::new(10.0, 0.5, 3.0, 5.0);
+        let expect = p.mean_rate();
+        let gs = gaps(&mut p, 11, 100_000);
+        let rate = gs.len() as f64 / gs.iter().sum::<f64>();
+        assert!(
+            (rate / expect - 1.0).abs() < 0.05,
+            "observed {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn bursty_has_heavier_tail_than_poisson() {
+        // Matched mean rates: the MMPP's gap variance must exceed the
+        // memoryless process's (burstiness = overdispersion).
+        let mut b = BurstyOnOff::new(10.0, 0.1, 2.0, 8.0);
+        let mut p = Poisson::new(b.mean_rate());
+        let var = |gs: &[f64]| {
+            let m = gs.iter().sum::<f64>() / gs.len() as f64;
+            gs.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gs.len() as f64
+        };
+        assert!(var(&gaps(&mut b, 3, 50_000)) > var(&gaps(&mut p, 3, 50_000)));
+    }
+
+    #[test]
+    fn diurnal_rate_follows_curve() {
+        let d = Diurnal::new(2.0, 8.0, vec![1.0, 0.25]);
+        assert_eq!(d.rate_at(0.0), 2.0);
+        assert_eq!(d.rate_at(3.9), 2.0);
+        assert_eq!(d.rate_at(4.1), 0.5);
+        assert_eq!(d.rate_at(12.1), 0.5); // wraps around the period
+        assert_eq!(d.peak_rate(), 2.0);
+        assert_eq!(d.mean_rate(), 1.25);
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_matches_curve_mean() {
+        let mut d = Diurnal::new(3.0, 10.0, vec![0.1, 0.5, 1.0, 0.5]);
+        let expect = d.mean_rate();
+        let gs = gaps(&mut d, 21, 100_000);
+        let rate = gs.len() as f64 / gs.iter().sum::<f64>();
+        assert!(
+            (rate / expect - 1.0).abs() < 0.05,
+            "observed {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn diurnal_quiet_segments_carry_fewer_arrivals() {
+        let mut d = Diurnal::new(4.0, 10.0, vec![1.0, 0.05]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (mut busy, mut quiet) = (0u64, 0u64);
+        let mut t = 0.0;
+        for _ in 0..20_000 {
+            t += d.next_gap(&mut rng);
+            if t.rem_euclid(10.0) < 5.0 {
+                busy += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert!(busy > quiet * 5, "busy {busy} vs quiet {quiet}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite rate")]
+    fn zero_rate_rejected() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive multiplier")]
+    fn all_zero_curve_rejected() {
+        Diurnal::new(1.0, 4.0, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,852 @@
+//! Trace recording and replay with time warp.
+//!
+//! A [`TraceRecorder`] captures `(arrival time, load)` pairs from any
+//! run — a live [`TrafficEngine`](super::TrafficEngine) tap, or an
+//! engine observer capturing completed slices — into a
+//! [`RecordedTrace`], a versioned on-disk JSON format (hand-rolled,
+//! no new dependencies, mirroring `bench_gate`'s). A
+//! [`ReplayTraffic`] then re-bins the recorded arrivals into
+//! per-slice loads, optionally **time-warped**: compressed (warp > 1)
+//! or dilated (warp < 1).
+//!
+//! Floating-point values are written with Rust's shortest round-trip
+//! formatting, so save → load reproduces every sample bit for bit —
+//! which is what makes "replay at warp 1.0 is bit-identical to the
+//! original run" a checkable contract rather than a hope.
+
+use super::SliceBinner;
+use crate::scenario::{LoadTrace, TraceError};
+use core::fmt;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Version stamp written into every recorded trace file.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// One captured arrival: when it landed (slice units) and how much
+/// load it carried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedArrival {
+    /// Arrival time in slice units (non-negative, finite).
+    pub time: f64,
+    /// The arrival's load, a fraction of a slice in `[0, 1]`.
+    pub load: f64,
+}
+
+/// Why a recorded trace could not be built, saved, or loaded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// An arrival's time is negative/non-finite, times go backwards,
+    /// or a load leaves `[0, 1]`.
+    InvalidArrival {
+        /// Index of the offending arrival.
+        index: usize,
+        /// Its recorded time.
+        time: f64,
+        /// Its recorded load.
+        load: f64,
+    },
+    /// The file carries a format version this build does not read.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The file is not a well-formed recorded trace.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset where parsing stopped.
+        offset: usize,
+    },
+    /// The file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidArrival { index, time, load } => write!(
+                f,
+                "invalid arrival #{index}: time {time}, load {load} \
+                 (times must be finite, non-negative and non-decreasing; loads in [0, 1])"
+            ),
+            TrafficError::Version { found, supported } => write!(
+                f,
+                "recorded trace version {found} unsupported (this build reads {supported})"
+            ),
+            TrafficError::Parse { message, offset } => {
+                write!(f, "malformed recorded trace at byte {offset}: {message}")
+            }
+            TrafficError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// A validated, versioned capture of `(arrival time, load)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    version: u32,
+    label: String,
+    arrivals: Vec<RecordedArrival>,
+}
+
+impl RecordedTrace {
+    /// Builds a trace from captured arrivals, validating that times
+    /// are finite, non-negative and non-decreasing, and loads are in
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidArrival`] naming the first offender.
+    pub fn new(
+        label: impl Into<String>,
+        arrivals: Vec<RecordedArrival>,
+    ) -> Result<Self, TrafficError> {
+        let mut prev = 0.0f64;
+        for (index, a) in arrivals.iter().enumerate() {
+            let time_ok = a.time.is_finite() && a.time >= 0.0 && a.time >= prev;
+            let load_ok = a.load.is_finite() && (0.0..=1.0).contains(&a.load);
+            if !time_ok || !load_ok {
+                return Err(TrafficError::InvalidArrival {
+                    index,
+                    time: a.time,
+                    load: a.load,
+                });
+            }
+            prev = a.time;
+        }
+        Ok(RecordedTrace {
+            version: TRACE_FORMAT_VERSION,
+            label: label.into(),
+            arrivals,
+        })
+    }
+
+    /// The format version the trace was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The run's human-readable label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The captured arrivals, in time order.
+    pub fn arrivals(&self) -> &[RecordedArrival] {
+        &self.arrivals
+    }
+
+    /// Number of captured arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Time of the last arrival (the run's extent in slice units).
+    pub fn duration(&self) -> f64 {
+        self.arrivals.last().map(|a| a.time).unwrap_or(0.0)
+    }
+
+    /// Serializes the trace to its on-disk JSON form:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "label": "poisson(λ=3) seed 0xdac2025",
+    ///   "arrivals": [
+    ///     [0.3183, 0.1],
+    ///     [0.5921, 0.1]
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Numbers use shortest round-trip formatting, so parsing the
+    /// output reproduces every sample bit for bit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"label\": {},\n", escape_json(&self.label)));
+        out.push_str("  \"arrivals\": [");
+        for (i, a) in self.arrivals.iter().enumerate() {
+            let sep = if i + 1 == self.arrivals.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("\n    [{:?}, {:?}]{sep}", a.time, a.load));
+        }
+        if !self.arrivals.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a trace from its JSON form and validates it.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::Parse`] for malformed input,
+    /// [`TrafficError::Version`] for a future format version,
+    /// [`TrafficError::InvalidArrival`] for out-of-contract samples.
+    pub fn from_json(text: &str) -> Result<Self, TrafficError> {
+        let mut parser = Parser::new(text);
+        let (version, label, arrivals) = parser.parse_trace()?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TrafficError::Version {
+                found: version,
+                supported: TRACE_FORMAT_VERSION,
+            });
+        }
+        RecordedTrace::new(label, arrivals)
+    }
+
+    /// Writes the trace to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TrafficError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| TrafficError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Reads and validates a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecordedTrace::from_json`]; filesystem failures surface
+    /// as [`TrafficError::Io`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TrafficError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| TrafficError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+/// A shareable arrival capture buffer.
+///
+/// Clones share one underlying buffer, so the same recorder can tap a
+/// [`TrafficEngine`](super::TrafficEngine) *and* sit inside an engine
+/// observer closure while the original handle reads the capture back
+/// with [`TraceRecorder::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    shared: Arc<Mutex<Vec<RecordedArrival>>>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures one arrival. Samples are validated at
+    /// [`TraceRecorder::finish`], not here, so observers stay
+    /// infallible.
+    pub fn record(&self, time: f64, load: f64) {
+        self.shared
+            .lock()
+            .expect("recorder lock")
+            .push(RecordedArrival { time, load });
+    }
+
+    /// Arrivals captured so far.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("recorder lock").len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards everything captured so far.
+    pub fn clear(&self) {
+        self.shared.lock().expect("recorder lock").clear();
+    }
+
+    /// Snapshots the capture into a validated [`RecordedTrace`]
+    /// (the recorder keeps recording; snapshots are independent).
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidArrival`] if an out-of-contract sample
+    /// was recorded.
+    pub fn finish(&self, label: impl Into<String>) -> Result<RecordedTrace, TrafficError> {
+        RecordedTrace::new(label, self.shared.lock().expect("recorder lock").clone())
+    }
+}
+
+/// Replays a [`RecordedTrace`] as a stream of per-slice loads,
+/// optionally time-warped.
+///
+/// ## Time-warp semantics
+///
+/// With warp factor `w`, the arrival recorded at time `t` replays at
+/// time `t / w`:
+///
+/// * `w = 1` — the identity: re-binning the recorded arrivals with
+///   the same rule the live engine used, so the replayed per-slice
+///   loads (and any execution report built from them) are
+///   bit-identical to the original run.
+/// * `w < 1` — **dilation** (slower): arrivals spread over more
+///   slices. Every recorded load value is preserved; idle (zero-load)
+///   slices appear between them.
+/// * `w > 1` — **compression** (faster): arrivals pile into fewer
+///   slices. Loads merge through the saturating binner, so total
+///   offered load is conserved and per-arrival load values are
+///   preserved up to slice saturation (overflow backlogs into the
+///   following slices, exactly as live oversubscription would).
+#[derive(Debug, Clone)]
+pub struct ReplayTraffic {
+    arrivals: Vec<RecordedArrival>,
+    warp: f64,
+    cursor: usize,
+    binner: SliceBinner,
+    next_slice: usize,
+}
+
+impl ReplayTraffic {
+    /// A replay of `trace` at warp 1.0 (original timing).
+    pub fn new(trace: RecordedTrace) -> Self {
+        ReplayTraffic {
+            arrivals: trace.arrivals,
+            warp: 1.0,
+            cursor: 0,
+            binner: SliceBinner::default(),
+            next_slice: 0,
+        }
+    }
+
+    /// Sets the time-warp factor: `factor > 1` compresses (replays
+    /// faster), `factor < 1` dilates (replays slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive, or if the
+    /// replay already started.
+    pub fn warp(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "warp factor {factor} must be finite and positive"
+        );
+        assert!(
+            self.cursor == 0 && self.next_slice == 0,
+            "set the warp before pulling loads"
+        );
+        self.warp = factor;
+        self
+    }
+
+    /// The active warp factor.
+    pub fn warp_factor(&self) -> f64 {
+        self.warp
+    }
+
+    fn warped_time(&self, index: usize) -> f64 {
+        self.arrivals[index].time / self.warp
+    }
+
+    /// The load for the next slice: every remaining arrival whose
+    /// warped time lands before the slice's end, folded through the
+    /// same saturating binner the live engine uses. Returns `0.0`
+    /// forever once the trace (and its backlog) is exhausted.
+    pub fn next_load(&mut self) -> f64 {
+        let end = (self.next_slice + 1) as f64;
+        self.binner.open();
+        while self.cursor < self.arrivals.len() && self.warped_time(self.cursor) < end {
+            self.binner.add(self.arrivals[self.cursor].load);
+            self.cursor += 1;
+        }
+        self.next_slice += 1;
+        self.binner.close()
+    }
+
+    /// Whether every arrival has replayed and the backlog drained.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor == self.arrivals.len() && self.binner.backlog() == 0.0
+    }
+
+    /// The next slice index the replay will fill.
+    pub fn position(&self) -> usize {
+        self.next_slice
+    }
+
+    /// Saturation overflow waiting for a future slice.
+    pub fn backlog(&self) -> f64 {
+        self.binner.backlog()
+    }
+
+    /// Runs the replay to exhaustion, returning every per-slice load
+    /// (idle slices included).
+    pub fn to_loads(mut self) -> Vec<f64> {
+        let mut loads = Vec::new();
+        while !self.is_exhausted() {
+            loads.push(self.next_load());
+        }
+        loads
+    }
+
+    /// Runs the replay to exhaustion into a finite [`LoadTrace`]
+    /// (origin [`crate::TraceOrigin::Replay`]) for the session/server
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Empty`] when the recording held no arrivals.
+    pub fn to_trace(self) -> Result<LoadTrace, TraceError> {
+        LoadTrace::replay(self.to_loads())
+    }
+}
+
+impl Iterator for ReplayTraffic {
+    type Item = f64;
+
+    /// Never `None` — zeros after exhaustion (check
+    /// [`ReplayTraffic::is_exhausted`] or use
+    /// [`ReplayTraffic::to_loads`] for the finite form).
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_load())
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader for the recorded-trace schema (the same
+/// no-dependency idiom as `bench_gate`'s baseline parser).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TrafficError> {
+        Err(TrafficError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), TrafficError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", byte as char))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, TrafficError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8 in string"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, TrafficError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b"+-0123456789.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(())
+            .or_else(|()| self.err("expected a number"))
+    }
+
+    fn parse_arrivals(&mut self) -> Result<Vec<RecordedArrival>, TrafficError> {
+        self.expect(b'[')?;
+        let mut arrivals = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(arrivals);
+        }
+        loop {
+            self.expect(b'[')?;
+            let time = self.parse_number()?;
+            self.expect(b',')?;
+            let load = self.parse_number()?;
+            self.expect(b']')?;
+            arrivals.push(RecordedArrival { time, load });
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(arrivals);
+                }
+                _ => return self.err("expected `,` or `]` in arrivals"),
+            }
+        }
+    }
+
+    fn parse_trace(&mut self) -> Result<(u32, String, Vec<RecordedArrival>), TrafficError> {
+        self.expect(b'{')?;
+        let (mut version, mut label, mut arrivals) = (None, None, None);
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "version" => {
+                    let v = self.parse_number()?;
+                    if v < 0.0 || v.fract() != 0.0 {
+                        return self.err(format!("non-integer version {v}"));
+                    }
+                    version = Some(v as u32);
+                }
+                "label" => label = Some(self.parse_string()?),
+                "arrivals" => arrivals = Some(self.parse_arrivals()?),
+                other => return self.err(format!("unknown key `{other}`")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing content after trace object");
+        }
+        match (version, label, arrivals) {
+            (Some(v), Some(l), Some(a)) => Ok((v, l, a)),
+            (None, ..) => self.err("missing `version`"),
+            (_, None, _) => self.err("missing `label`"),
+            _ => self.err("missing `arrivals`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RecordedTrace {
+        RecordedTrace::new(
+            "test \"run\" λ=3",
+            vec![
+                RecordedArrival {
+                    time: 0.3,
+                    load: 0.1,
+                },
+                RecordedArrival {
+                    time: 0.7,
+                    load: 0.25,
+                },
+                RecordedArrival {
+                    time: 2.5,
+                    load: 1.0,
+                },
+                RecordedArrival {
+                    time: 1e2 / 3.0,
+                    load: 0.123456789012345,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let trace = sample_trace();
+        let back = RecordedTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join(format!("hhpim_trace_{}.json", std::process::id()));
+        trace.save(&path).unwrap();
+        let back = RecordedTrace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let text = sample_trace()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert_eq!(
+            RecordedTrace::from_json(&text).unwrap_err(),
+            TrafficError::Version {
+                found: 99,
+                supported: TRACE_FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for text in [
+            "",
+            "{",
+            "{\"version\": 1}",
+            "{\"version\": 1, \"label\": \"x\", \"arrivals\": [[0.1]]}",
+            "{\"version\": 1, \"label\": \"x\", \"arrivals\": []} trailing",
+            "{\"version\": 1.5, \"label\": \"x\", \"arrivals\": []}",
+            "{\"bogus\": 1}",
+        ] {
+            assert!(
+                matches!(
+                    RecordedTrace::from_json(text),
+                    Err(TrafficError::Parse { .. })
+                ),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_arrivals_rejected() {
+        let bad = RecordedTrace::new(
+            "x",
+            vec![
+                RecordedArrival {
+                    time: 1.0,
+                    load: 0.5,
+                },
+                RecordedArrival {
+                    time: 0.5,
+                    load: 0.5,
+                },
+            ],
+        );
+        assert!(matches!(
+            bad,
+            Err(TrafficError::InvalidArrival { index: 1, .. })
+        ));
+        let oversized = RecordedTrace::new(
+            "x",
+            vec![RecordedArrival {
+                time: 0.0,
+                load: 1.5,
+            }],
+        );
+        assert!(matches!(
+            oversized,
+            Err(TrafficError::InvalidArrival { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn recorder_clones_share_a_buffer() {
+        let recorder = TraceRecorder::new();
+        let tap = recorder.clone();
+        tap.record(0.5, 0.2);
+        tap.record(1.5, 0.4);
+        assert_eq!(recorder.len(), 2);
+        let trace = recorder.finish("shared").unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.label(), "shared");
+        recorder.clear();
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn replay_rebins_per_slice() {
+        let trace = RecordedTrace::new(
+            "bins",
+            vec![
+                RecordedArrival {
+                    time: 0.2,
+                    load: 0.3,
+                },
+                RecordedArrival {
+                    time: 0.9,
+                    load: 0.4,
+                },
+                RecordedArrival {
+                    time: 3.5,
+                    load: 0.5,
+                },
+            ],
+        )
+        .unwrap();
+        let loads = ReplayTraffic::new(trace).to_loads();
+        assert_eq!(loads, vec![0.3 + 0.4, 0.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn dilation_preserves_every_load_sample() {
+        let trace = RecordedTrace::new(
+            "dilate",
+            vec![
+                RecordedArrival {
+                    time: 0.5,
+                    load: 0.3,
+                },
+                RecordedArrival {
+                    time: 1.5,
+                    load: 0.6,
+                },
+                RecordedArrival {
+                    time: 2.5,
+                    load: 0.9,
+                },
+            ],
+        )
+        .unwrap();
+        // Warp 0.5 = half speed: arrival k lands in slice 2k+1.
+        let loads = ReplayTraffic::new(trace).warp(0.5).to_loads();
+        assert_eq!(loads, vec![0.0, 0.3, 0.0, 0.6, 0.0, 0.9]);
+    }
+
+    #[test]
+    fn compression_conserves_total_load() {
+        let arrivals: Vec<RecordedArrival> = (0..40)
+            .map(|i| RecordedArrival {
+                time: i as f64 * 0.9,
+                load: 0.35,
+            })
+            .collect();
+        let total: f64 = arrivals.iter().map(|a| a.load).sum();
+        let trace = RecordedTrace::new("compress", arrivals).unwrap();
+        let loads = ReplayTraffic::new(trace).warp(4.0).to_loads();
+        assert!((loads.iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(loads.iter().all(|&l| (0.0..=1.0).contains(&l)));
+        // 4× compression of a ~0.39-load/slice feed saturates slices.
+        assert!(loads.iter().filter(|&&l| l == 1.0).count() > 5, "{loads:?}");
+    }
+
+    #[test]
+    fn exhausted_replay_yields_zeros() {
+        let trace = RecordedTrace::new(
+            "tiny",
+            vec![RecordedArrival {
+                time: 0.1,
+                load: 0.2,
+            }],
+        )
+        .unwrap();
+        let mut replay = ReplayTraffic::new(trace);
+        assert_eq!(replay.next_load(), 0.2);
+        assert!(replay.is_exhausted());
+        assert_eq!(replay.next_load(), 0.0);
+        assert_eq!(replay.next_load(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_warp_rejected() {
+        let trace = RecordedTrace::new("x", vec![]).unwrap();
+        let _ = ReplayTraffic::new(trace).warp(0.0);
+    }
+}

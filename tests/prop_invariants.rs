@@ -172,4 +172,52 @@ proptest! {
         let twice = p * (d * 2);
         prop_assert!((twice.as_pj() - 2.0 * e.as_pj()).abs() <= 1e-9 * twice.as_pj().max(1.0));
     }
+
+    /// The single load-quantization rule: zero means idle (no tasks),
+    /// any positive load issues at least one task, counts are monotone
+    /// in load and saturate at the per-slice cap.
+    #[test]
+    fn task_count_quantization_invariants(
+        load in 0.0f64..=1.0,
+        other in 0.0f64..=1.0,
+        max_tasks in 1u32..=64,
+    ) {
+        let n = LoadTrace::task_count_for(load, max_tasks);
+        prop_assert!(n <= max_tasks, "count {n} above cap {max_tasks}");
+        if load == 0.0 {
+            prop_assert_eq!(n, 0, "idle slices execute nothing");
+        } else {
+            prop_assert!(n >= 1, "positive load {load} must issue a task");
+        }
+        prop_assert_eq!(LoadTrace::task_count_for(0.0, max_tasks), 0);
+        prop_assert_eq!(LoadTrace::task_count_for(1.0, max_tasks), max_tasks);
+        // Monotone: more load never means fewer tasks.
+        let (lo, hi) = if load <= other { (load, other) } else { (other, load) };
+        prop_assert!(
+            LoadTrace::task_count_for(lo, max_tasks) <= LoadTrace::task_count_for(hi, max_tasks),
+            "quantization not monotone at {lo} vs {hi}"
+        );
+    }
+
+    /// `saturating_merge` conserves load exactly, clamps the merged
+    /// slice to a full one, and never leaves overflow behind while the
+    /// slice has room.
+    #[test]
+    fn saturating_merge_conserves(
+        accum in 0.0f64..=4.0,
+        load in 0.0f64..=1.0,
+    ) {
+        let (merged, overflow) = LoadTrace::saturating_merge(accum, load);
+        prop_assert!((0.0..=1.0).contains(&merged), "merged {merged} outside [0, 1]");
+        prop_assert!(overflow >= 0.0, "negative overflow {overflow}");
+        let total = accum + load;
+        prop_assert!(
+            (merged + overflow - total).abs() <= 1e-12 * total.max(1.0),
+            "lost load: {merged} + {overflow} != {total}"
+        );
+        // Overflow only once the slice is actually full.
+        if overflow > 0.0 {
+            prop_assert_eq!(merged, 1.0, "overflowed a non-full slice");
+        }
+    }
 }

@@ -60,6 +60,41 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
         unit_f64(self.next_u64()) < p
     }
+
+    /// Samples an exponentially distributed value with the given
+    /// `rate` (mean `1/rate`, variance `1/rate²`) by inverse-CDF over
+    /// one uniform draw: `-ln(U)/rate` with `U ∈ (0, 1]`. The sample
+    /// is always finite and non-negative, so inter-arrival generators
+    /// can use it without guarding against `inf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    fn gen_exp(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate={rate} must be a positive finite value"
+        );
+        // 1 - unit_f64 ∈ (0, 1], so the log is finite (≤ 0).
+        -(1.0 - unit_f64(self.next_u64())).ln() / rate
+    }
+
+    /// Samples a geometric count: the number of `Bernoulli(p)`
+    /// failures before the first success (support `0, 1, 2, …`, mean
+    /// `(1-p)/p`, variance `(1-p)/p²`), by inverting the geometric
+    /// CDF over one uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 1.0`.
+    fn gen_geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "p={p} outside (0, 1]");
+        if p == 1.0 {
+            return 0;
+        }
+        let u = 1.0 - unit_f64(self.next_u64()); // (0, 1]
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -222,5 +257,73 @@ mod tests {
     fn empty_range_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         rng.gen_range(5u32..5);
+    }
+
+    /// Sample mean and variance of `n` draws from `f`.
+    fn moments(n: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+        let xs: Vec<f64> = (0..n).map(|_| f()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_matches_closed_form_moments() {
+        // Exp(rate) has mean 1/rate and variance 1/rate².
+        for (seed, rate) in [(11u64, 0.5f64), (12, 2.5), (13, 40.0)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mean, var) = moments(200_000, || rng.gen_exp(rate));
+            assert!(
+                (mean * rate - 1.0).abs() < 0.02,
+                "rate {rate}: mean {mean} vs {}",
+                1.0 / rate
+            );
+            assert!(
+                (var * rate * rate - 1.0).abs() < 0.05,
+                "rate {rate}: var {var} vs {}",
+                1.0 / (rate * rate)
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_samples_always_finite_and_non_negative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100_000 {
+            let x = rng.gen_exp(3.0);
+            assert!(x.is_finite() && x >= 0.0, "{x}");
+        }
+    }
+
+    #[test]
+    fn geometric_matches_closed_form_moments() {
+        // Geometric(p) (failures before first success) has mean
+        // (1-p)/p and variance (1-p)/p².
+        for (seed, p) in [(21u64, 0.2f64), (22, 0.5), (23, 0.9)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mean, var) = moments(200_000, || rng.gen_geometric(p) as f64);
+            let m = (1.0 - p) / p;
+            let v = (1.0 - p) / (p * p);
+            assert!(
+                (mean - m).abs() < 0.05 * (1.0 + m),
+                "p {p}: mean {mean} vs {m}"
+            );
+            assert!(
+                (var - v).abs() < 0.10 * (1.0 + v),
+                "p {p}: var {var} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_certain_success_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rng.gen_geometric(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive finite value")]
+    fn exponential_rejects_zero_rate() {
+        StdRng::seed_from_u64(0).gen_exp(0.0);
     }
 }
