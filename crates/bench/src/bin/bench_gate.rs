@@ -31,8 +31,9 @@ use hhpim::engine::Engine;
 use hhpim::server::{QosClass, Server, ShedOnPressure, TenantSpec};
 use hhpim::session::{ScenarioSource, SessionBuilder};
 use hhpim::{
-    run_paced, AllocationLut, Architecture, BackendKind, ExecutionBackend, OptimizerConfig, Pacer,
-    PlacementOptimizer, PlacementStore, Processor, TrafficConfig, TrafficEngine,
+    run_paced, AllocationLut, Architecture, BackendKind, CycleBackend, ExecMode, ExecutionBackend,
+    OptimizerConfig, Pacer, PlacementOptimizer, PlacementStore, Processor, TrafficConfig,
+    TrafficEngine,
 };
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
@@ -173,6 +174,35 @@ fn measure(samples: usize) -> GateFile {
         bench(samples, || cycle.execute(&trace6).unwrap()),
     );
 
+    // cycle_trace_6_slices_object: the same 6-slice trace on the
+    // interpretive object-hierarchy walk (`ExecMode::ObjectWalk`) —
+    // the legacy path the timing graph replaced, kept measurable so
+    // the gate self-test can assert the graph's speedup and a future
+    // change can't silently swap the default back.
+    let mut object_cycle =
+        CycleBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
+    object_cycle.set_exec_mode(ExecMode::ObjectWalk);
+    file.benches.insert(
+        "cycle_trace_6_slices_object".into(),
+        bench(samples, || object_cycle.execute(&trace6).unwrap()),
+    );
+
+    // timegraph_build: lowering the compiled MobileNetV2 program +
+    // boot placement into the flat node arena, from scratch every
+    // iteration (×10; `clear_graph` drops the cached programs so
+    // `prepare_graph` pays the full lowering). This is the one-time
+    // cost the replay path amortizes across every task and slice.
+    let mut build_cycle = CycleBackend::new(Architecture::HhPim, TinyMlModel::MobileNetV2).unwrap();
+    file.benches.insert(
+        "timegraph_build".into(),
+        bench(samples, || {
+            for _ in 0..10 {
+                build_cycle.clear_graph();
+                std::hint::black_box(build_cycle.prepare_graph());
+            }
+        }),
+    );
+
     // session_build_and_run: the facade's hot path — builder →
     // prepared policy (LUT DP solves) → analytic backend → one
     // 12-slice run, end to end.
@@ -289,6 +319,30 @@ fn measure(samples: usize) -> GateFile {
             let reports = drain_engine.drain().unwrap();
             drain_engine.events().count();
             std::hint::black_box(reports)
+        }),
+    );
+
+    // engine_step_n_batch_64: the batched twin of engine_step_hot —
+    // 64 equal-load slices submitted then executed by one
+    // `Engine::step_n` call, which collapses the run into a single
+    // `ExecutionBackend::step_n` drain (the amortized path behind
+    // `drain`/`pump` and the server's DRR inner loop).
+    let mut batch_engine = Engine::new(
+        SessionBuilder::new()
+            .architecture(Architecture::HhPim)
+            .model(TinyMlModel::MobileNetV2)
+            .build_analytic()
+            .unwrap(),
+    );
+    file.benches.insert(
+        "engine_step_n_batch_64".into(),
+        bench(samples, || {
+            for _ in 0..64 {
+                batch_engine.submit(0.6).unwrap();
+            }
+            let executed = batch_engine.step_n(64).unwrap();
+            assert_eq!(executed, 64);
+            std::hint::black_box(batch_engine.events().count())
         }),
     );
 
@@ -884,7 +938,7 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 15);
+        assert_eq!(f.benches.len(), 18);
         for key in [
             "session_build_and_run",
             "lut_build_cold",
@@ -892,10 +946,14 @@ mod tests {
             "sweep_all_parallel",
             "engine_step_hot",
             "engine_submit_drain",
+            "engine_step_n_batch_64",
             "server_steady_state",
             "server_admission_overload",
             "traffic_gen_poisson",
             "paced_steady_state",
+            "timegraph_build",
+            "cycle_trace_6_slices",
+            "cycle_trace_6_slices_object",
         ] {
             assert!(f.benches.contains_key(key), "missing bench `{key}`");
         }
@@ -908,6 +966,16 @@ mod tests {
             "warm path {} ns not well below cold build {} ns",
             f.benches["lut_store_warm"],
             f.benches["lut_build_cold"]
+        );
+        // Timing-graph replay must stay well below the interpretive
+        // object walk — the speedup these gate entries protect.
+        // Observed ≈5–8× in release; the 2× floor also holds in the
+        // unoptimized builds this self-test runs under.
+        assert!(
+            f.benches["cycle_trace_6_slices"] < f.benches["cycle_trace_6_slices_object"] / 2.0,
+            "graph path {} ns not well below object walk {} ns",
+            f.benches["cycle_trace_6_slices"],
+            f.benches["cycle_trace_6_slices_object"]
         );
     }
 }

@@ -59,6 +59,7 @@ use crate::engine::{AnalyticRun, CycleRun, LayerAcc, ReplacementDecision, SliceO
 use crate::policy::{FixedHome, PlacementPolicy};
 use crate::runtime::{Processor, RuntimeConfig};
 use crate::space::{movement_legs, MovementLeg, Placement, StorageSpace};
+use crate::timegraph::TimeGraph;
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_mem::{ClusterClass, Energy, EnergyLedger, MemKind};
 use hhpim_nn::{QuantizedModel, TinyMlModel};
@@ -363,6 +364,29 @@ pub trait ExecutionBackend: Send {
     /// must be reopened with [`ExecutionBackend::begin_stream`].
     fn step_slice(&mut self, n_tasks: u32) -> Result<SliceOutcome, BackendError>;
 
+    /// Executes the next `n_slices` slices of the open stream, each
+    /// with the same `n_tasks`, appending one [`SliceOutcome`] per
+    /// completed slice to `out` (`out` is not cleared). The batch twin
+    /// of [`ExecutionBackend::step_slice`] — engines use it to amortize
+    /// per-call overhead across runs of equal-load slices.
+    ///
+    /// # Errors
+    ///
+    /// On a failing slice the outcomes of the slices completed before
+    /// it remain in `out`, the error is returned, and the stream is
+    /// poisoned exactly as by a failing `step_slice`.
+    fn step_n(
+        &mut self,
+        n_tasks: u32,
+        n_slices: u32,
+        out: &mut Vec<SliceOutcome>,
+    ) -> Result<(), BackendError> {
+        for _ in 0..n_slices {
+            out.push(self.step_slice(n_tasks)?);
+        }
+        Ok(())
+    }
+
     /// Closes the open stream into the unified report (an empty report
     /// if no slice was stepped).
     ///
@@ -545,6 +569,25 @@ pub struct CycleBackend {
     time_scale: f64,
     /// The open streaming run, if any.
     run: Option<CycleRun>,
+    mode: ExecMode,
+    graph: TimeGraph,
+}
+
+/// How [`CycleBackend`] executes the per-task instruction stream.
+///
+/// Both modes drive the same [`PimMachine`] through arithmetically
+/// identical operations and produce **bit-identical**
+/// [`ExecutionReport`]s; the equivalence suite in
+/// [`crate::timegraph`] keeps the object walk alive as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Replay the flat, arena-allocated [`TimeGraph`] (the fast path;
+    /// programs are lowered once per placement and reused).
+    #[default]
+    TimingGraph,
+    /// Interpret the object hierarchy per task (the original path;
+    /// kept as the property-test oracle).
+    ObjectWalk,
 }
 
 fn mem_select(kind: MemKind) -> MemSelect {
@@ -711,6 +754,8 @@ impl CycleBackend {
             head_modules: Vec::new(),
             time_scale: params.time_scale,
             run: None,
+            mode: ExecMode::default(),
+            graph: TimeGraph::new(),
         };
         backend.refresh_head()?;
         backend.enter_idle()?;
@@ -720,6 +765,46 @@ impl CycleBackend {
     /// The wrapped machine.
     pub fn machine(&self) -> &PimMachine {
         &self.machine
+    }
+
+    /// How tasks are executed (timing-graph replay by default).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Selects the execution path. Both paths are bit-identical; the
+    /// object walk exists as the equivalence oracle and for debugging.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The lowered timing graph (for inspection/benchmarks).
+    pub fn timegraph(&self) -> &TimeGraph {
+        &self.graph
+    }
+
+    /// Pre-lowers the timing-graph program for the placement currently
+    /// realized on the machine, returning the cached program count.
+    /// Lets benchmarks measure graph construction in isolation.
+    pub fn prepare_graph(&mut self) -> usize {
+        let mut graph = std::mem::take(&mut self.graph);
+        graph.ensure_program(
+            &self.machine,
+            self.processor.arch(),
+            &self.program,
+            &self.placement,
+            &self.head_modules,
+            self.head_home,
+            &self.input,
+        );
+        let count = graph.program_count();
+        self.graph = graph;
+        count
+    }
+
+    /// Drops every cached timing-graph program (for benchmarks).
+    pub fn clear_graph(&mut self) {
+        self.graph.clear();
     }
 
     /// The analytic twin providing slice timing, cost model and LUT.
@@ -1071,6 +1156,32 @@ impl CycleBackend {
         Ok(())
     }
 
+    /// Runs the slice's tasks over the timing graph: look up (or lower)
+    /// the current placement's node program, seed the time queue from
+    /// the machine's live completion state, then replay the arena once
+    /// per task.
+    fn replay_tasks(&mut self, run: &mut CycleRun, n_tasks: u32) -> Result<(), BackendError> {
+        let mut graph = std::mem::take(&mut self.graph);
+        let result = (|| {
+            let prog = graph.ensure_program(
+                &self.machine,
+                self.processor.arch(),
+                &self.program,
+                &self.placement,
+                &self.head_modules,
+                self.head_home,
+                &self.input,
+            );
+            graph.seed(&self.machine);
+            for _ in 0..n_tasks {
+                graph.replay_task(&mut self.machine, prog, &mut run.accs)?;
+            }
+            Ok(())
+        })();
+        self.graph = graph;
+        result
+    }
+
     /// One slice on the machine: re-place if the queue length changed,
     /// run the tasks, then gate down for the idle remainder.
     fn do_slice(
@@ -1103,17 +1214,22 @@ impl CycleBackend {
         let movement_native = self.machine.now().saturating_since(slice_start);
 
         let busy_start = self.machine.now();
-        for _ in 0..n_tasks {
-            Self::run_task(
-                &mut self.machine,
-                &self.program,
-                &self.placement,
-                &self.head_modules,
-                self.head_home,
-                &self.input,
-                self.processor.arch(),
-                &mut run.accs,
-            )?;
+        match self.mode {
+            ExecMode::TimingGraph => self.replay_tasks(run, n_tasks)?,
+            ExecMode::ObjectWalk => {
+                for _ in 0..n_tasks {
+                    Self::run_task(
+                        &mut self.machine,
+                        &self.program,
+                        &self.placement,
+                        &self.head_modules,
+                        self.head_home,
+                        &self.input,
+                        self.processor.arch(),
+                        &mut run.accs,
+                    )?;
+                }
+            }
         }
         let busy = self.machine.now().saturating_since(busy_start);
         // Statics accrue across the idle remainder of the slice under
@@ -1233,6 +1349,32 @@ impl ExecutionBackend for CycleBackend {
         }
         let mut run = self.run.take().expect("stream opened above");
         let result = self.step_cycle(&mut run, n_tasks);
+        self.run = Some(run);
+        result
+    }
+
+    fn step_n(
+        &mut self,
+        n_tasks: u32,
+        n_slices: u32,
+        out: &mut Vec<SliceOutcome>,
+    ) -> Result<(), BackendError> {
+        if self.run.is_none() {
+            self.begin_stream()?;
+        }
+        // Take the run once for the whole batch instead of once per
+        // slice — the amortized drain behind `Engine::step_n`.
+        let mut run = self.run.take().expect("stream opened above");
+        let mut result = Ok(());
+        for _ in 0..n_slices {
+            match self.step_cycle(&mut run, n_tasks) {
+                Ok(outcome) => out.push(outcome),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
         self.run = Some(run);
         result
     }

@@ -39,7 +39,7 @@ pub enum WeightHome {
 }
 
 impl WeightHome {
-    fn mem(self) -> MemSelect {
+    pub(crate) fn mem(self) -> MemSelect {
         match self {
             WeightHome::Mram => MemSelect::Mram,
             WeightHome::Sram => MemSelect::Sram,

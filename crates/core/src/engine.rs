@@ -353,6 +353,9 @@ pub struct Engine {
     events: VecDeque<EngineEvent>,
     events_dropped: u64,
     observers: Vec<Box<dyn EngineObserver>>,
+    /// Reused per batch by [`Engine::step_n`] so steady-state stepping
+    /// allocates nothing for outcome transport.
+    outcome_scratch: Vec<SliceOutcome>,
 }
 
 impl fmt::Debug for Engine {
@@ -394,6 +397,7 @@ impl Engine {
             events: VecDeque::new(),
             events_dropped: 0,
             observers: Vec::new(),
+            outcome_scratch: Vec::new(),
         }
     }
 
@@ -508,7 +512,9 @@ impl Engine {
             match self.submit(load)? {
                 SubmitOutcome::Accepted => return Ok(()),
                 SubmitOutcome::Deferred => {
-                    self.step()?;
+                    // Make room by draining the run at the queue head
+                    // in one batched call rather than slice by slice.
+                    self.step_n(self.queue.len().max(1))?;
                 }
             }
         }
@@ -556,6 +562,80 @@ impl Engine {
         Ok(Some(slice))
     }
 
+    /// Executes up to `max_slices` queued slices in one call, batching
+    /// runs of equal-task-count loads into a single
+    /// [`ExecutionBackend::step_n`] drain per backend. Returns the
+    /// number of slices executed (0 when the queue is empty).
+    ///
+    /// Semantics are identical to calling [`Engine::step`] in a loop —
+    /// same events in the same order, same observer notifications, same
+    /// poison behavior on failure — but a single-backend engine pays
+    /// the per-call run bookkeeping once per *run* instead of once per
+    /// slice, and outcomes travel through a reused scratch buffer
+    /// instead of fresh allocations. Engines comparing several backends
+    /// fall back to slice-at-a-time stepping to preserve the
+    /// interleaved per-backend event order.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Backend`] when a backend fails; slices completed
+    /// before the failure have already emitted their events, then the
+    /// stream is poisoned exactly as by [`Engine::step`].
+    pub fn step_n(&mut self, max_slices: usize) -> Result<usize, EngineError> {
+        if self.backends.len() != 1 {
+            let mut executed = 0usize;
+            while executed < max_slices && self.step()?.is_some() {
+                executed += 1;
+            }
+            return Ok(executed);
+        }
+        let mut executed = 0usize;
+        while executed < max_slices {
+            let Some(&front) = self.queue.front() else {
+                break;
+            };
+            let n_tasks = LoadTrace::task_count_for(front, self.max_tasks);
+            // Length of the equal-task-count run at the queue head.
+            let mut run_len = 0usize;
+            for &load in self.queue.iter() {
+                if run_len >= max_slices - executed
+                    || LoadTrace::task_count_for(load, self.max_tasks) != n_tasks
+                {
+                    break;
+                }
+                run_len += 1;
+            }
+            self.ensure_started()?;
+            self.queue.drain(..run_len);
+            let mut scratch = std::mem::take(&mut self.outcome_scratch);
+            scratch.clear();
+            let kind = self.backends[0].kind();
+            let result = self.backends[0].step_n(n_tasks, run_len as u32, &mut scratch);
+            let completed = scratch.len();
+            // Slices completed before any failure emit their events,
+            // exactly as sequential stepping would have.
+            for outcome in scratch.drain(..) {
+                let slice = self.next_slice;
+                self.emit_outcome(kind, slice, n_tasks, outcome);
+                self.next_slice += 1;
+            }
+            self.outcome_scratch = scratch;
+            if let Err(error) = result {
+                self.started = false;
+                self.next_slice = 0;
+                self.queue.clear();
+                self.events.clear();
+                self.events_dropped = 0;
+                return Err(EngineError::Backend {
+                    backend: kind,
+                    error,
+                });
+            }
+            executed += completed;
+        }
+        Ok(executed)
+    }
+
     /// Executes every queued slice, closes the stream and returns one
     /// report per backend (builder order). The engine then resets to
     /// slice 0, ready for a fresh stream: the slice counter and the
@@ -568,7 +648,7 @@ impl Engine {
     /// See [`Engine::step`]; backend finalization errors surface as
     /// [`EngineError::Backend`].
     pub fn drain(&mut self) -> Result<Vec<ExecutionReport>, EngineError> {
-        while self.step()?.is_some() {}
+        while self.step_n(usize::MAX)? > 0 {}
         // A zero-slice drain still opens a stream so there is one to
         // close; backends return an empty (but well-formed) report.
         self.ensure_started()?;
@@ -651,7 +731,7 @@ impl Engine {
             self.submit_blocking(load)?;
             executed += 1;
         }
-        while self.step()?.is_some() {}
+        while self.step_n(usize::MAX)? > 0 {}
         Ok(executed)
     }
 
@@ -769,6 +849,13 @@ pub(crate) struct AnalyticRun {
     pub(crate) dynamic: Energy,
     pub(crate) total_tasks: u64,
     pub(crate) slice: usize,
+    /// Memoized policy decisions, indexed by task count (policies are
+    /// pure in `n_tasks`, so one lookup per count is enough per run).
+    pub(crate) placements: Vec<Option<Placement>>,
+    /// Memoized slice evaluations keyed by `(from, n_tasks)` — the
+    /// whole per-step cost-model computation collapses to replaying a
+    /// small cached add-list once a transition has been seen.
+    pub(crate) steps: Vec<crate::runtime::StepMemo>,
 }
 
 impl Default for AnalyticRun {
@@ -782,6 +869,8 @@ impl Default for AnalyticRun {
             dynamic: Energy::ZERO,
             total_tasks: 0,
             slice: 0,
+            placements: Vec::new(),
+            steps: Vec::new(),
         }
     }
 }

@@ -21,6 +21,11 @@
 //!   record/replay with time warp ([`ReplayTraffic`]); [`ClosedLoop`]
 //!   AIMD load control; and a wall-clock [`Pacer`] producing
 //!   [`LoadReport`]s of sustained slices/sec and latency tails,
+//! * [`timegraph`] — **the cycle backend's hot path**: [`TimeGraph`]
+//!   lowers a compiled program + placement into a flat arena of
+//!   pre-resolved nodes replayed bit-identically to the object walk
+//!   (which stays on as the oracle behind
+//!   [`backend::ExecMode::ObjectWalk`]),
 //! * [`error`] — the facade [`enum@Error`]: one enum over every
 //!   layer's failure modes, with `From` impls and source chaining,
 //! * [`Architecture`] / [`ArchSpec`] — the four Table I processors
@@ -76,6 +81,7 @@ pub mod server;
 pub mod session;
 pub mod space;
 pub mod store;
+pub mod timegraph;
 pub mod traffic;
 
 pub use analysis::{
@@ -84,8 +90,8 @@ pub use analysis::{
 };
 pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementMode};
 pub use backend::{
-    AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecutionBackend,
-    ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
+    AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecMode,
+    ExecutionBackend, ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,
 };
 pub use compile::{
     compile_linear, compile_model, lower_head, run_linear, CompileError, CompiledLayer,
@@ -114,6 +120,7 @@ pub use session::{
 };
 pub use space::{movement_legs, MovementLeg, Placement, StorageSpace};
 pub use store::{CacheStats, PlacementKey, PlacementStore};
+pub use timegraph::TimeGraph;
 pub use traffic::{
     drive_closed_loop, record_slices, run_paced, serve_paced, stream, ArrivalProcess, BurstyOnOff,
     ClosedLoop, ClosedLoopConfig, ClosedLoopReport, ConstantRate, Diurnal, LoadDistribution,

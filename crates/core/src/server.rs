@@ -858,6 +858,7 @@ impl ServerBuilder {
             events_dropped: 0,
             event_capacity: self.event_capacity.unwrap_or(DEFAULT_EVENT_CAPACITY),
             observers: Vec::new(),
+            event_scratch: Vec::new(),
         })
     }
 }
@@ -929,6 +930,9 @@ pub struct Server {
     events_dropped: u64,
     event_capacity: usize,
     observers: Vec<Box<dyn ServerObserver>>,
+    /// Reused per quantum to drain tenant-engine events without a
+    /// fresh allocation per served slice.
+    event_scratch: Vec<EngineEvent>,
 }
 
 impl fmt::Debug for Server {
@@ -1293,51 +1297,88 @@ impl Server {
             .filter(|&j| j != i && self.tenants[j].engine.pending() > 0)
             .collect();
         self.tenants[i].deficit += self.tenants[i].qos.quantum();
+        let window = self.miss_window;
         let mut steps = 0usize;
         while self.tenants[i].deficit > 0 && self.tenants[i].engine.pending() > 0 {
             let tenant = &mut self.tenants[i];
             let id = tenant.id;
             let qos = tenant.qos;
-            match tenant.engine.step() {
-                Ok(Some(_)) => {}
-                Ok(None) => break,
+            // Grant the remaining deficit in one batched call: the
+            // engine drains whole runs of equal-load slices through
+            // `ExecutionBackend::step_n` instead of stepping one by
+            // one.
+            let grant = (tenant.deficit as usize).min(tenant.engine.pending());
+            let stepped = match tenant.engine.step_n(grant) {
+                Ok(0) => break,
+                Ok(n) => n,
                 Err(error) => {
                     return Err(ServerError::Tenant { tenant: id, error });
                 }
-            }
-            tenant.deficit -= 1;
-            tenant.stats.executed += 1;
+            };
+            tenant.deficit -= stepped as u64;
+            tenant.stats.executed += stepped as u64;
             tenant.streak = 0;
-            steps += 1;
-            let events: Vec<EngineEvent> = tenant.engine.events().collect();
+            steps += stepped;
+            // Drain the batch's events through the reusable scratch
+            // and process them slice by slice (every slice emits a
+            // SliceCompleted, so slice groups are never empty): miss
+            // accounting per slice, engine events re-emitted in order,
+            // QosMiss appended after its slice's events — the exact
+            // sequence per-slice stepping produced.
+            let mut events = std::mem::take(&mut self.event_scratch);
+            events.clear();
+            events.extend(self.tenants[i].engine.events());
+            let mut current_slice: Option<usize> = None;
             let mut missed = false;
-            let mut qos_miss = None;
-            for event in &events {
-                if let EngineEvent::DeadlineMiss { .. } = event {
+            let mut qos_miss: Option<(usize, SimDuration)> = None;
+            for event in events.drain(..) {
+                let slice = match &event {
+                    EngineEvent::SliceCompleted { record, .. } => record.slice,
+                    EngineEvent::Replacement { slice, .. } => *slice,
+                    EngineEvent::Migration { record, .. } => record.slice,
+                    EngineEvent::DeadlineMiss { slice, .. } => *slice,
+                    EngineEvent::IdleAccrued { slice, .. } => *slice,
+                };
+                if current_slice.is_some_and(|c| c != slice) {
+                    let tenant = &mut self.tenants[i];
+                    tenant.stats.missed += u64::from(missed);
+                    tenant.record_miss_flag(missed, window);
+                    missed = false;
+                    if let Some((slice, task_time)) = qos_miss.take() {
+                        self.emit(ServerEvent::QosMiss {
+                            tenant: id,
+                            slice,
+                            task_time,
+                            deadline: qos.deadline,
+                        });
+                    }
+                }
+                current_slice = Some(slice);
+                if let EngineEvent::DeadlineMiss { .. } = &event {
                     missed = true;
                 }
-                if let EngineEvent::SliceCompleted { record, .. } = event {
+                if let EngineEvent::SliceCompleted { record, .. } = &event {
                     if record.task_time > qos.deadline {
                         missed = true;
                         qos_miss = Some((record.slice, record.task_time));
                     }
                 }
-            }
-            let tenant = &mut self.tenants[i];
-            tenant.stats.missed += u64::from(missed);
-            let window = self.miss_window;
-            tenant.record_miss_flag(missed, window);
-            for event in events {
                 self.emit(ServerEvent::Engine { tenant: id, event });
             }
-            if let Some((slice, task_time)) = qos_miss {
-                self.emit(ServerEvent::QosMiss {
-                    tenant: id,
-                    slice,
-                    task_time,
-                    deadline: qos.deadline,
-                });
+            if current_slice.is_some() {
+                let tenant = &mut self.tenants[i];
+                tenant.stats.missed += u64::from(missed);
+                tenant.record_miss_flag(missed, window);
+                if let Some((slice, task_time)) = qos_miss.take() {
+                    self.emit(ServerEvent::QosMiss {
+                        tenant: id,
+                        slice,
+                        task_time,
+                        deadline: qos.deadline,
+                    });
+                }
             }
+            self.event_scratch = events;
         }
         if self.tenants[i].engine.pending() == 0 {
             self.tenants[i].deficit = 0;

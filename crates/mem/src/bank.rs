@@ -110,6 +110,22 @@ pub struct Access {
     pub energy: Energy,
 }
 
+/// Per-word access coefficients resolved from a bank's technology once,
+/// at lowering time, so a timing-graph replay pays no per-access
+/// technology lookups. Obtained from [`MemoryBank::resolve`] and spent
+/// through [`MemoryBank::access_resolved`]; the two paths share the same
+/// arithmetic, so a resolved replay is bit-identical to
+/// [`MemoryBank::access`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedAccess {
+    /// The access kind these coefficients were resolved for.
+    pub kind: AccessKind,
+    /// Port service latency per word.
+    pub latency: SimDuration,
+    /// Dynamic energy per word.
+    pub energy_per_word: Energy,
+}
+
 /// A single memory bank (see module docs).
 ///
 /// # Examples
@@ -289,19 +305,47 @@ impl MemoryBank {
         kind: AccessKind,
         words: u64,
     ) -> Result<Access, BankError> {
-        if self.state == GateState::Gated {
-            return Err(BankError::Gated);
-        }
-        self.advance_to(at);
+        let resolved = self.resolve(kind);
+        self.access_resolved(at, &resolved, words)
+    }
+
+    /// Resolves the per-word coefficients for `kind` from the bank's
+    /// technology — done once at graph-lowering time so replay skips the
+    /// per-access technology match.
+    pub fn resolve(&self, kind: AccessKind) -> ResolvedAccess {
         let (latency, energy_per_word) = match kind {
             AccessKind::Read => (self.tech.timing.read, self.tech.read_energy()),
             AccessKind::Write => (self.tech.timing.write, self.tech.write_energy()),
         };
-        let service = latency * words;
+        ResolvedAccess {
+            kind,
+            latency,
+            energy_per_word,
+        }
+    }
+
+    /// [`MemoryBank::access`] with pre-resolved coefficients: identical
+    /// gating check, port serialization, energy accrual and counters,
+    /// minus the technology lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Gated`] if the bank is gated.
+    pub fn access_resolved(
+        &mut self,
+        at: SimTime,
+        resolved: &ResolvedAccess,
+        words: u64,
+    ) -> Result<Access, BankError> {
+        if self.state == GateState::Gated {
+            return Err(BankError::Gated);
+        }
+        self.advance_to(at);
+        let service = resolved.latency * words;
         let done_at = self.port.acquire(at, service);
-        let energy = energy_per_word * words;
+        let energy = resolved.energy_per_word * words;
         self.dynamic_energy += energy;
-        match kind {
+        match resolved.kind {
             AccessKind::Read => self.reads += words,
             AccessKind::Write => self.writes += words,
         }
@@ -448,6 +492,33 @@ mod tests {
         assert_eq!(t, SimTime::from_ns(5));
         assert_eq!(b.counters().2, 0);
         assert_eq!(b.wake_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn resolved_access_is_bit_identical_to_access() {
+        let mut a = MemoryBank::new(hp_mram(), 64 * 1024);
+        let mut b = a.clone();
+        let read = b.resolve(AccessKind::Read);
+        let write = b.resolve(AccessKind::Write);
+        for (t, words) in [(0u64, 3u64), (5, 1), (5, 7), (40, 255)] {
+            let at = SimTime::from_ns(t);
+            let lhs = a.access(at, AccessKind::Read, words).unwrap();
+            let rhs = b.access_resolved(at, &read, words).unwrap();
+            assert_eq!(lhs, rhs);
+            let lhs = a.access(at, AccessKind::Write, words).unwrap();
+            let rhs = b.access_resolved(at, &write, words).unwrap();
+            assert_eq!(lhs, rhs);
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.dynamic_energy().as_pj(), b.dynamic_energy().as_pj());
+        assert_eq!(a.static_energy().as_pj(), b.static_energy().as_pj());
+        // Gating is still enforced on the resolved path.
+        a.gate(SimTime::from_ns(1000)).unwrap();
+        b.gate(SimTime::from_ns(1000)).unwrap();
+        assert_eq!(
+            b.access_resolved(SimTime::from_ns(1001), &read, 1),
+            Err(BankError::Gated)
+        );
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! the stack can account in its own vocabulary.
 
 use crate::energy::Energy;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// An energy accumulator keyed by category `K`.
 ///
-/// Backed by a `BTreeMap` so iteration order (and therefore report
-/// output) is deterministic.
+/// Backed by a `Vec` kept sorted by category, so iteration order (and
+/// therefore report output) is deterministic — and `add`, the hot
+/// operation on the streaming/replay paths, is a binary search over a
+/// dozen-entry contiguous array instead of a `BTreeMap` node walk.
+/// The accumulation arithmetic is unchanged (one `+=` per add against
+/// the category's running sum), so ledgers fold bit-identically to the
+/// former map-backed implementation.
 ///
 /// # Examples
 ///
@@ -31,30 +35,67 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyLedger<K: Ord> {
-    entries: BTreeMap<K, Energy>,
+    /// `(category, running sum)` pairs, sorted by category.
+    entries: Vec<(K, Energy)>,
 }
 
 impl<K: Ord> EnergyLedger<K> {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         EnergyLedger {
-            entries: BTreeMap::new(),
+            entries: Vec::new(),
         }
     }
 
     /// Adds energy under a category.
     pub fn add(&mut self, category: K, energy: Energy) {
-        *self.entries.entry(category).or_insert(Energy::ZERO) += energy;
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&category)) {
+            Ok(i) => self.entries[i].1 += energy,
+            // Matches the map-backed `or_insert(ZERO) += energy` fold.
+            Err(i) => self.entries.insert(i, (category, Energy::ZERO + energy)),
+        }
     }
 
     /// Energy recorded under `category` (zero if absent).
     pub fn get(&self, category: K) -> Energy {
-        self.entries.get(&category).copied().unwrap_or(Energy::ZERO)
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&category))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Resolves a category to its slot index (its position in category
+    /// order), or `None` if the category has not been recorded.
+    ///
+    /// The index stays valid until the category *set* changes — i.e.
+    /// as long as [`EnergyLedger::len`] is unchanged, since categories
+    /// are only ever inserted, never removed. Replay loops that add the
+    /// same category list every iteration (the streaming runtime's
+    /// memoized slice path) resolve slots once and then accumulate via
+    /// [`EnergyLedger::add_at`], skipping the per-add search exactly as
+    /// [`crate::MemoryBank::resolve`]/`access_resolved` skip the
+    /// per-access technology lookup.
+    pub fn slot_of(&self, category: &K) -> Option<usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(category)).ok()
+    }
+
+    /// Adds energy at a slot resolved by [`EnergyLedger::slot_of`] —
+    /// the same `+=` against the category's running sum as
+    /// [`EnergyLedger::add`], minus the search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range. A stale slot (taken before an
+    /// intervening insertion changed [`EnergyLedger::len`]) silently
+    /// credits the wrong category — callers must re-resolve whenever
+    /// the length changes.
+    pub fn add_at(&mut self, slot: usize, energy: Energy) {
+        self.entries[slot].1 += energy;
     }
 
     /// Sum over all categories.
     pub fn total(&self) -> Energy {
-        self.entries.values().copied().sum()
+        self.entries.iter().map(|&(_, v)| v).sum()
     }
 
     /// Number of distinct categories recorded.
@@ -69,7 +110,7 @@ impl<K: Ord> EnergyLedger<K> {
 
     /// Iterates `(category, energy)` pairs in category order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, Energy)> {
-        self.entries.iter().map(|(k, &v)| (k, v))
+        self.entries.iter().map(|(k, v)| (k, *v))
     }
 
     /// Merges another ledger into this one.
@@ -87,7 +128,7 @@ impl<K: Ord> EnergyLedger<K> {
         self.entries
             .iter()
             .filter(|(k, _)| pred(k))
-            .map(|(_, &v)| v)
+            .map(|(_, v)| *v)
             .sum()
     }
 

@@ -34,7 +34,7 @@ pub mod energy;
 pub mod ledger;
 pub mod tech;
 
-pub use bank::{Access, AccessKind, BankError, GateParams, GateState, MemoryBank};
+pub use bank::{Access, AccessKind, BankError, GateParams, GateState, MemoryBank, ResolvedAccess};
 pub use energy::{Energy, Power};
 pub use ledger::EnergyLedger;
 pub use tech::{

@@ -157,6 +157,12 @@ impl Cluster {
         self.ctrl_static
     }
 
+    /// Instant when the issue pipeline alone is free — one slot of a
+    /// lowered replay's time queue (modules provide the others).
+    pub fn issue_free_at(&self) -> SimTime {
+        self.issue.free_at()
+    }
+
     /// Instant when every module (and the issue pipeline) is idle.
     pub fn all_free_at(&self) -> SimTime {
         self.modules

@@ -116,6 +116,22 @@ impl Default for MachineConfig {
     }
 }
 
+/// Allocation-free snapshot of the machine's observable totals, for
+/// tight replay loops that only need deltas between instants.
+///
+/// [`PimMachine::probe`] performs the same static-energy accrual and
+/// the same per-module, then per-category f64 additions as
+/// [`PimMachine::report`], so `total` is bit-identical to
+/// `report().total_energy()` — without building a ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProbe {
+    /// Total energy across every category, bit-identical to
+    /// `report().total_energy()`.
+    pub total: Energy,
+    /// MAC operations retired across all PEs.
+    pub macs: u64,
+}
+
 /// Outcome of [`PimMachine::run_program`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -235,6 +251,36 @@ impl PimMachine {
     pub fn idle_until(&mut self, t: SimTime) {
         if t > self.now {
             self.now = t;
+        }
+    }
+
+    /// Counts one executed instruction without dispatching work — the
+    /// timing-graph replay issues controller/module operations itself
+    /// (through [`Cluster::issue`] and the resolved module primitives)
+    /// and charges the machine-level counter through this hook, exactly
+    /// as [`PimMachine::execute`]/[`PimMachine::mac_stream`] would.
+    pub fn note_instruction(&mut self) {
+        self.instructions += 1;
+    }
+
+    /// Shared access to a cluster, `None` when the machine has no
+    /// modules of that class.
+    pub fn cluster(&self, class: ClusterClass) -> Option<&Cluster> {
+        match class {
+            ClusterClass::HighPerformance => self.hp.as_ref(),
+            ClusterClass::LowPower => self.lp.as_ref(),
+        }
+    }
+
+    /// Exclusive access to a cluster, `None` when the machine has no
+    /// modules of that class. Lowered timing-graph replay drives
+    /// dispatch through this handle ([`Cluster::issue`] +
+    /// [`Cluster::module_mut`]) instead of the interpretive
+    /// mask-splitting path.
+    pub fn cluster_mut(&mut self, class: ClusterClass) -> Option<&mut Cluster> {
+        match class {
+            ClusterClass::HighPerformance => self.hp.as_mut(),
+            ClusterClass::LowPower => self.lp.as_mut(),
         }
     }
 
@@ -616,6 +662,80 @@ impl PimMachine {
             macs,
         }
     }
+
+    /// Snapshots total energy and retired MACs without allocating.
+    ///
+    /// Performs [`PimMachine::report`]'s static-energy accrual, then
+    /// accumulates each ledger category in the same per-module order
+    /// and folds the categories in the ledger's key order — so `total`
+    /// is bit-identical to `report().total_energy()` while the hot
+    /// replay loop pays neither `BTreeMap` nor `Vec`.
+    pub fn probe(&mut self) -> MachineProbe {
+        let now = self.now;
+        if let Some(c) = self.hp.as_mut() {
+            c.advance_to(now);
+        }
+        if let Some(c) = self.lp.as_mut() {
+            c.advance_to(now);
+        }
+        // Accumulators indexed [class][kind]: class 0 = HP, 1 = LP and
+        // kind 0 = SRAM, 1 = MRAM, matching the ledger's derived key
+        // order (HP < LP, SRAM < MRAM).
+        let mut mem_dyn = [[Energy::ZERO; 2]; 2];
+        let mut mem_stat = [[Energy::ZERO; 2]; 2];
+        let mut mem_wake = [[Energy::ZERO; 2]; 2];
+        let mut pe_dyn = [Energy::ZERO; 2];
+        let mut pe_stat = [Energy::ZERO; 2];
+        let mut ctrl = [Energy::ZERO; 2];
+        let mut present = [false; 2];
+        let mut mram = [false; 2];
+        let mut macs = 0u64;
+        for cluster in [self.hp.as_ref(), self.lp.as_ref()].into_iter().flatten() {
+            let ci = match cluster.class() {
+                ClusterClass::HighPerformance => 0,
+                ClusterClass::LowPower => 1,
+            };
+            present[ci] = true;
+            for m in cluster.modules() {
+                if m.has_mram() {
+                    let b = m.bank(MemSelect::Mram);
+                    mem_dyn[ci][1] += b.dynamic_energy();
+                    mem_stat[ci][1] += b.static_energy();
+                    mem_wake[ci][1] += b.wake_energy();
+                    mram[ci] = true;
+                }
+                let s = m.bank(MemSelect::Sram);
+                mem_dyn[ci][0] += s.dynamic_energy();
+                mem_stat[ci][0] += s.static_energy();
+                mem_wake[ci][0] += s.wake_energy();
+                pe_dyn[ci] += m.pe().dynamic_energy();
+                pe_stat[ci] += m.pe().static_energy();
+                macs += m.pe().macs_retired();
+            }
+            ctrl[ci] += cluster.controller_dynamic_energy() + cluster.controller_static_energy();
+        }
+        // Fold categories exactly as `EnergyLedger::total` walks its
+        // keys, skipping the ones `report()` never inserts.
+        let mut total = Energy::ZERO;
+        for cat in [&mem_dyn, &mem_stat, &mem_wake] {
+            for ci in 0..2 {
+                if present[ci] {
+                    total += cat[ci][0];
+                    if mram[ci] {
+                        total += cat[ci][1];
+                    }
+                }
+            }
+        }
+        for cat in [&pe_dyn, &pe_stat, &ctrl] {
+            for ci in 0..2 {
+                if present[ci] {
+                    total += cat[ci];
+                }
+            }
+        }
+        MachineProbe { total, macs }
+    }
 }
 
 #[cfg(test)]
@@ -831,6 +951,133 @@ mod tests {
                 .get(EnergyCat::MemStatic(HighPerformance, Sram))
                 .as_pj()
                 > 0.0
+        );
+    }
+
+    #[test]
+    fn probe_total_is_bit_identical_to_report_total() {
+        let shapes = [
+            MachineConfig::default(),
+            // HP-only, SRAM-only (Baseline shape).
+            MachineConfig {
+                hp_modules: 8,
+                lp_modules: 0,
+                module: ModuleConfig {
+                    mram_bytes: 0,
+                    sram_bytes: 128 * 1024,
+                    act_base: 96 * 1024,
+                },
+                ..MachineConfig::default()
+            },
+            // LP-present, asymmetric counts.
+            MachineConfig {
+                hp_modules: 2,
+                lp_modules: 5,
+                ..MachineConfig::default()
+            },
+        ];
+        for cfg in shapes {
+            let mut m = PimMachine::new(cfg);
+            m.mac_stream(ModuleMask::single(0), MemSelect::Sram, 0, 700)
+                .unwrap();
+            m.execute(PimInstruction::Barrier).unwrap();
+            m.idle_until(m.now() + hhpim_sim::SimDuration::from_ns(12_345));
+            let p = m.probe();
+            let r = m.report();
+            assert_eq!(
+                p.total.as_pj(),
+                r.total_energy().as_pj(),
+                "probe must reproduce the ledger fold bit for bit ({cfg:?})"
+            );
+            assert_eq!(p.macs, r.macs);
+            // Probing performs the same accrual side effects as
+            // reporting: a second pair still agrees.
+            assert_eq!(m.probe().total.as_pj(), m.report().total_energy().as_pj());
+        }
+    }
+
+    #[test]
+    fn split_mask_rejects_bits_beyond_hp_only_machine() {
+        let mut m = PimMachine::new(MachineConfig {
+            hp_modules: 4,
+            lp_modules: 0,
+            ..MachineConfig::default()
+        });
+        let err = m
+            .mac_stream(ModuleMask::single(5), MemSelect::Sram, 0, 8)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::NoSuchModule {
+                mask: 0b0010_0000,
+                modules: 4
+            }
+        );
+    }
+
+    #[test]
+    fn lp_only_machine_routes_module_errors_with_global_index() {
+        // With no HP modules the LP cluster owns global indices 0..n;
+        // errors must carry the global index, not a shifted one.
+        let mut m = PimMachine::new(MachineConfig {
+            hp_modules: 0,
+            lp_modules: 4,
+            ..MachineConfig::default()
+        });
+        m.module_mut(2)
+            .set_gated(SimTime::ZERO, MemSelect::Mram, true)
+            .unwrap();
+        let err = m
+            .mac_stream(ModuleMask::single(2), MemSelect::Mram, 0, 4)
+            .unwrap_err();
+        assert!(
+            matches!(err, MachineError::Module { module: 2, .. }),
+            "{err:?}"
+        );
+        // Bits beyond the configuration still fail with the total.
+        let err = m
+            .mac_stream(ModuleMask::single(6), MemSelect::Sram, 0, 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::NoSuchModule {
+                mask: 0b0100_0000,
+                modules: 4
+            }
+        );
+    }
+
+    #[test]
+    fn mac_stream_over_empty_mask_is_a_counted_noop() {
+        let mut m = machine();
+        let before = m.report();
+        m.mac_stream(ModuleMask::empty(), MemSelect::Sram, 0, 1000)
+            .unwrap();
+        m.execute(PimInstruction::Barrier).unwrap();
+        let after = m.report();
+        assert_eq!(after.macs, before.macs, "no module was selected");
+        assert_eq!(
+            after.instructions,
+            before.instructions + 2,
+            "the stream and the barrier are still fetched and decoded"
+        );
+        assert_eq!(after.finished_at, before.finished_at);
+    }
+
+    #[test]
+    fn lp_cluster_module_errors_carry_offset_global_index() {
+        let mut m = machine();
+        // Gate LP module 1 (global 5): the MAC against it must surface
+        // global index 5, not the cluster-local 1.
+        m.module_mut(5)
+            .set_gated(SimTime::ZERO, MemSelect::Mram, true)
+            .unwrap();
+        let err = m
+            .mac_stream(ModuleMask::single(5), MemSelect::Mram, 0, 4)
+            .unwrap_err();
+        assert!(
+            matches!(err, MachineError::Module { module: 5, .. }),
+            "{err:?}"
         );
     }
 

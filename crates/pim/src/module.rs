@@ -16,6 +16,7 @@ use crate::pe::ProcessingElement;
 use hhpim_isa::MemSelect;
 use hhpim_mem::{
     pe_for, tech_for, AccessKind, BankError, ClusterClass, Energy, MemKind, MemoryBank,
+    ResolvedAccess,
 };
 use hhpim_sim::{SimTime, Summary};
 use std::fmt;
@@ -344,6 +345,88 @@ impl PimModule {
         Ok(done)
     }
 
+    /// [`Self::mac`] with pre-resolved bank coefficients and no operand
+    /// `Vec`: the weight/activation products are folded inline out of
+    /// bank storage and applied through
+    /// [`ProcessingElement::mac_burst_prefolded`], which lands on the
+    /// identical accumulator, timing, energy and counters (wrapping i32
+    /// addition is associative). `weights` must be resolved from the
+    /// bank `mem` selects and `acts` from this module's SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank errors (gated banks) and range errors, exactly
+    /// as [`Self::mac`] does.
+    pub fn mac_resolved(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        weights: &ResolvedAccess,
+        acts: &ResolvedAccess,
+        addr: usize,
+        count: usize,
+    ) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, count)?;
+        if self.act_ptr + count > self.sram_data.len() {
+            return Err(ModuleError::ActivationOverrun);
+        }
+        let w_done = self
+            .bank_mut(mem)?
+            .access_resolved(at, weights, count as u64)?
+            .done_at;
+        let a_done = self.sram.access_resolved(at, acts, count as u64)?.done_at;
+        let operands_ready = w_done.max(a_done);
+        let delta = {
+            let w = &self.data(mem)[addr..addr + count];
+            let a = &self.sram_data[self.act_ptr..self.act_ptr + count];
+            let mut d = 0i32;
+            for i in 0..count {
+                d = d.wrapping_add((w[i] as i8 as i32) * (a[i] as i8 as i32));
+            }
+            d
+        };
+        let done = self
+            .pe
+            .mac_burst_prefolded(operands_ready, delta, count as u64);
+        self.act_ptr += count;
+        self.free_at = done;
+        self.mac_burst_latency
+            .add(done.saturating_since(at).as_ns_f64());
+        Ok(done)
+    }
+
+    /// [`Self::mac_stream`] with pre-resolved bank coefficients — the
+    /// timing-graph replay primitive for compiled schedules. Identical
+    /// metering, gating checks and range errors; no technology lookups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank errors (gated banks) and range errors on `addr`.
+    pub fn mac_stream_resolved(
+        &mut self,
+        at: SimTime,
+        mem: MemSelect,
+        weights: &ResolvedAccess,
+        acts: &ResolvedAccess,
+        addr: usize,
+        count: usize,
+    ) -> Result<SimTime, ModuleError> {
+        let at = at.max(self.free_at);
+        self.check_range(mem, addr, 1)?;
+        let w_done = self
+            .bank_mut(mem)?
+            .access_resolved(at, weights, count as u64)?
+            .done_at;
+        let a_done = self.sram.access_resolved(at, acts, count as u64)?.done_at;
+        let operands_ready = w_done.max(a_done);
+        let done = self.pe.mac_stream(operands_ready, count as u64);
+        self.free_at = done;
+        self.mac_burst_latency
+            .add(done.saturating_since(at).as_ns_f64());
+        Ok(done)
+    }
+
     /// Writes the PE accumulator (4 bytes, little-endian) to `mem` at
     /// `addr`; returns the completion instant.
     ///
@@ -652,6 +735,47 @@ mod tests {
         assert!(mram_dyn.as_pj() > 0.0);
         assert!(sram_dyn.as_pj() > 0.0);
         assert!(total.as_pj() >= (mram_dyn + sram_dyn).as_pj());
+    }
+
+    #[test]
+    fn resolved_mac_paths_match_object_paths_bit_for_bit() {
+        let mut a = hp_module();
+        let mut b = hp_module();
+        let act_base = ModuleConfig::default().act_base;
+        for m in [&mut a, &mut b] {
+            m.preload(MemSelect::Mram, 0, &[3u8, 250, 17, 90]).unwrap();
+            m.preload(MemSelect::Sram, act_base, &[7u8, 200, 5, 11])
+                .unwrap();
+            m.clear_acc();
+        }
+        let weights = b.bank(MemSelect::Mram).resolve(AccessKind::Read);
+        let acts = b.bank(MemSelect::Sram).resolve(AccessKind::Read);
+        let d1 = a.mac(SimTime::ZERO, MemSelect::Mram, 0, 4).unwrap();
+        let d2 = b
+            .mac_resolved(SimTime::ZERO, MemSelect::Mram, &weights, &acts, 0, 4)
+            .unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(a.pe().accumulator(), b.pe().accumulator());
+        let s1 = a.mac_stream(d1, MemSelect::Mram, 0, 500).unwrap();
+        let s2 = b
+            .mac_stream_resolved(d2, MemSelect::Mram, &weights, &acts, 0, 500)
+            .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            a.total_energy().as_pj(),
+            b.total_energy().as_pj(),
+            "resolved replay must meter identically"
+        );
+        assert_eq!(a.pe().macs_retired(), b.pe().macs_retired());
+        // Gated banks reject resolved accesses identically.
+        for m in [&mut a, &mut b] {
+            m.set_gated(s1, MemSelect::Mram, true).unwrap();
+        }
+        assert_eq!(
+            a.mac_stream(s1, MemSelect::Mram, 0, 2).unwrap_err(),
+            b.mac_stream_resolved(s1, MemSelect::Mram, &weights, &acts, 0, 2)
+                .unwrap_err()
+        );
     }
 
     #[test]

@@ -139,6 +139,27 @@ impl ProcessingElement {
         self.unit.acquire(at, self.tech.mac_latency * n)
     }
 
+    /// Executes a burst of `count` MACs whose products have already been
+    /// folded into `delta` by the caller; returns the completion instant.
+    ///
+    /// Because i32 wrapping addition is associative and commutative, the
+    /// accumulator lands on exactly the value the pair-by-pair
+    /// [`Self::mac_burst`] chain produces — this is the allocation-free
+    /// twin used by timing-graph replay, which folds operands straight
+    /// out of bank storage instead of materializing a pair `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE is powered off.
+    pub fn mac_burst_prefolded(&mut self, at: SimTime, delta: i32, count: u64) -> SimTime {
+        assert!(self.powered, "MAC issued to a powered-off PE");
+        self.advance_to(at);
+        self.acc = self.acc.wrapping_add(delta);
+        self.macs += count;
+        self.dynamic_energy += self.tech.mac_energy() * count;
+        self.unit.acquire(at, self.tech.mac_latency * count)
+    }
+
     /// Retires `count` MACs with exact timing/energy/counter metering
     /// but no functional accumulation (the accumulator is untouched).
     ///
@@ -234,6 +255,26 @@ mod tests {
         let mut pe = ProcessingElement::new(hp_pe());
         pe.set_powered(SimTime::ZERO, false);
         pe.mac_burst(SimTime::ZERO, &[(1, 1)]);
+    }
+
+    #[test]
+    fn prefolded_burst_matches_mac_burst_bit_for_bit() {
+        let mut a = ProcessingElement::new(hp_pe());
+        let mut b = ProcessingElement::new(hp_pe());
+        let operands: Vec<(i8, i8)> = (0..100)
+            .map(|i| (((i * 37) % 256) as u8 as i8, ((i * 91) % 256) as u8 as i8))
+            .collect();
+        for chunk in operands.chunks(23) {
+            let d1 = a.mac_burst(SimTime::ZERO, chunk);
+            let delta = chunk.iter().fold(0i32, |acc, &(w, a)| {
+                acc.wrapping_add((w as i32) * (a as i32))
+            });
+            let d2 = b.mac_burst_prefolded(SimTime::ZERO, delta, chunk.len() as u64);
+            assert_eq!(d1, d2);
+        }
+        assert_eq!(a.accumulator(), b.accumulator());
+        assert_eq!(a.macs_retired(), b.macs_retired());
+        assert_eq!(a.dynamic_energy().as_pj(), b.dynamic_energy().as_pj());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   ([`engine`]).
 //! * [`BusyResource`] / [`ResourcePool`] — busy-until port and
 //!   server-pool models ([`resource`]).
+//! * [`TimeQueue`] — indexed, monotone per-slot completion instants
+//!   with an `O(1)` running maximum for flat timing-graph replay
+//!   ([`timeq`]).
 //! * [`TraceBuffer`] — bounded tracing, [`Summary`] — streaming stats.
 //!
 //! # Examples
@@ -41,6 +44,7 @@ pub mod event;
 pub mod resource;
 pub mod stats;
 pub mod time;
+pub mod timeq;
 pub mod trace;
 
 pub use engine::{Context, Control, RunOutcome, Simulation};
@@ -48,4 +52,5 @@ pub use event::{EventKey, EventQueue, ScheduleInPastError};
 pub use resource::{BusyResource, ResourcePool};
 pub use stats::Summary;
 pub use time::{Clock, Frequency, SimDuration, SimTime};
+pub use timeq::TimeQueue;
 pub use trace::{TraceBuffer, TraceRecord};
