@@ -31,9 +31,9 @@ use hhpim::engine::Engine;
 use hhpim::server::{QosClass, Server, ShedOnPressure, TenantSpec};
 use hhpim::session::{ScenarioSource, SessionBuilder};
 use hhpim::{
-    run_paced, AllocationLut, Architecture, BackendKind, CycleBackend, ExecMode, ExecutionBackend,
-    OptimizerConfig, Pacer, PlacementOptimizer, PlacementStore, Processor, TrafficConfig,
-    TrafficEngine,
+    run_paced, AllocationLut, Architecture, ArtifactStore, BackendKind, CycleBackend, ExecMode,
+    ExecutionBackend, OptimizerConfig, Pacer, PlacementKey, PlacementOptimizer, PlacementStore,
+    Processor, TrafficConfig, TrafficEngine,
 };
 use hhpim_isa::{MemSelect, ModuleMask, PimInstruction};
 use hhpim_nn::TinyMlModel;
@@ -273,6 +273,64 @@ fn measure(samples: usize) -> GateFile {
             std::hint::black_box(sweep_session.sweep_all().unwrap())
         }),
     );
+
+    // artifact_save_load: one versioned-JSON LUT persistence round
+    // trip — serialize + atomic write-rename, then read + full verify
+    // ladder (format/version/key/checksum) + reconstruct. The LUT is
+    // built once outside the timer; this measures the disk tier's
+    // fixed per-artifact cost, not the DP.
+    let artifact_dir =
+        std::env::temp_dir().join(format!("hhpim_gate_artifacts_{}", std::process::id()));
+    let artifact_store = ArtifactStore::new(&artifact_dir);
+    let artifact_key = PlacementKey::for_lut(dp_processor.cost(), &lut_runtime, &opt_config);
+    let artifact_lut = {
+        let opt = PlacementOptimizer::new(dp_processor.cost(), opt_config);
+        AllocationLut::build(&opt, lut_runtime.usable_slice(), lut_runtime.max_tasks)
+    };
+    file.benches.insert(
+        "artifact_save_load".into(),
+        bench(samples, || {
+            artifact_store
+                .save_lut(&artifact_key, &artifact_lut)
+                .unwrap();
+            std::hint::black_box(artifact_store.load_lut(&artifact_key).unwrap())
+        }),
+    );
+
+    // sweep_all_disk_warm: the full 6×3 savings matrix on a fresh
+    // in-memory store backed by a pre-warmed artifact dir — every LUT
+    // comes off disk through the verify ladder, zero DP builds. This
+    // is the cold-process/warm-dir path the sweep farm's second run
+    // exercises.
+    SessionBuilder::new()
+        .scenario_params(ScenarioParams {
+            slices: 12,
+            ..ScenarioParams::default()
+        })
+        .optimizer(opt_config)
+        .store(PlacementStore::shared())
+        .artifact_dir(&artifact_dir)
+        .build()
+        .unwrap()
+        .sweep_all()
+        .unwrap();
+    file.benches.insert(
+        "sweep_all_disk_warm".into(),
+        bench(samples, || {
+            let session = SessionBuilder::new()
+                .scenario_params(ScenarioParams {
+                    slices: 12,
+                    ..ScenarioParams::default()
+                })
+                .optimizer(opt_config)
+                .store(PlacementStore::shared())
+                .artifact_dir(&artifact_dir)
+                .build()
+                .unwrap();
+            std::hint::black_box(session.sweep_all().unwrap())
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&artifact_dir);
 
     // engine_step_hot: the streaming engine's steady-state single-slice
     // step (submit + step on an already-open analytic stream), ×100 per
@@ -938,12 +996,14 @@ mod tests {
     fn measure_produces_complete_file() {
         let f = measure(1);
         assert!(f.calibration_ns > 0.0);
-        assert_eq!(f.benches.len(), 18);
+        assert_eq!(f.benches.len(), 20);
         for key in [
             "session_build_and_run",
             "lut_build_cold",
             "lut_store_warm",
             "sweep_all_parallel",
+            "artifact_save_load",
+            "sweep_all_disk_warm",
             "engine_step_hot",
             "engine_submit_drain",
             "engine_step_n_batch_64",
@@ -976,6 +1036,16 @@ mod tests {
             "graph path {} ns not well below object walk {} ns",
             f.benches["cycle_trace_6_slices"],
             f.benches["cycle_trace_6_slices_object"]
+        );
+        // A disk-warm sweep loads three LUT artifacts instead of DP
+        // solving them; the whole 18-cell sweep must stay within a
+        // small multiple of one cold DP build (loose enough for the
+        // unoptimized builds this self-test runs under).
+        assert!(
+            f.benches["sweep_all_disk_warm"] < f.benches["lut_build_cold"] * 3.0,
+            "disk-warm sweep {} ns not within 3x cold build {} ns",
+            f.benches["sweep_all_disk_warm"],
+            f.benches["lut_build_cold"]
         );
     }
 }

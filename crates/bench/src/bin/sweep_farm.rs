@@ -1,0 +1,266 @@
+//! Sharded design-space sweep farm: drives N worker **processes**
+//! over a shared artifact directory, then merges their shard outputs
+//! into one report bit-identical to the serial `sweep_all`.
+//!
+//! Each worker is this same binary re-invoked in shard mode: it
+//! builds a session with `SessionBuilder::artifact_dir`, runs
+//! `Session::sweep_shard(i, n)` and persists a `SweepArtifact`
+//! (cells + its store's cache counters) into the artifact dir. The
+//! parent waits, validates the shard cover with
+//! `SweepArtifact::merge` and writes the merged report. LUT DP
+//! results persist in the artifact dir, so a second farm run over the
+//! same dir performs zero LUT builds — the property the CI smoke job
+//! asserts with `--expect-no-builds --expect-disk-hits`.
+//!
+//! ```text
+//! sweep_farm --artifact-dir DIR [--workers N] [--out FILE]
+//!            [--slices S] [--buckets B] [--verify-serial]
+//!            [--expect-no-builds] [--expect-disk-hits]
+//! ```
+//!
+//! Exit codes: 0 success, 1 a `--verify-serial`/`--expect-*`
+//! assertion failed or a worker/merge failed, 2 usage error.
+
+use hhpim::session::SessionBuilder;
+use hhpim::{Architecture, OptimizerConfig, PlacementStore, SweepArtifact, SweepStats};
+use hhpim_workload::ScenarioParams;
+use std::path::{Path, PathBuf};
+use std::process::{exit, Command};
+
+struct Config {
+    artifact_dir: PathBuf,
+    workers: usize,
+    out: Option<PathBuf>,
+    slices: usize,
+    buckets: usize,
+    verify_serial: bool,
+    expect_no_builds: bool,
+    expect_disk_hits: bool,
+    /// `Some((index, count, shard_out))` = run as one worker.
+    shard: Option<(usize, usize, PathBuf)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep_farm --artifact-dir DIR [--workers N] [--out FILE] \
+         [--slices S] [--buckets B] [--verify-serial] \
+         [--expect-no-builds] [--expect-disk-hits]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact_dir = None;
+    let mut workers = 2usize;
+    let mut out = None;
+    let mut slices = 12usize;
+    let mut buckets = 500usize;
+    let mut verify_serial = false;
+    let mut expect_no_builds = false;
+    let mut expect_disk_hits = false;
+    let mut shard_index = None;
+    let mut shard_count = None;
+    let mut shard_out = None;
+
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--artifact-dir" => artifact_dir = Some(PathBuf::from(value(&mut i))),
+            "--workers" => workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(PathBuf::from(value(&mut i))),
+            "--slices" => slices = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--buckets" => buckets = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--verify-serial" => verify_serial = true,
+            "--expect-no-builds" => expect_no_builds = true,
+            "--expect-disk-hits" => expect_disk_hits = true,
+            "--shard" => shard_index = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--of" => shard_count = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--shard-out" => shard_out = Some(PathBuf::from(value(&mut i))),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let artifact_dir = artifact_dir.unwrap_or_else(|| usage());
+    if workers == 0 {
+        usage();
+    }
+    let shard = match (shard_index, shard_count, shard_out) {
+        (Some(i), Some(n), Some(path)) => Some((i, n, path)),
+        (None, None, None) => None,
+        _ => usage(),
+    };
+    Config {
+        artifact_dir,
+        workers,
+        out,
+        slices,
+        buckets,
+        verify_serial,
+        expect_no_builds,
+        expect_disk_hits,
+        shard,
+    }
+}
+
+fn build_session(config: &Config) -> hhpim::Session {
+    SessionBuilder::new()
+        .store(PlacementStore::shared())
+        .artifact_dir(&config.artifact_dir)
+        .scenario_params(ScenarioParams {
+            slices: config.slices,
+            ..ScenarioParams::default()
+        })
+        .optimizer(OptimizerConfig {
+            time_buckets: config.buckets,
+            ..OptimizerConfig::default()
+        })
+        .build()
+        .expect("sweep-only session always builds")
+}
+
+/// Worker mode: one shard, persisted with the worker's cache stats.
+fn run_shard(config: &Config, index: usize, count: usize, shard_out: &Path) {
+    let session = build_session(config);
+    let matrix = match session.sweep_shard(index, count) {
+        Ok(matrix) => matrix,
+        Err(e) => {
+            eprintln!("sweep_farm worker {index}/{count}: {e}");
+            exit(1);
+        }
+    };
+    let stats = session.cache_stats();
+    let artifact = SweepArtifact {
+        shard_index: index,
+        shard_count: count,
+        matrix,
+        stats: Some(SweepStats {
+            lut_builds: stats.lut_builds,
+            disk_hits: stats.disk_hits,
+            disk_writes: stats.disk_writes,
+        }),
+    };
+    if let Err(e) = artifact.save(shard_out) {
+        eprintln!("sweep_farm worker {index}/{count}: {e}");
+        exit(1);
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    if let Some((index, count, shard_out)) = config.shard.clone() {
+        run_shard(&config, index, count, &shard_out);
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let shard_path = |i: usize| {
+        config
+            .artifact_dir
+            .join(format!("sweep-shard-{i}-of-{}.json", config.workers))
+    };
+    std::fs::create_dir_all(&config.artifact_dir).expect("artifact dir is creatable");
+
+    // Fan out: one OS process per shard, all sharing the artifact dir.
+    let children: Vec<_> = (0..config.workers)
+        .map(|i| {
+            Command::new(&exe)
+                .arg("--artifact-dir")
+                .arg(&config.artifact_dir)
+                .arg("--slices")
+                .arg(config.slices.to_string())
+                .arg("--buckets")
+                .arg(config.buckets.to_string())
+                .arg("--shard")
+                .arg(i.to_string())
+                .arg("--of")
+                .arg(config.workers.to_string())
+                .arg("--shard-out")
+                .arg(shard_path(i))
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("worker is waitable");
+        if !status.success() {
+            eprintln!("sweep_farm: worker {i} failed ({status})");
+            exit(1);
+        }
+    }
+
+    // Merge with cover validation: every shard present exactly once.
+    let shards: Vec<SweepArtifact> = (0..config.workers)
+        .map(|i| SweepArtifact::load(shard_path(i)).expect("worker output loads"))
+        .collect();
+    let merged = match SweepArtifact::merge(&shards) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("sweep_farm: {e}");
+            exit(1);
+        }
+    };
+    let totals = merged.stats.expect("every worker records stats");
+    println!(
+        "sweep_farm: {} workers, {} cells; lut_builds={} disk_hits={} disk_writes={}",
+        config.workers,
+        merged.matrix.cells.len(),
+        totals.lut_builds,
+        totals.disk_hits,
+        totals.disk_writes
+    );
+    println!(
+        "  mean savings vs Baseline-PIM: {:.2}%",
+        merged.matrix.mean_versus(Architecture::Baseline)
+    );
+
+    if config.verify_serial {
+        // An in-process serial sweep on a fresh private store: proves
+        // the sharded + persisted path changed no bit of the report
+        // (the store re-reads every artifact through the full verify
+        // ladder; a corrupt file would rebuild, not drift).
+        let serial = build_session(&config)
+            .sweep_all()
+            .expect("serial sweep runs");
+        let identical = serial.cells.len() == merged.matrix.cells.len()
+            && serial.cells.iter().zip(&merged.matrix.cells).all(|(a, b)| {
+                a.scenario == b.scenario
+                    && a.model == b.model
+                    && a.vs_baseline.to_bits() == b.vs_baseline.to_bits()
+                    && a.vs_heterogeneous.to_bits() == b.vs_heterogeneous.to_bits()
+                    && a.vs_hybrid.to_bits() == b.vs_hybrid.to_bits()
+            });
+        if !identical {
+            eprintln!("sweep_farm: merged shard output differs from the serial sweep");
+            exit(1);
+        }
+        println!("  verify-serial: merged output is bit-identical to serial sweep_all");
+    }
+
+    if let Some(out) = &config.out {
+        // Strip stats so repeated runs (cold, then warm) write
+        // byte-identical merged reports.
+        let report = SweepArtifact {
+            stats: None,
+            ..merged.clone()
+        };
+        report.save(out).expect("merged report saves");
+        println!("  merged report written to {}", out.display());
+    }
+
+    if config.expect_no_builds && totals.lut_builds > 0 {
+        eprintln!(
+            "sweep_farm: expected zero LUT rebuilds on a warm artifact dir, saw {}",
+            totals.lut_builds
+        );
+        exit(1);
+    }
+    if config.expect_disk_hits && totals.disk_hits == 0 {
+        eprintln!("sweep_farm: expected at least one disk hit, saw none");
+        exit(1);
+    }
+}

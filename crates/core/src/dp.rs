@@ -554,6 +554,46 @@ impl AllocationLut {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The table's entries in task-count order (`entries()[n-1]` is
+    /// the answer for `n` tasks; `None` = infeasible). Exposed for the
+    /// [`crate::artifact`] serializer; runtime lookups should go
+    /// through [`AllocationLut::lookup`], which adds the over-range
+    /// clamping and feasibility fallback.
+    pub fn entries(&self) -> &[Option<OptimalPlacement>] {
+        &self.entries
+    }
+
+    /// The per-entry deadline budgets, parallel to
+    /// [`AllocationLut::entries`].
+    pub fn t_constraints(&self) -> &[SimDuration] {
+        &self.t_constraints
+    }
+
+    /// Reassembles a LUT from its parts — the inverse of
+    /// [`AllocationLut::entries`] / [`AllocationLut::t_constraints`],
+    /// used by the [`crate::artifact`] loader. A deserialized table is
+    /// indistinguishable from the build that produced it (`PartialEq`
+    /// over every entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two vectors disagree in length — a LUT always
+    /// carries exactly one `t_constraint` per entry.
+    pub fn from_parts(
+        entries: Vec<Option<OptimalPlacement>>,
+        t_constraints: Vec<SimDuration>,
+    ) -> Self {
+        assert_eq!(
+            entries.len(),
+            t_constraints.len(),
+            "one t_constraint per LUT entry"
+        );
+        AllocationLut {
+            entries,
+            t_constraints,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 //! assert_eq!(serve().unwrap(), 50);
 //! ```
 
+use crate::artifact::ArtifactError;
 use crate::backend::BackendError;
 use crate::cost::CostModelError;
 use crate::engine::EngineError;
@@ -61,6 +62,9 @@ pub enum Error {
     /// The multi-tenant server failed to build or serve
     /// ([`ServerError`]).
     Server(ServerError),
+    /// A persistent placement artifact failed to save, load or merge
+    /// ([`ArtifactError`]).
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for Error {
@@ -72,6 +76,7 @@ impl fmt::Display for Error {
             Error::Session(e) => write!(f, "session: {e}"),
             Error::Engine(e) => write!(f, "engine: {e}"),
             Error::Server(e) => write!(f, "server: {e}"),
+            Error::Artifact(e) => write!(f, "artifact: {e}"),
         }
     }
 }
@@ -85,6 +90,7 @@ impl std::error::Error for Error {
             Error::Session(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Server(e) => Some(e),
+            Error::Artifact(e) => Some(e),
         }
     }
 }
@@ -125,6 +131,12 @@ impl From<ServerError> for Error {
     }
 }
 
+impl From<ArtifactError> for Error {
+    fn from(e: ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +156,11 @@ mod tests {
             }
             .into(),
             ServerError::NoTenants.into(),
+            ArtifactError::Version {
+                found: 2,
+                supported: 1,
+            }
+            .into(),
         ];
         for error in &cases {
             assert!(

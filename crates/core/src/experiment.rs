@@ -65,7 +65,7 @@ impl fmt::Display for SavingsCell {
 }
 
 /// The full Fig. 5 matrix plus the reports behind it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavingsMatrix {
     /// One cell per `(scenario, model)` pair, scenario-major order.
     pub cells: Vec<SavingsCell>,
@@ -77,6 +77,19 @@ impl SavingsMatrix {
         self.cells
             .iter()
             .find(|c| c.scenario == scenario && c.model == model)
+    }
+
+    /// Concatenates shard outputs back into one matrix, in the order
+    /// given — with shards in `sweep_shard(0, n) ..
+    /// sweep_shard(n-1, n)` order, the result is bit-identical to the
+    /// serial [`crate::session::Session::sweep_all`] that the
+    /// partition was cut from. For merge-time *validation* of a shard
+    /// cover (no overlap, no omission), use
+    /// [`crate::artifact::SweepArtifact::merge`].
+    pub fn merge_shards(shards: impl IntoIterator<Item = SavingsMatrix>) -> SavingsMatrix {
+        SavingsMatrix {
+            cells: shards.into_iter().flat_map(|m| m.cells).collect(),
+        }
     }
 
     /// Mean savings versus `arch` across every cell (the paper's

@@ -40,6 +40,12 @@
 //! * [`store`] — the [`PlacementStore`]: a thread-safe, memoized cache
 //!   of built LUTs shared across sessions, backends and sweep cells,
 //!   so each distinct configuration pays the DP once per process,
+//! * [`artifact`] — **persistence**: [`ArtifactStore`] adds a
+//!   versioned, checksummed on-disk tier under the store (memory hit →
+//!   disk hit → build-and-write-back, opt-in via
+//!   [`SessionBuilder::artifact_dir`](session::SessionBuilder::artifact_dir)),
+//!   and [`SweepArtifact`] shards/merges the Fig. 5 sweep across
+//!   worker processes bit-identically to the serial run,
 //! * [`Processor`] — the time-slice runtime with task buffering,
 //!   movement-aware re-placement and per-category energy accounting.
 //!
@@ -68,6 +74,7 @@
 
 pub mod analysis;
 pub mod arch;
+pub mod artifact;
 pub mod backend;
 pub mod compile;
 pub mod cost;
@@ -89,6 +96,10 @@ pub use analysis::{
     InferenceTimes, PlacementSweep, SweepPoint,
 };
 pub use arch::{ArchSpec, Architecture, GatingPolicy, PlacementMode};
+pub use artifact::{
+    lut_from_json, lut_to_json, ArtifactError, ArtifactStore, SweepArtifact, SweepStats,
+    ARTIFACT_FORMAT_VERSION,
+};
 pub use backend::{
     AnalyticBackend, BackendError, BackendKind, CycleBackend, EnergyCat, ExecMode,
     ExecutionBackend, ExecutionReport, LayerRecord, MigrationRecord, SliceRecord,

@@ -48,7 +48,12 @@ pub trait PlacementPolicy: fmt::Debug + Send {
     /// Expensive state must be obtained through `store` rather than
     /// built privately: the [`PlacementStore`] memoizes it per
     /// configuration, so every processor, backend and sweep cell in a
-    /// process sharing one store pays each DP exactly once.
+    /// process sharing one store pays each DP exactly once. With a
+    /// persistent [`crate::artifact`] tier attached to the store
+    /// (memory hit → disk hit → build-and-write-back), a policy
+    /// prepared in a fresh process may pay no DP at all — the ladder
+    /// is transparent here, and a loaded LUT is bit-identical to the
+    /// build it replaces.
     ///
     /// # Errors
     ///

@@ -345,6 +345,7 @@ pub struct SessionBuilder {
     policy: Option<Box<dyn PlacementPolicy>>,
     head_home: Option<WeightHome>,
     store: Option<Arc<PlacementStore>>,
+    artifact_dir: Option<std::path::PathBuf>,
     threads: Option<usize>,
 }
 
@@ -437,6 +438,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent [`crate::artifact`] directory to the
+    /// session's store: memory misses then try the keyed on-disk LUT
+    /// before running the DP, and fresh builds are written back
+    /// atomically — so a second process pointed at a populated dir
+    /// performs zero LUT DP builds for cached keys
+    /// ([`CacheStats::disk_hits`] / [`CacheStats::disk_writes`] count
+    /// the traffic). The tier never changes what a lookup returns,
+    /// only whether the DP runs; corrupt or stale files fall through
+    /// to a rebuild.
+    ///
+    /// The tier is attached to whichever store the session resolves —
+    /// the process-global [`PlacementStore::global`] by default — and
+    /// stays attached until replaced
+    /// ([`PlacementStore::set_artifact_store`]). Pair it with
+    /// [`SessionBuilder::store`] and a private store to scope the
+    /// tier (and its [`CacheStats`]) to one session.
+    pub fn artifact_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
     /// Worker threads for [`Session::sweep`]/[`Session::sweep_all`]
     /// and [`Session::compare`] (default 1 = serial). The parallel
     /// executor fans sweep cells — and, on `compare`, whole backends —
@@ -458,10 +480,15 @@ impl SessionBuilder {
     }
 
     fn resolved_store(&self) -> Arc<PlacementStore> {
-        self.store
+        let store = self
+            .store
             .as_ref()
             .cloned()
-            .unwrap_or_else(PlacementStore::global)
+            .unwrap_or_else(PlacementStore::global);
+        if let Some(dir) = &self.artifact_dir {
+            store.set_artifact_store(Some(crate::artifact::ArtifactStore::new(dir.clone())));
+        }
+        store
     }
 
     fn make_policy(&self, arch: Architecture) -> Box<dyn PlacementPolicy> {
@@ -1027,6 +1054,67 @@ impl Session {
     /// See [`Session::sweep`].
     pub fn sweep_all(&self) -> Result<SavingsMatrix, SessionError> {
         self.sweep(&Scenario::ALL, &TinyMlModel::ALL)
+    }
+
+    /// Computes shard `index` of a deterministic `count`-way partition
+    /// of the full-grid sweep ([`Session::sweep_all`]'s 18 model-major
+    /// `(scenario, model)` pairs, cut into contiguous chunks of
+    /// `ceil(18 / count)` — the same rule the in-process parallel
+    /// executor uses, so a chunk re-prepares processors only at model
+    /// boundaries). The partition covers every pair exactly once for
+    /// any `count`; shards past the end of the pair list are empty
+    /// matrices.
+    ///
+    /// Concatenating the shard outputs in index order
+    /// ([`SavingsMatrix::merge_shards`], or the cover-validating
+    /// [`crate::artifact::SweepArtifact::merge`]) reproduces the
+    /// serial [`Session::sweep_all`] **bit for bit**: a cell's
+    /// arithmetic never depends on which shard computed it, and the
+    /// shared [`PlacementStore`] (plus its optional
+    /// [`SessionBuilder::artifact_dir`] disk tier) only decides
+    /// whether the DP re-runs, never what it returns. This is the
+    /// unit of work one `sweep_farm` worker process executes.
+    ///
+    /// Each shard runs serially within itself — the intended
+    /// parallelism is across worker processes, not threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0` or `index >= count` — a shard outside
+    /// its partition is a driver bug, not a recoverable state.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::sweep`].
+    pub fn sweep_shard(&self, index: usize, count: usize) -> Result<SavingsMatrix, SessionError> {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(
+            index < count,
+            "shard index {index} outside partition of {count}"
+        );
+        let pairs: Vec<(Scenario, TinyMlModel)> = TinyMlModel::ALL
+            .iter()
+            .flat_map(|&model| Scenario::ALL.iter().map(move |&scenario| (scenario, model)))
+            .collect();
+        let chunk = pairs.len().div_ceil(count);
+        let start = (index * chunk).min(pairs.len());
+        let end = ((index + 1) * chunk).min(pairs.len());
+        let shard = &pairs[start..end];
+        let mut slots: Vec<Option<Result<SavingsCell, SessionError>>> = Vec::new();
+        slots.resize_with(shard.len(), || None);
+        Self::sweep_chunk(
+            shard,
+            &mut slots,
+            self.scenario_params,
+            self.cost_params,
+            self.opt_config,
+            &self.store,
+        );
+        let cells = slots
+            .into_iter()
+            .map(|cell| cell.expect("every shard slot is filled"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SavingsMatrix { cells })
     }
 }
 

@@ -28,6 +28,15 @@
 //! hits, misses, LUT DP builds and total build wall time — surfaced
 //! per run in [`crate::session::RunArtifacts::cache`].
 //!
+//! With a persistent [`crate::artifact`] tier attached
+//! ([`PlacementStore::set_artifact_store`], or
+//! [`crate::session::SessionBuilder::artifact_dir`] from the facade),
+//! the lookup ladder becomes **memory hit → disk hit →
+//! build-and-write-back**: the DP survives the process, so a second
+//! process pointed at a populated artifact dir performs zero LUT
+//! builds for cached keys. [`PlacementKey::canonical`] supplies the
+//! process-stable on-disk identity.
+//!
 //! The multi-tenant [`crate::server::Server`] leans on the same
 //! mechanism: every tenant engine draws from one shared store
 //! ([`crate::server::ServerBuilder::store`], defaulting to
@@ -58,6 +67,7 @@
 //! assert_eq!((stats.lut_builds, stats.hits), (1, 1));
 //! ```
 
+use crate::artifact::ArtifactStore;
 use crate::cost::{CostModel, CostModelError};
 use crate::dp::{AllocationLut, OptimizerConfig, PlacementOptimizer};
 use crate::runtime::RuntimeConfig;
@@ -156,6 +166,67 @@ impl PlacementKey {
     pub fn for_fixed_home(cost: &CostModel, pinned: Option<Placement>) -> Self {
         Self::base(cost, KeyVariant::FixedHome(pinned))
     }
+
+    /// Whether this key identifies a DP-built allocation LUT (the only
+    /// variant the [`crate::artifact`] disk tier persists — fixed-home
+    /// resolutions cost microseconds and are always rebuilt).
+    pub fn is_lut(&self) -> bool {
+        self.variant == KeyVariant::Lut
+    }
+
+    /// The key's canonical, **process-stable** encoding.
+    ///
+    /// The in-process `Hash` impl hashes machine bit patterns through
+    /// `HashMap`'s randomly seeded hasher, so it cannot name an
+    /// on-disk artifact. This method renders every field into a
+    /// versioned, deterministic `field=value` string instead —
+    /// architecture geometry, model footprint, cost-model calibration
+    /// (floats by their exact bit patterns), optimizer resolution and
+    /// the deadline budget — identical across runs, processes and
+    /// machines for identical configurations. The `hhpim-key-v1`
+    /// prefix versions the encoding itself: any change to the field
+    /// set must bump it, retiring stale artifacts by key mismatch.
+    ///
+    /// [`crate::artifact::ArtifactStore`] derives artifact file names
+    /// from a hash of this string and embeds the full string in the
+    /// file, so a loaded artifact is served only when the embedded key
+    /// matches the requested one byte for byte.
+    pub fn canonical(&self) -> String {
+        let arch = match self.arch {
+            crate::arch::Architecture::Baseline => "baseline",
+            crate::arch::Architecture::Heterogeneous => "heterogeneous",
+            crate::arch::Architecture::Hybrid => "hybrid",
+            crate::arch::Architecture::HhPim => "hh-pim",
+        };
+        let variant = match self.variant {
+            KeyVariant::Lut => "lut".to_string(),
+            KeyVariant::FixedHome(None) => "fixed".to_string(),
+            KeyVariant::FixedHome(Some(p)) => {
+                let c = crate::space::StorageSpace::ALL.map(|s| p.get(s));
+                format!("fixed:{},{},{},{}", c[0], c[1], c[2], c[3])
+            }
+        };
+        format!(
+            "hhpim-key-v1;arch={arch};hp={};lp={};mram={};sram={};\
+             wb={};macs={};gs={};act={};inp={};ts={};\
+             tb={};amort={};rf={};slice={};maxt={};variant={variant}",
+            self.hp_modules,
+            self.lp_modules,
+            self.mram_per_module,
+            self.sram_per_module,
+            self.weight_bytes,
+            self.pim_macs,
+            self.group_size,
+            self.act_reserve_per_module,
+            u8::from(self.include_input_reads),
+            self.time_scale_bits,
+            self.time_buckets,
+            u8::from(self.amortize_static),
+            self.retention_factor_bits,
+            self.usable_slice_ps,
+            self.max_tasks,
+        )
+    }
 }
 
 /// A snapshot of one store's cache behavior.
@@ -168,6 +239,12 @@ pub struct CacheStats {
     /// LUT DP builds — the expensive subset of `misses` (fixed-home
     /// resolutions also miss but cost microseconds).
     pub lut_builds: u64,
+    /// Memory misses served by the [`crate::artifact`] disk tier
+    /// instead of a DP build (always 0 without an attached artifact
+    /// dir). Disk hits count in `misses` but never in `lut_builds`.
+    pub disk_hits: u64,
+    /// Freshly built LUTs written back to the artifact dir.
+    pub disk_writes: u64,
     /// Total wall time spent building entries.
     pub build_time: Duration,
     /// Entries evicted by the bounded-capacity LRU mode (always 0 on
@@ -198,11 +275,16 @@ pub struct PlacementStore {
     homes: Mutex<HashMap<PlacementKey, (Placement, u64)>>,
     /// Per-map entry cap; `None` = unbounded (the default).
     capacity: Option<usize>,
+    /// Optional persistent disk tier consulted between a memory miss
+    /// and the DP build; see [`PlacementStore::set_artifact_store`].
+    artifacts: Mutex<Option<ArtifactStore>>,
     /// Monotone LRU clock; bumped on every lookup.
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     lut_builds: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
     build_ns: AtomicU64,
     evictions: AtomicU64,
 }
@@ -259,6 +341,36 @@ impl PlacementStore {
         self.capacity
     }
 
+    /// An empty store with a persistent [`crate::artifact`] disk tier
+    /// rooted at `dir` — shorthand for [`PlacementStore::new`] plus
+    /// [`PlacementStore::set_artifact_store`].
+    pub fn with_artifact_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        let store = Self::new();
+        store.set_artifact_store(Some(ArtifactStore::new(dir)));
+        store
+    }
+
+    /// Attaches (`Some`), replaces or detaches (`None`) the persistent
+    /// disk tier. With a tier attached, a memory miss in
+    /// [`PlacementStore::lut`] first tries to load the keyed artifact
+    /// from disk (counted in [`CacheStats::disk_hits`]) and only then
+    /// runs the DP, writing the fresh build back (counted in
+    /// [`CacheStats::disk_writes`]). A missing, corrupt or
+    /// key-mismatched artifact file silently falls through to a
+    /// rebuild whose write-back replaces it — the tier can change
+    /// *whether* the DP runs, never what a lookup returns.
+    pub fn set_artifact_store(&self, artifacts: Option<ArtifactStore>) {
+        *self.artifacts.lock().expect("placement store poisoned") = artifacts;
+    }
+
+    /// The attached disk tier, if any (a cheap handle clone).
+    pub fn artifact_store(&self) -> Option<ArtifactStore> {
+        self.artifacts
+            .lock()
+            .expect("placement store poisoned")
+            .clone()
+    }
+
     /// The process-local store: the default for every
     /// [`crate::session::SessionBuilder`], [`crate::Processor`]
     /// constructor and deprecated shim, so independently built
@@ -297,8 +409,22 @@ impl PlacementStore {
             cell
         };
         let mut built_here = false;
+        let mut disk_hit = false;
+        let artifacts = self.artifact_store();
         let lut = cell
             .get_or_init(|| {
+                // Memory miss: consult the persistent disk tier before
+                // paying the DP. A load failure of any kind (absent,
+                // truncated, version-bumped, checksum- or
+                // key-mismatched file) falls through to a rebuild
+                // whose write-back replaces the bad file — stale or
+                // torn artifacts are never served.
+                if let Some(art) = &artifacts {
+                    if let Ok(Some(lut)) = art.try_load_lut(&key) {
+                        disk_hit = true;
+                        return Arc::new(lut);
+                    }
+                }
                 built_here = true;
                 let start = Instant::now();
                 let optimizer = PlacementOptimizer::new(cost, *opt);
@@ -306,12 +432,20 @@ impl PlacementStore {
                     AllocationLut::build(&optimizer, runtime.usable_slice(), runtime.max_tasks);
                 self.build_ns
                     .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if let Some(art) = &artifacts {
+                    if art.save_lut(&key, &lut).is_ok() {
+                        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Arc::new(lut)
             })
             .clone();
         if built_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.lut_builds.fetch_add(1, Ordering::Relaxed);
+        } else if disk_hit {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -381,6 +515,8 @@ impl PlacementStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             lut_builds: self.lut_builds.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
             build_time: Duration::from_nanos(self.build_ns.load(Ordering::Relaxed)),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
